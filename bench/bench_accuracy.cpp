@@ -1,0 +1,88 @@
+// R-F1: glitch-peak accuracy of the analytic models against the MNA
+// golden reference, over randomized victim clusters.
+//
+// Expected shape: Devgan always >= golden (a provable upper bound);
+// two-pi conservative with modest spread; charge-sharing the loosest.
+#include <iostream>
+#include <vector>
+
+#include "gen/bus.hpp"
+#include "noise/glitch_models.hpp"
+#include "report/table.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nw;
+  const lib::Library library = lib::default_library();
+  std::cout << "R-F1: glitch peak accuracy vs MNA golden (" << 60
+            << " random victim clusters)\n\n";
+
+  Rng rng(2026);
+  RunningStats err_cs, err_dev, err_2pi, err_red, err_width;
+  std::vector<double> ratios_2pi;
+  std::size_t devgan_violations = 0;
+
+  for (int trial = 0; trial < 60; ++trial) {
+    gen::BusConfig cfg;
+    cfg.bits = 5;
+    cfg.segments = 1 + static_cast<std::size_t>(rng.below(4));
+    cfg.coupling_adj = rng.uniform(2 * FF, 9 * FF);
+    cfg.coupling_2nd = rng.uniform(0.2 * FF, 2 * FF);
+    cfg.port_res = rng.uniform(300.0, 3000.0);
+    cfg.res_per_seg = rng.uniform(10.0, 60.0);
+    cfg.cap_per_seg = rng.uniform(1 * FF, 4 * FF);
+    cfg.seed = rng.next();
+    const gen::Generated g = gen::make_bus(library, cfg);
+
+    const NetId victim = *g.design.find_net("w2");
+    const NetId aggressor = *g.design.find_net(rng.chance(0.5) ? "w1" : "w3");
+    const double slew = rng.uniform(10 * PS, 100 * PS);
+    const double vdd = library.vdd();
+
+    const noise::GlitchEstimate golden = noise::estimate_mna(
+        g.design, g.para, victim, aggressor, slew, vdd, {2 * NS, 0.5 * PS});
+    if (golden.peak < 1e-3) continue;
+
+    const noise::CouplingScenario sc =
+        noise::scenario_for(g.design, g.para, victim, aggressor, slew, vdd);
+    const auto cs = noise::estimate_charge_sharing(sc);
+    // Devgan's bound is provable only against the bounding abstraction
+    // (raw driver edge, full victim wire resistance).
+    const auto dev = noise::estimate_devgan(
+        noise::bound_scenario_for(g.design, g.para, victim, aggressor, slew, vdd));
+    const auto two_pi = noise::estimate_two_pi(sc);
+    const auto reduced =
+        noise::estimate_reduced(g.design, g.para, victim, aggressor, slew, vdd);
+
+    err_cs.add((cs.peak - golden.peak) / golden.peak);
+    err_dev.add((dev.peak - golden.peak) / golden.peak);
+    err_2pi.add((two_pi.peak - golden.peak) / golden.peak);
+    err_red.add((reduced.peak - golden.peak) / golden.peak);
+    if (golden.width > 0.0) err_width.add((two_pi.width - golden.width) / golden.width);
+    ratios_2pi.push_back(two_pi.peak / golden.peak);
+    if (dev.peak < golden.peak * 0.999) ++devgan_violations;
+  }
+
+  report::TextTable t({"model", "mean err", "stddev", "min err", "max err"});
+  auto row = [&](const char* name, const RunningStats& s) {
+    t.add_row({name, report::fmt_fixed(100 * s.mean(), 1) + " %",
+               report::fmt_fixed(100 * s.stddev(), 1) + " %",
+               report::fmt_fixed(100 * s.min(), 1) + " %",
+               report::fmt_fixed(100 * s.max(), 1) + " %"});
+  };
+  row("charge-sharing peak", err_cs);
+  row("devgan peak", err_dev);
+  row("two-pi peak", err_2pi);
+  row("reduced-mna peak", err_red);
+  row("two-pi width", err_width);
+  t.print(std::cout);
+
+  std::cout << "\ntwo-pi conservativeness ratio (model/golden): p5 = "
+            << report::fmt_fixed(percentile(ratios_2pi, 5), 2)
+            << ", p50 = " << report::fmt_fixed(percentile(ratios_2pi, 50), 2)
+            << ", p95 = " << report::fmt_fixed(percentile(ratios_2pi, 95), 2) << "\n";
+  std::cout << "devgan-below-golden count (must be 0): " << devgan_violations << "\n";
+  return devgan_violations == 0 ? 0 : 1;
+}

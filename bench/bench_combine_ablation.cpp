@@ -1,0 +1,50 @@
+// R-F4: algorithmic ablation — scan-line worst-alignment (O(m log m))
+// versus brute-force subset enumeration (O(2^k)) as aggressor count grows.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/scanline.hpp"
+
+namespace {
+
+using namespace nw;
+
+std::vector<WeightedWindow> make_items(std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedWindow> items;
+  items.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    WeightedWindow ww;
+    ww.weight = rng.uniform(0.01, 0.2);
+    const double lo = rng.uniform(0.0, 1e-9);
+    ww.window.add({lo, lo + rng.uniform(20e-12, 300e-12)});
+    items.push_back(std::move(ww));
+  }
+  return items;
+}
+
+void BM_ScanLine(benchmark::State& state) {
+  const auto items = make_items(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    const ScanResult r = scan_max_overlap(items);
+    benchmark::DoNotOptimize(r.best_sum);
+  }
+}
+
+void BM_BruteForce(benchmark::State& state) {
+  const auto items = make_items(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    const ScanResult r = brute_force_max_overlap(items);
+    benchmark::DoNotOptimize(r.best_sum);
+  }
+}
+
+// Scan line scales far beyond where brute force is feasible.
+BENCHMARK(BM_ScanLine)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BruteForce)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// R-T1: testcase characteristics table (the paper-class "designs" table).
+#include <iostream>
+
+#include "bench/suite.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace nw;
+  const lib::Library library = lib::default_library();
+  std::cout << "R-T1: generated testcase characteristics\n\n";
+
+  report::TextTable t({"design", "nets", "instances", "flops", "coupling caps",
+                       "total coupling", "endpoints"});
+  for (const auto& c : bench::make_suite(library)) {
+    const auto& d = c.generated.design;
+    const auto& p = c.generated.para;
+    double total_cc = 0.0;
+    for (const auto& cc : p.couplings()) total_cc += cc.c;
+    std::size_t endpoints = d.output_ports().size();
+    for (const auto s : d.sequentials()) {
+      const auto& cell = d.cell_of(s);
+      for (const auto& pin : cell.pins) endpoints += pin.role == lib::PinRole::kData;
+    }
+    t.add_row({c.name, std::to_string(d.net_count()), std::to_string(d.instance_count()),
+               std::to_string(d.sequentials().size()),
+               std::to_string(p.couplings().size()),
+               report::fmt_fixed(total_cc * 1e12, 2) + " pF",
+               std::to_string(endpoints)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// R-T3: runtime scaling of the full analysis pipeline (STA + noise) per
+// filtering mode versus design size (google-benchmark).
+//
+// Expected shape: all modes near-linear in net count for bounded aggressor
+// fan-in; the noise-window mode within a small constant factor (< ~3x) of
+// the unfiltered mode.
+#include <benchmark/benchmark.h>
+
+#include "bench/suite.hpp"
+#include "noise/analyzer.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace nw;
+
+const lib::Library& library() {
+  static const lib::Library lib = lib::default_library();
+  return lib;
+}
+
+void run_mode(benchmark::State& state, const gen::Generated& g,
+              noise::AnalysisMode mode) {
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  noise::Options o;
+  o.mode = mode;
+  o.clock_period = g.sta_options.clock_period;
+  std::size_t violations = 0;
+  for (auto _ : state) {
+    const noise::Result r = noise::analyze(g.design, g.para, timing, o);
+    violations = r.violations.size();
+    benchmark::DoNotOptimize(violations);
+  }
+  state.counters["nets"] = static_cast<double>(g.design.net_count());
+  state.counters["violations"] = static_cast<double>(violations);
+}
+
+void BM_BusNoFilter(benchmark::State& state) {
+  const auto g = gen::make_bus(library(), bench::bus_config(
+                                              static_cast<std::size_t>(state.range(0))));
+  run_mode(state, g, noise::AnalysisMode::kNoFiltering);
+}
+
+void BM_BusSwitching(benchmark::State& state) {
+  const auto g = gen::make_bus(library(), bench::bus_config(
+                                              static_cast<std::size_t>(state.range(0))));
+  run_mode(state, g, noise::AnalysisMode::kSwitchingWindows);
+}
+
+void BM_BusNoiseWindows(benchmark::State& state) {
+  const auto g = gen::make_bus(library(), bench::bus_config(
+                                              static_cast<std::size_t>(state.range(0))));
+  run_mode(state, g, noise::AnalysisMode::kNoiseWindows);
+}
+
+void BM_LogicNoiseWindows(benchmark::State& state) {
+  const auto g = gen::make_rand_logic(
+      library(), bench::logic_config(static_cast<std::size_t>(state.range(0))));
+  run_mode(state, g, noise::AnalysisMode::kNoiseWindows);
+}
+
+void BM_StaOnly(benchmark::State& state) {
+  const auto g = gen::make_bus(library(), bench::bus_config(
+                                              static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+    benchmark::DoNotOptimize(timing.passes);
+  }
+}
+
+BENCHMARK(BM_BusNoFilter)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BusSwitching)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BusNoiseWindows)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LogicNoiseWindows)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StaOnly)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

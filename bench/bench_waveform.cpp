@@ -1,0 +1,66 @@
+// R-F5: glitch waveform shapes — golden MNA transient vs the synthesized
+// waveform implied by each static estimate (the "waveform comparison"
+// figure of the paper class). Printed as aligned sample series.
+#include <iostream>
+
+#include "gen/bus.hpp"
+#include "noise/glitch_models.hpp"
+#include "report/table.hpp"
+#include "spice/cluster.hpp"
+#include "spice/transient.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nw;
+  const lib::Library library = lib::default_library();
+
+  gen::BusConfig cfg;
+  cfg.bits = 6;
+  cfg.segments = 4;
+  cfg.coupling_adj = 6 * FF;
+  cfg.port_res = 1200.0;
+  gen::Generated g = gen::make_bus(library, cfg);
+  const NetId victim = *g.design.find_net("w2");
+  const NetId aggressor = *g.design.find_net("w3");
+  const double slew = 30 * PS;
+  const double vdd = library.vdd();
+
+  std::cout << "R-F5: victim waveform, golden vs synthesized static estimates\n"
+            << "(aggressor fires at t = 0; values in mV)\n\n";
+
+  // Golden cluster transient.
+  spice::ClusterSpec spec;
+  spec.victim = victim;
+  spec.vdd = vdd;
+  spec.aggressors.push_back({aggressor, 0.0, slew, true});
+  const spice::Cluster cl = spice::build_cluster(g.design, g.para, spec);
+  const spice::TranOptions tran{1.2 * NS, 0.25 * PS};
+  const spice::TransientResult sim = spice::simulate(cl.circuit, tran);
+  const spice::Waveform golden = sim.waveform(cl.victim_probe);
+
+  // Synthesized from the two-pi and reduced-mna estimates.
+  const noise::CouplingScenario sc =
+      noise::scenario_for(g.design, g.para, victim, aggressor, slew, vdd);
+  const auto two_pi = noise::estimate_two_pi(sc);
+  const auto reduced = noise::estimate_reduced(g.design, g.para, victim, aggressor,
+                                               slew, vdd);
+  const spice::Waveform w_two_pi =
+      noise::synthesize_glitch(two_pi, 0.0, 0.0, 1 * PS, 1.2 * NS);
+  const spice::Waveform w_reduced =
+      noise::synthesize_glitch(reduced, 0.0, 0.0, 1 * PS, 1.2 * NS);
+
+  report::TextTable t({"t (ps)", "golden", "two-pi synth", "reduced synth"});
+  for (double tp = 0.0; tp <= 600 * PS; tp += 25 * PS) {
+    t.add_row({report::fmt_fixed(tp * 1e12, 0),
+               report::fmt_fixed(golden.at(tp) * 1e3, 1),
+               report::fmt_fixed(w_two_pi.at(tp) * 1e3, 1),
+               report::fmt_fixed(w_reduced.at(tp) * 1e3, 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nmax |golden - reduced synth| = "
+            << report::fmt_mv(spice::max_abs_difference(golden, w_reduced))
+            << ", max |golden - two-pi synth| = "
+            << report::fmt_mv(spice::max_abs_difference(golden, w_two_pi)) << "\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Bus crosstalk walkthrough: generate a 64-bit coupled bus, run STA and
+// noise analysis, and show how switching windows and noise windows peel
+// away pessimism on a mid-bus victim.
+#include <iostream>
+
+#include "gen/bus.hpp"
+#include "noise/analyzer.hpp"
+#include "report/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nw;
+  const lib::Library library = lib::default_library();
+
+  gen::BusConfig cfg;
+  cfg.bits = 64;
+  cfg.segments = 4;
+  cfg.stagger_groups = 4;
+  cfg.stagger = 250 * PS;
+  gen::Generated g = gen::make_bus(library, cfg);
+
+  std::cout << "bus design: " << g.design.net_count() << " nets, "
+            << g.design.instance_count() << " instances, "
+            << g.para.couplings().size() << " coupling caps\n";
+
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+
+  // Pick the middle wire as the victim to examine.
+  const NetId victim = *g.design.find_net("w32");
+
+  report::TextTable table({"mode", "aggressors in worst set", "victim peak",
+                           "width", "violations", "noisy nets"});
+  for (const auto mode :
+       {noise::AnalysisMode::kNoFiltering, noise::AnalysisMode::kSwitchingWindows,
+        noise::AnalysisMode::kNoiseWindows}) {
+    noise::Options nopt;
+    nopt.mode = mode;
+    nopt.clock_period = g.sta_options.clock_period;
+    const noise::Result r = noise::analyze(g.design, g.para, timing, nopt);
+    const noise::NetNoise& nn = r.net(victim);
+    std::size_t worst = 0;
+    for (const auto& c : nn.contributions) worst += c.in_worst ? 1 : 0;
+    table.add_row({noise::to_string(mode), std::to_string(worst),
+                   report::fmt_mv(nn.total_peak), report::fmt_ps(nn.width),
+                   std::to_string(r.violations.size()),
+                   std::to_string(r.noisy_nets)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWith four stagger groups only ~1/4 of the aggressors can\n"
+               "switch together; the scan-line alignment finds that worst\n"
+               "subset instead of summing everyone (the no-filtering row).\n";
+  return 0;
+}

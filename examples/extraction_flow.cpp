@@ -1,0 +1,59 @@
+// Full physical flow: geometry -> closed-form extraction -> STA -> noise,
+// sweeping wire pitch to show the spacing/noise tradeoff a designer
+// actually turns.
+#include <iostream>
+
+#include "gen/routed_bus.hpp"
+#include "noise/analyzer.hpp"
+#include "report/table.hpp"
+#include "sta/sta.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nw;
+  const lib::Library library = lib::default_library();
+  const extract::Tech tech = extract::Tech::generic();
+
+  std::cout << "geometry -> extraction -> noise: 32-bit routed bus, pitch sweep\n\n";
+
+  report::TextTable t({"pitch (um)", "coupling caps", "total Cc", "peak (no-filter)",
+                       "peak (windows)", "worst slack"});
+  for (const double pitch : {0.4e-6, 0.5e-6, 0.7e-6, 1.0e-6}) {
+    gen::RoutedBusConfig cfg;
+    cfg.bits = 32;
+    cfg.pitch = pitch;
+    cfg.stagger = 600e-12;  // widely staggered arrival groups
+    gen::RoutedGenerated g = gen::make_routed_bus(library, tech, cfg);
+    const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+
+    double peak_none = 0.0;
+    double peak_win = 0.0;
+    double slack_win = 1e30;
+    for (const auto mode :
+         {noise::AnalysisMode::kNoFiltering, noise::AnalysisMode::kNoiseWindows}) {
+      noise::Options o;
+      o.mode = mode;
+      o.clock_period = g.sta_options.clock_period;
+      const noise::Result r = noise::analyze(g.design, g.para, timing, o);
+      const double peak = r.net(*g.design.find_net("w16")).total_peak;
+      if (mode == noise::AnalysisMode::kNoFiltering) {
+        peak_none = peak;
+      } else {
+        peak_win = peak;
+        for (const double s : r.endpoint_slacks) slack_win = std::min(slack_win, s);
+        if (r.endpoint_slacks.empty()) slack_win = 0.0;
+      }
+    }
+    t.add_row({report::fmt_fixed(pitch * 1e6, 2),
+               std::to_string(g.stats.coupling_caps),
+               report::fmt_fixed(g.stats.total_coupling_cap * 1e12, 2) + " pF",
+               report::fmt_mv(peak_none), report::fmt_mv(peak_win),
+               report::fmt_mv(slack_win)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nCoupling falls as 1/pitch; the glitch amplitudes and noise\n"
+               "margins follow; the windowed peak stays below the all-at-once\n"
+               "sum wherever the stagger groups cannot align.\n";
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "extract/extractor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nw::extract {
+
+namespace {
+
+/// Coordinates snapped to a 0.1 nm grid so shared endpoints compare equal.
+using Key = std::pair<long long, long long>;
+
+Key key_of(double x, double y) {
+  constexpr double kGrid = 1e-10;
+  return {static_cast<long long>(std::llround(x / kGrid)),
+          static_cast<long long>(std::llround(y / kGrid))};
+}
+
+struct SegmentNodes {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+};
+
+}  // namespace
+
+Tech Tech::generic() {
+  Tech t;
+  LayerTech m1;
+  m1.sheet_res = 0.12;
+  m1.c_area = 3.2e-5;
+  m1.c_fringe = 4.5e-11;
+  m1.c_couple = 1.2e-17;
+  m1.max_spacing = 8e-7;
+  LayerTech m2 = m1;
+  m2.sheet_res = 0.08;
+  m2.c_area = 2.6e-5;
+  m2.c_fringe = 4.0e-11;
+  t.layers = {m1, m2};
+  return t;
+}
+
+para::Parasitics extract(const net::Design& design, std::span<const Route> routes,
+                         const Tech& tech, ExtractStats* stats) {
+  para::Parasitics para(design.net_count());
+  ExtractStats st;
+
+  // Per-route node maps for coupling-node lookup after the build.
+  std::vector<std::vector<SegmentNodes>> seg_nodes(routes.size());
+
+  for (std::size_t ri = 0; ri < routes.size(); ++ri) {
+    const Route& route = routes[ri];
+    if (route.net.index() >= design.net_count()) {
+      throw std::invalid_argument("extract: route for unknown net");
+    }
+    if (route.segments.empty()) {
+      throw std::invalid_argument("extract: empty route for net '" +
+                                  design.net(route.net).name + "'");
+    }
+    if (route.driver_segment >= route.segments.size()) {
+      throw std::invalid_argument("extract: bad driver segment");
+    }
+    para::RcNet& rc = para.net(route.net);
+
+    // The driver endpoint becomes RC node 0.
+    const Segment& ds = route.segments[route.driver_segment];
+    const Key driver_key = route.driver_at_start ? key_of(ds.x0, ds.y0)
+                                                 : key_of(ds.x1, ds.y1);
+    std::map<Key, std::uint32_t> nodes;
+    nodes.emplace(driver_key, 0);
+    auto node_at = [&](double x, double y) {
+      const Key k = key_of(x, y);
+      const auto it = nodes.find(k);
+      if (it != nodes.end()) return it->second;
+      const std::uint32_t n = rc.add_node();
+      nodes.emplace(k, n);
+      return n;
+    };
+
+    seg_nodes[ri].reserve(route.segments.size());
+    for (const Segment& s : route.segments) {
+      if (!s.horizontal() && !s.vertical()) {
+        throw std::invalid_argument("extract: segment is not axis-parallel");
+      }
+      const double len = s.length();
+      if (len <= 0.0 || s.width <= 0.0) {
+        throw std::invalid_argument("extract: degenerate segment on net '" +
+                                    design.net(route.net).name + "'");
+      }
+      const LayerTech& lt = tech.layer(s.layer);
+      const std::uint32_t a = node_at(s.x0, s.y0);
+      const std::uint32_t b = node_at(s.x1, s.y1);
+      if (a == b) {
+        throw std::invalid_argument("extract: zero-span segment");
+      }
+      rc.add_res(a, b, lt.sheet_res * len / s.width);
+      const double cg = lt.c_area * len * s.width + 2.0 * lt.c_fringe * len;
+      rc.add_cap(a, 0.5 * cg);
+      rc.add_cap(b, 0.5 * cg);
+      st.total_ground_cap += cg;
+      seg_nodes[ri].push_back({a, b});
+    }
+
+    if (!rc.is_tree()) {
+      throw std::invalid_argument("extract: route of net '" +
+                                  design.net(route.net).name +
+                                  "' is not a connected tree");
+    }
+
+    for (const PinAttach& pa : route.pins) {
+      if (pa.segment >= route.segments.size()) {
+        throw std::invalid_argument("extract: pin attach beyond route");
+      }
+      const SegmentNodes& sn = seg_nodes[ri][pa.segment];
+      rc.attach_pin(pa.at_start ? sn.start : sn.end, pa.pin);
+    }
+
+    st.nodes += rc.node_count();
+    st.resistors += rc.res_count();
+  }
+
+  // Same-layer lateral coupling between parallel segments of different
+  // nets: Cc = c_couple * overlap / spacing for spacing <= max_spacing.
+  struct Flat {
+    std::size_t route;
+    std::size_t seg;
+  };
+  std::vector<Flat> flats;
+  for (std::size_t ri = 0; ri < routes.size(); ++ri) {
+    for (std::size_t si = 0; si < routes[ri].segments.size(); ++si) {
+      flats.push_back({ri, si});
+    }
+  }
+  for (std::size_t i = 0; i < flats.size(); ++i) {
+    const Segment& a = routes[flats[i].route].segments[flats[i].seg];
+    for (std::size_t j = i + 1; j < flats.size(); ++j) {
+      const Segment& b = routes[flats[j].route].segments[flats[j].seg];
+      if (routes[flats[i].route].net == routes[flats[j].route].net) continue;
+      if (a.layer != b.layer) continue;
+      if (a.horizontal() != b.horizontal()) continue;
+      const LayerTech& lt = tech.layer(a.layer);
+      const double spacing = std::abs(a.track() - b.track());
+      if (spacing <= 0.0 || spacing > lt.max_spacing) continue;
+      const auto [alo, ahi] = a.span();
+      const auto [blo, bhi] = b.span();
+      const double overlap = std::min(ahi, bhi) - std::max(alo, blo);
+      if (overlap <= 0.0) continue;
+      const double cc = lt.c_couple * overlap / spacing;
+
+      // Attach at the segment end closest to the overlap midpoint.
+      const double mid = 0.5 * (std::max(alo, blo) + std::min(ahi, bhi));
+      auto pick = [&](const Segment& s, const SegmentNodes& sn) {
+        const double d0 = std::abs((s.horizontal() ? s.x0 : s.y0) - mid);
+        const double d1 = std::abs((s.horizontal() ? s.x1 : s.y1) - mid);
+        return d0 <= d1 ? sn.start : sn.end;
+      };
+      para.add_coupling(routes[flats[i].route].net,
+                        pick(a, seg_nodes[flats[i].route][flats[i].seg]),
+                        routes[flats[j].route].net,
+                        pick(b, seg_nodes[flats[j].route][flats[j].seg]), cc);
+      ++st.coupling_caps;
+      st.total_coupling_cap += cc;
+    }
+  }
+
+  if (stats) *stats = st;
+  return para;
+}
+
+}  // namespace nw::extract

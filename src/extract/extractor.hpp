@@ -1,0 +1,34 @@
+// Closed-form parasitic extraction: Routes + Tech -> Parasitics.
+//
+// Per segment:  R = sheet_res * length / width,
+//               Cg = c_area * length * width + 2 * c_fringe * length,
+// split half/half onto the segment's two RC nodes. Same-layer parallel
+// segments with centerline spacing s <= max_spacing and overlap length L
+// get a coupling cap Cc = c_couple * L / s at their overlap-midpoint
+// nodes. Each route becomes an RC tree rooted at the driver end.
+#pragma once
+
+#include <span>
+
+#include "extract/geometry.hpp"
+#include "netlist/design.hpp"
+#include "parasitics/rcnet.hpp"
+
+namespace nw::extract {
+
+struct ExtractStats {
+  std::size_t nodes = 0;
+  std::size_t resistors = 0;
+  std::size_t coupling_caps = 0;
+  double total_ground_cap = 0.0;  ///< [F]
+  double total_coupling_cap = 0.0;  ///< [F]
+};
+
+/// Extract parasitics for `design` from the given routes. Nets without a
+/// route get an empty (driver-only) RC net. Throws std::invalid_argument
+/// for disconnected routes, bad pin attachments, or unknown layers.
+[[nodiscard]] para::Parasitics extract(const net::Design& design,
+                                       std::span<const Route> routes, const Tech& tech,
+                                       ExtractStats* stats = nullptr);
+
+}  // namespace nw::extract

@@ -1,0 +1,89 @@
+// Routed-wire geometry for parasitic extraction.
+//
+// A minimal physical view: every net is a Route made of axis-parallel
+// rectangular wire Segments on named metal layers. The extractor
+// (extract/extractor.hpp) turns geometry + layer technology coefficients
+// into parasitics/Parasitics — the front-end a signoff noise flow assumes
+// (FastCap/FastHenry-class field solvers are substituted by standard
+// area/fringe/spacing closed forms; see DESIGN.md).
+//
+// Units: coordinates and widths in meters.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace nw::extract {
+
+/// Axis-parallel wire piece. Direction is inferred from the endpoints;
+/// zero-length segments are invalid.
+struct Segment {
+  int layer = 0;
+  double x0 = 0.0, y0 = 0.0;
+  double x1 = 0.0, y1 = 0.0;
+  double width = 1e-7;
+
+  [[nodiscard]] bool horizontal() const noexcept { return y0 == y1; }
+  [[nodiscard]] bool vertical() const noexcept { return x0 == x1; }
+  [[nodiscard]] double length() const noexcept {
+    return horizontal() ? std::abs(x1 - x0) : std::abs(y1 - y0);
+  }
+  /// Perpendicular position of the wire centerline (for spacing).
+  [[nodiscard]] double track() const noexcept { return horizontal() ? y0 : x0; }
+  /// Extent along the wire direction as [lo, hi].
+  [[nodiscard]] std::pair<double, double> span() const noexcept {
+    return horizontal() ? std::minmax(x0, x1) : std::minmax(y0, y1);
+  }
+};
+
+/// A pin attachment point: design pin `pin` sits at the end of segment
+/// `segment` (`at_start` selects which end).
+struct PinAttach {
+  PinId pin;
+  std::size_t segment = 0;
+  bool at_start = false;
+};
+
+/// The geometry of one net. Segments must form a connected chain/tree:
+/// consecutive segments share an endpoint (the extractor verifies
+/// electrical connectivity by coordinate matching).
+struct Route {
+  NetId net;
+  std::vector<Segment> segments;
+  std::vector<PinAttach> pins;
+  /// Which segment end the driver sits at (root of the RC tree).
+  std::size_t driver_segment = 0;
+  bool driver_at_start = true;
+};
+
+/// Per-layer technology coefficients (closed-form extraction model).
+struct LayerTech {
+  double sheet_res = 0.08;       ///< [ohm/square]
+  double c_area = 3.0e-5;        ///< area cap to ground [F/m^2]
+  double c_fringe = 4.0e-11;     ///< fringe cap per edge length [F/m]
+  /// Lateral coupling: Cc = c_couple * overlap_length / spacing, applied
+  /// to same-layer parallel wires closer than `max_spacing`.
+  double c_couple = 1.0e-17;     ///< [F] (per unit length/spacing ratio)
+  double max_spacing = 1.0e-6;   ///< coupling cutoff [m]
+};
+
+/// The technology: one entry per layer index used by segments.
+struct Tech {
+  std::vector<LayerTech> layers;
+
+  [[nodiscard]] const LayerTech& layer(int idx) const {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= layers.size()) {
+      throw std::out_of_range("Tech: layer " + std::to_string(idx));
+    }
+    return layers[static_cast<std::size_t>(idx)];
+  }
+
+  /// A representative 2-metal-layer stack (130 nm-era magnitudes).
+  [[nodiscard]] static Tech generic();
+};
+
+}  // namespace nw::extract

@@ -1,0 +1,98 @@
+#include "gen/bus.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nw::gen {
+
+Generated make_bus(const lib::Library& library, const BusConfig& cfg) {
+  if (cfg.bits < 2) throw std::invalid_argument("make_bus: need at least 2 bits");
+  if (cfg.segments < 1) throw std::invalid_argument("make_bus: need >= 1 segment");
+
+  Generated out{net::Design(library, "bus" + std::to_string(cfg.bits)),
+                para::Parasitics(0), sta::Options{}};
+  net::Design& d = out.design;
+  Rng rng(cfg.seed);
+
+  // Nets and logic first; parasitics after (Parasitics is sized by net count).
+  std::vector<NetId> wire(cfg.bits);
+  std::vector<std::vector<NetId>> chain_nets(cfg.bits);
+  for (std::size_t b = 0; b < cfg.bits; ++b) {
+    wire[b] = d.add_net("w" + std::to_string(b));
+    net::PortDrive drive;
+    drive.resistance =
+        cfg.port_res * (1.0 + cfg.drive_jitter * rng.uniform(-1.0, 1.0));
+    drive.slew = cfg.port_slew;
+    d.add_input_port("in" + std::to_string(b), wire[b], drive);
+
+    // Receiver chain: INV -> (BUF...) -> output port.
+    NetId prev = wire[b];
+    for (std::size_t s = 0; s < cfg.receiver_depth; ++s) {
+      const std::string cell = (s == 0) ? "INV_X1" : "BUF_X1";
+      const InstId g = d.add_instance(
+          "rx" + std::to_string(b) + "_" + std::to_string(s), cell);
+      d.connect(g, "A", prev);
+      const NetId next =
+          d.add_net("r" + std::to_string(b) + "_" + std::to_string(s));
+      d.connect(g, "Y", next);
+      chain_nets[b].push_back(next);
+      prev = next;
+    }
+    d.add_output_port("out" + std::to_string(b), prev);
+  }
+
+  out.para = para::Parasitics(d.net_count());
+  para::Parasitics& p = out.para;
+
+  // RC ladder per line; remember per-segment node ids for coupling.
+  std::vector<std::vector<std::uint32_t>> seg_node(cfg.bits);
+  for (std::size_t b = 0; b < cfg.bits; ++b) {
+    para::RcNet& rc = p.net(wire[b]);
+    rc.add_cap(0, 0.5 * cfg.cap_per_seg);
+    std::uint32_t prev_node = 0;
+    for (std::size_t s = 0; s < cfg.segments; ++s) {
+      const std::uint32_t n = rc.add_node(cfg.cap_per_seg);
+      rc.add_res(prev_node, n, cfg.res_per_seg);
+      seg_node[b].push_back(n);
+      prev_node = n;
+    }
+    // Attach the receiver input at the far end.
+    const net::Net& nn = d.net(wire[b]);
+    if (!nn.loads.empty()) rc.attach_pin(prev_node, nn.loads.front());
+    // Receiver-chain nets get small lumped parasitics.
+    for (const NetId cn : chain_nets[b]) p.net(cn).add_cap(0, 1e-15);
+  }
+
+  // Coupling between neighbouring lines, per segment. The jitter models
+  // spacing variation along the route (uniform per line pair).
+  for (std::size_t b = 0; b + 1 < cfg.bits; ++b) {
+    const double f_adj = 1.0 + cfg.coupling_jitter * rng.uniform(-1.0, 1.0);
+    const double f_2nd = 1.0 + cfg.coupling_jitter * rng.uniform(-1.0, 1.0);
+    for (std::size_t s = 0; s < cfg.segments; ++s) {
+      if (cfg.coupling_adj > 0.0) {
+        p.add_coupling(wire[b], seg_node[b][s], wire[b + 1], seg_node[b + 1][s],
+                       cfg.coupling_adj * f_adj);
+      }
+      if (b + 2 < cfg.bits && cfg.coupling_2nd > 0.0) {
+        p.add_coupling(wire[b], seg_node[b][s], wire[b + 2], seg_node[b + 2][s],
+                       cfg.coupling_2nd * f_2nd);
+      }
+    }
+  }
+
+  // Staggered arrival windows.
+  out.sta_options.clock_period = cfg.clock_period;
+  const std::size_t groups = std::max<std::size_t>(cfg.stagger_groups, 1);
+  for (std::size_t b = 0; b < cfg.bits; ++b) {
+    const double base = static_cast<double>(b % groups) * cfg.stagger +
+                        rng.uniform(0.0, cfg.jitter);
+    out.sta_options.input_arrivals["in" + std::to_string(b)] =
+        Interval{base, base + cfg.window_width};
+  }
+  return out;
+}
+
+}  // namespace nw::gen

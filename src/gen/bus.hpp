@@ -1,0 +1,49 @@
+// Parallel coupled bus generator.
+//
+// The canonical crosstalk workload (and the classic DAC-era testcase): N
+// parallel lines, each segmented into an RC ladder, with coupling caps
+// between corresponding segments of nearby lines. Input arrivals are
+// staggered in groups so that temporal filtering has something to do —
+// aggressors in different stagger groups cannot align, which is exactly
+// the pessimism the paper's windows remove.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/design.hpp"
+#include "parasitics/rcnet.hpp"
+#include "sta/sta.hpp"
+
+namespace nw::gen {
+
+struct BusConfig {
+  std::size_t bits = 64;
+  std::size_t segments = 4;          ///< RC segments per line
+  double res_per_seg = 25.0;         ///< [ohm]
+  double cap_per_seg = 2e-15;        ///< grounded [F]
+  double coupling_adj = 4e-15;       ///< to the adjacent line, per segment [F]
+  double coupling_2nd = 0.8e-15;     ///< to the 2nd neighbour, per segment [F]
+  double port_res = 500.0;           ///< input driver resistance [ohm]
+  double port_slew = 20e-12;         ///< input edge rate [s]
+  double coupling_jitter = 0.0;      ///< fractional random spread on coupling caps
+  double drive_jitter = 0.0;         ///< fractional random spread on port resistance
+  std::size_t receiver_depth = 2;    ///< INV/BUF stages behind each line
+  std::size_t stagger_groups = 4;    ///< arrival groups across the bus
+  double stagger = 200e-12;          ///< group-to-group arrival offset [s]
+  double window_width = 50e-12;      ///< arrival uncertainty per input [s]
+  double jitter = 10e-12;            ///< random per-bit window jitter [s]
+  double clock_period = 2e-9;
+  std::uint64_t seed = 1;
+};
+
+/// A generated testcase: design + parasitics + matching STA options.
+struct Generated {
+  net::Design design;
+  para::Parasitics para;
+  sta::Options sta_options;
+};
+
+/// Build the bus. The library must outlive the returned design.
+[[nodiscard]] Generated make_bus(const lib::Library& library, const BusConfig& cfg);
+
+}  // namespace nw::gen

@@ -1,0 +1,115 @@
+#include "gen/pipeline.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nw::gen {
+
+Generated make_pipeline(const lib::Library& library, const PipelineConfig& cfg) {
+  if (cfg.paths < 2) throw std::invalid_argument("make_pipeline: need >= 2 paths");
+  if (cfg.min_depth < 1 || cfg.max_depth < cfg.min_depth) {
+    throw std::invalid_argument("make_pipeline: bad depth range");
+  }
+
+  Generated out{net::Design(library, "pipe" + std::to_string(cfg.paths)),
+                para::Parasitics(0), sta::Options{}};
+  net::Design& d = out.design;
+  Rng rng(cfg.seed);
+
+  // Clock: port -> root buffer -> per-group leaf buffers.
+  const NetId clk_in = d.add_net("clk_in");
+  d.add_input_port("clk", clk_in, {150.0, 15e-12});
+  const InstId root_buf = d.add_instance("cbuf_root", "BUF_X2");
+  d.connect(root_buf, "A", clk_in);
+  const NetId clk_root = d.add_net("clk_root");
+  d.connect(root_buf, "Y", clk_root);
+  const std::size_t fanout = 8;
+  const std::size_t n_leaves = (2 * cfg.paths + fanout - 1) / fanout;
+  std::vector<NetId> clk_leaf(n_leaves);
+  for (std::size_t l = 0; l < n_leaves; ++l) {
+    const InstId buf = d.add_instance("cbuf" + std::to_string(l), "BUF_X2");
+    d.connect(buf, "A", clk_root);
+    clk_leaf[l] = d.add_net("clk_l" + std::to_string(l));
+    d.connect(buf, "Y", clk_leaf[l]);
+  }
+  auto leaf_for = [&](std::size_t sink_idx) { return clk_leaf[sink_idx / fanout]; };
+
+  // Paths.
+  std::vector<NetId> capture_net(cfg.paths);
+  std::size_t clock_sink = 0;
+  for (std::size_t pth = 0; pth < cfg.paths; ++pth) {
+    const std::string ps = std::to_string(pth);
+    // Launch flop fed from a primary input.
+    const NetId din = d.add_net("din" + ps);
+    d.add_input_port("d" + ps, din, {400.0, 25e-12});
+    const InstId launch = d.add_instance("lff" + ps, "DFF_X1");
+    d.connect(launch, "D", din);
+    d.connect(launch, "CK", leaf_for(clock_sink++));
+    NetId cur = d.add_net("lq" + ps);
+    d.connect(launch, "Q", cur);
+
+    // Combinational chain of random depth. Drive strengths alternate per
+    // path: even paths end in a weak X1 (weakly held victims), odd paths in
+    // a strong X4 (fast-edged aggressors) — the classic weak-victim /
+    // strong-aggressor crosstalk pattern.
+    const auto depth = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(cfg.min_depth),
+                  static_cast<std::int64_t>(cfg.max_depth)));
+    for (std::size_t s = 0; s < depth; ++s) {
+      const bool last = s + 1 == depth;
+      const char* cell = last ? (pth % 2 == 0 ? "INV_X1" : "INV_X4")
+                              : (s % 2 == 0 ? "INV_X1" : "BUF_X1");
+      const InstId g = d.add_instance("p" + ps + "_g" + std::to_string(s), cell);
+      d.connect(g, "A", cur);
+      cur = d.add_net("p" + ps + "_n" + std::to_string(s));
+      d.connect(g, "Y", cur);
+    }
+    capture_net[pth] = cur;
+
+    // Capture element (flop or transparent latch) and observation port.
+    const InstId cap = d.add_instance(
+        "cff" + ps, cfg.latch_capture ? "LATCH_X1" : "DFF_X1");
+    d.connect(cap, "D", cur);
+    d.connect(cap, cfg.latch_capture ? "EN" : "CK", leaf_for(clock_sink++));
+    const NetId q = d.add_net("cq" + ps);
+    d.connect(cap, "Q", q);
+    d.add_output_port("q" + ps, q);
+
+    out.sta_options.input_arrivals["d" + ps] = Interval{0.0, 50e-12};
+  }
+  out.sta_options.clock_period = cfg.clock_period;
+
+  // Parasitics: capture nets get an RC segment; everything else lumped.
+  out.para = para::Parasitics(d.net_count());
+  para::Parasitics& p = out.para;
+  std::vector<std::uint32_t> far_node(cfg.paths, 0);
+  for (std::size_t pth = 0; pth < cfg.paths; ++pth) {
+    para::RcNet& rc = p.net(capture_net[pth]);
+    rc.add_cap(0, 0.5 * cfg.wire_cap);
+    const std::uint32_t far = rc.add_node(0.5 * cfg.wire_cap);
+    rc.add_res(0, far, cfg.wire_res);
+    far_node[pth] = far;
+    const net::Net& n = d.net(capture_net[pth]);
+    if (!n.loads.empty()) rc.attach_pin(far, n.loads.front());
+  }
+  for (std::size_t i = 0; i < d.net_count(); ++i) {
+    para::RcNet& rc = p.net(NetId{i});
+    if (rc.node_count() == 1 && rc.total_ground_cap() == 0.0) rc.add_cap(0, 1.5e-15);
+  }
+  // Neighbouring capture nets couple (victims and aggressors alike); the
+  // second neighbour couples at 60% — routed side-by-side data buses.
+  for (std::size_t pth = 0; pth + 1 < cfg.paths; ++pth) {
+    p.add_coupling(capture_net[pth], far_node[pth], capture_net[pth + 1],
+                   far_node[pth + 1], cfg.coupling_cap);
+    if (pth + 2 < cfg.paths) {
+      p.add_coupling(capture_net[pth], far_node[pth], capture_net[pth + 2],
+                     far_node[pth + 2], 0.6 * cfg.coupling_cap);
+    }
+  }
+  return out;
+}
+
+}  // namespace nw::gen

@@ -1,0 +1,32 @@
+// Pipeline-stage generator for latch sensitivity-window experiments.
+//
+// N parallel register-to-register paths: launch DFF -> short combinational
+// chain -> capture DFF, all on one clock distributed through a buffer
+// tree. Coupling caps land on the data nets near the capture flops, and
+// the combinational depth varies per path so glitches arrive at different
+// times relative to the sampling window — the scenario where the noise
+// window vs. sensitivity window intersection check pays off.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/bus.hpp"
+
+namespace nw::gen {
+
+struct PipelineConfig {
+  std::size_t paths = 32;
+  std::size_t min_depth = 1;        ///< combinational stages per path (min)
+  std::size_t max_depth = 5;        ///< and max (randomized in between)
+  double wire_res = 30.0;           ///< capture-net wire resistance [ohm]
+  double wire_cap = 2e-15;          ///< capture-net grounded cap [F]
+  double coupling_cap = 6e-15;      ///< aggressor coupling onto capture nets [F]
+  bool latch_capture = false;       ///< capture with level-sensitive latches
+  double clock_period = 1.2e-9;
+  std::uint64_t seed = 3;
+};
+
+[[nodiscard]] Generated make_pipeline(const lib::Library& library,
+                                      const PipelineConfig& cfg);
+
+}  // namespace nw::gen

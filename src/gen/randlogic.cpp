@@ -1,0 +1,210 @@
+#include "gen/randlogic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nw::gen {
+
+namespace {
+
+struct PlacedNet {
+  NetId id;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+}  // namespace
+
+Generated make_rand_logic(const lib::Library& library, const RandLogicConfig& cfg) {
+  if (cfg.primary_inputs < 2) throw std::invalid_argument("make_rand_logic: need >= 2 PIs");
+  if (cfg.levels < 1) throw std::invalid_argument("make_rand_logic: need >= 1 level");
+
+  Generated out{net::Design(library, "rand" + std::to_string(cfg.gates)),
+                para::Parasitics(0), sta::Options{}};
+  net::Design& d = out.design;
+  Rng rng(cfg.seed);
+
+  static constexpr const char* kOne[] = {"INV_X1", "BUF_X1", "INV_X2"};
+  static constexpr const char* kTwo[] = {"NAND2_X1", "NOR2_X1", "AND2_X1", "OR2_X1",
+                                         "XOR2_X1"};
+  static constexpr const char* kThree[] = {"NAND3_X1", "NOR3_X1", "AOI21_X1",
+                                           "OAI21_X1", "MUX2_X1"};
+
+  std::vector<PlacedNet> placed;  // all signal nets with positions
+  std::vector<NetId> level_nets;  // candidate fanin sources
+
+  // Primary inputs.
+  const bool sequential = cfg.dff_fraction > 0.0;
+  NetId clock_root;
+  for (std::size_t i = 0; i < cfg.primary_inputs; ++i) {
+    const NetId n = d.add_net("pi" + std::to_string(i));
+    net::PortDrive drive;
+    drive.resistance = rng.uniform(300.0, 800.0);
+    drive.slew = rng.uniform(15e-12, 60e-12);
+    d.add_input_port("in" + std::to_string(i), n, drive);
+    placed.push_back({n, rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+    level_nets.push_back(n);
+    const double base = rng.uniform(0.0, cfg.input_spread);
+    out.sta_options.input_arrivals["in" + std::to_string(i)] =
+        Interval{base, base + cfg.input_window};
+  }
+  if (sequential) {
+    clock_root = d.add_net("clk");
+    net::PortDrive drive;
+    drive.resistance = 150.0;
+    drive.slew = 15e-12;
+    d.add_input_port("clk_in", clock_root, drive);
+    out.sta_options.input_arrivals["clk_in"] = Interval{0.0, 0.0};
+  }
+  out.sta_options.clock_period = cfg.clock_period;
+
+  // Levelized gates.
+  const std::size_t per_level = std::max<std::size_t>(cfg.gates / cfg.levels, 1);
+  std::vector<NetId> prev_level = level_nets;
+  std::vector<NetId> last_level;
+  std::size_t gate_idx = 0;
+  for (std::size_t lvl = 0; lvl < cfg.levels && gate_idx < cfg.gates; ++lvl) {
+    std::vector<NetId> this_level;
+    const std::size_t count =
+        (lvl + 1 == cfg.levels) ? cfg.gates - gate_idx : per_level;
+    for (std::size_t g = 0; g < count && gate_idx < cfg.gates; ++g, ++gate_idx) {
+      std::size_t n_inputs = 1;
+      if (prev_level.size() >= 3 && rng.chance(0.2)) {
+        n_inputs = 3;
+      } else if (prev_level.size() >= 2 && rng.chance(0.6)) {
+        n_inputs = 2;
+      }
+      const char* cell = (n_inputs == 3)   ? kThree[rng.below(std::size(kThree))]
+                         : (n_inputs == 2) ? kTwo[rng.below(std::size(kTwo))]
+                                           : kOne[rng.below(std::size(kOne))];
+      const InstId inst = d.add_instance("g" + std::to_string(gate_idx), cell);
+      // Distinct fanin nets per pin (retry a few times, then scan).
+      static constexpr const char* kPins[] = {"A", "B", "C"};
+      std::vector<NetId> chosen;
+      for (std::size_t pi = 0; pi < n_inputs; ++pi) {
+        NetId pick = prev_level[rng.below(prev_level.size())];
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const bool dup =
+              std::find(chosen.begin(), chosen.end(), pick) != chosen.end();
+          if (!dup) break;
+          pick = prev_level[rng.below(prev_level.size())];
+        }
+        if (std::find(chosen.begin(), chosen.end(), pick) != chosen.end()) {
+          for (const NetId cand : prev_level) {
+            if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end()) {
+              pick = cand;
+              break;
+            }
+          }
+        }
+        chosen.push_back(pick);
+        d.connect(inst, kPins[pi], pick);
+      }
+      const NetId y = d.add_net("n" + std::to_string(gate_idx));
+      d.connect(inst, "Y", y);
+      placed.push_back({y, rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+      this_level.push_back(y);
+    }
+    // Next level draws from this level plus a sprinkling of older nets.
+    prev_level = this_level;
+    for (std::size_t k = 0; k < this_level.size() / 4 + 1 && !level_nets.empty(); ++k) {
+      prev_level.push_back(level_nets[rng.below(level_nets.size())]);
+    }
+    for (const auto n : this_level) level_nets.push_back(n);
+    last_level = this_level;
+  }
+
+  // Sinks: DFF capture for a fraction, output ports for the rest. Unused
+  // intermediate nets also get ports so the design lints clean.
+  const std::size_t nets_before_sinks = d.net_count();
+  std::vector<bool> has_load(nets_before_sinks, false);
+  for (std::size_t i = 0; i < nets_before_sinks; ++i) {
+    const net::Net& n = d.net(NetId{i});
+    has_load[i] = !n.loads.empty();
+  }
+  std::size_t port_idx = 0;
+  std::size_t dff_idx = 0;
+  std::vector<InstId> clock_sinks;
+  for (std::size_t i = 0; i < nets_before_sinks; ++i) {
+    if (has_load[i]) continue;
+    const NetId n{i};
+    if (sequential && clock_root.valid() && n == clock_root) continue;
+    if (sequential && rng.chance(cfg.dff_fraction)) {
+      const InstId ff = d.add_instance("ff" + std::to_string(dff_idx), "DFF_X1");
+      d.connect(ff, "D", n);
+      const NetId q = d.add_net("q" + std::to_string(dff_idx));
+      d.connect(ff, "Q", q);
+      d.add_output_port("qo" + std::to_string(dff_idx), q);
+      clock_sinks.push_back(ff);
+      ++dff_idx;
+    } else {
+      d.add_output_port("out" + std::to_string(port_idx++), n);
+    }
+  }
+
+  // Clock tree: a couple of buffer stages fanning out to all DFF CK pins.
+  if (sequential) {
+    if (clock_sinks.empty()) {
+      d.add_output_port("clk_unused", clock_root);
+    } else {
+      const std::size_t fanout_per_buf = 8;
+      std::size_t buf_idx = 0;
+      std::vector<NetId> leaves;
+      const std::size_t n_bufs = (clock_sinks.size() + fanout_per_buf - 1) / fanout_per_buf;
+      for (std::size_t b = 0; b < n_bufs; ++b) {
+        const InstId buf = d.add_instance("cbuf" + std::to_string(buf_idx), "BUF_X2");
+        d.connect(buf, "A", clock_root);
+        const NetId leaf = d.add_net("clk_l" + std::to_string(buf_idx));
+        d.connect(buf, "Y", leaf);
+        leaves.push_back(leaf);
+        ++buf_idx;
+      }
+      for (std::size_t s = 0; s < clock_sinks.size(); ++s) {
+        d.connect(clock_sinks[s], "CK", leaves[s / fanout_per_buf]);
+      }
+    }
+  }
+
+  // Parasitics: one RC segment per placed net (driver -> far node with the
+  // first load attached), lumped caps for the rest.
+  out.para = para::Parasitics(d.net_count());
+  para::Parasitics& p = out.para;
+  std::vector<std::uint32_t> far_node(d.net_count(), 0);
+  for (const auto& pn : placed) {
+    para::RcNet& rc = p.net(pn.id);
+    rc.add_cap(0, 0.5 * cfg.wire_cap);
+    const std::uint32_t far = rc.add_node(0.5 * cfg.wire_cap);
+    rc.add_res(0, far, cfg.wire_res);
+    far_node[pn.id.index()] = far;
+    const net::Net& n = d.net(pn.id);
+    if (!n.loads.empty()) rc.attach_pin(far, n.loads.front());
+  }
+  for (std::size_t i = 0; i < d.net_count(); ++i) {
+    para::RcNet& rc = p.net(NetId{i});
+    if (rc.node_count() == 1 && rc.total_ground_cap() == 0.0) rc.add_cap(0, 1e-15);
+  }
+
+  // Coupling from placement proximity: sort by x, couple near neighbours.
+  std::sort(placed.begin(), placed.end(),
+            [](const PlacedNet& a, const PlacedNet& b) { return a.x < b.x; });
+  for (std::size_t i = 0; i + 1 < placed.size(); ++i) {
+    for (std::size_t j = i + 1; j < std::min(placed.size(), i + 4); ++j) {
+      const double dx = placed[j].x - placed[i].x;
+      const double dy = std::abs(placed[j].y - placed[i].y);
+      if (dx * dx + dy * dy > 0.002) continue;
+      if (!rng.chance(cfg.coupling_prob)) continue;
+      const double c = rng.uniform(cfg.coupling_cap_min, cfg.coupling_cap_max);
+      p.add_coupling(placed[i].id, far_node[placed[i].id.index()], placed[j].id,
+                     far_node[placed[j].id.index()], c);
+    }
+  }
+  return out;
+}
+
+}  // namespace nw::gen

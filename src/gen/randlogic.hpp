@@ -1,0 +1,36 @@
+// Random logic-cloud generator with placement-derived coupling.
+//
+// Levelized random logic (INV/BUF/NAND2/NOR2/AND2/OR2/XOR2) whose nets are
+// virtually placed on a grid; nets that land close to each other receive
+// coupling caps, mimicking routed-design crosstalk (no real router exists
+// offline — see DESIGN.md substitutions). Optionally a fraction of the
+// final level feeds DFFs clocked through a generated buffer tree, giving
+// the latch-sensitivity experiments sequential endpoints.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/bus.hpp"
+
+namespace nw::gen {
+
+struct RandLogicConfig {
+  std::size_t primary_inputs = 32;
+  std::size_t gates = 1000;
+  std::size_t levels = 8;
+  double wire_res = 40.0;            ///< per net [ohm]
+  double wire_cap = 3e-15;           ///< per net grounded [F]
+  double coupling_prob = 0.35;       ///< chance a net couples to a grid neighbour
+  double coupling_cap_min = 1e-15;   ///< [F]
+  double coupling_cap_max = 5e-15;   ///< [F]
+  double input_spread = 400e-12;     ///< inputs arrive across [0, spread]
+  double input_window = 60e-12;      ///< arrival uncertainty per input [s]
+  double dff_fraction = 0.0;         ///< fraction of outputs captured by DFFs
+  double clock_period = 2e-9;
+  std::uint64_t seed = 7;
+};
+
+[[nodiscard]] Generated make_rand_logic(const lib::Library& library,
+                                        const RandLogicConfig& cfg);
+
+}  // namespace nw::gen

@@ -1,0 +1,221 @@
+#include "la/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nw::la {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) throw std::invalid_argument("Matrix+=: shape");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) throw std::invalid_argument("Matrix-=: shape");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Vector Matrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: size");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& o) const {
+  if (cols_ != o.rows_) throw std::invalid_argument("Matrix::multiply: shape");
+  Matrix y(rows_, o.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < o.cols_; ++c) y(r, c) += a * o(k, c);
+    }
+  }
+  return y;
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (const auto v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+LuFactor::LuFactor(Matrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuFactor: square required");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at/below the diagonal.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("LuFactor: singular matrix");
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(p, c));
+      std::swap(perm_[k], perm_[p]);
+      sign_ = -sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = lu_(r, k) / pivot;
+      lu_(r, k) = f;
+      if (f == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+}
+
+Vector LuFactor::solve(std::span<const double> b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) throw std::invalid_argument("LuFactor::solve: size");
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuFactor::solve(const Matrix& b) const {
+  if (b.rows() != dim()) throw std::invalid_argument("LuFactor::solve: shape");
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const Vector sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double LuFactor::determinant() const noexcept {
+  double d = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < dim(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+CholeskyFactor::CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("Cholesky: square required");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (sum <= 0.0) throw std::runtime_error("Cholesky: matrix not SPD");
+        l_(i, i) = std::sqrt(sum);
+      } else {
+        l_(i, j) = sum / l_(j, j);
+      }
+    }
+  }
+}
+
+Vector CholeskyFactor::solve(std::span<const double> b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) throw std::invalid_argument("Cholesky::solve: size");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  const LuFactor lu(a);
+  return lu.solve(Matrix::identity(a.rows()));
+}
+
+bool is_spd(const Matrix& a, double tol) {
+  if (a.rows() != a.cols()) return false;
+  const double scale = std::max(a.max_abs(), 1.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > tol * scale) return false;
+    }
+  }
+  try {
+    const CholeskyFactor chol(a);
+    (void)chol;
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+bool is_strictly_diagonally_dominant(const Matrix& a) {
+  if (a.rows() != a.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (j != i) off += std::abs(a(i, j));
+    }
+    if (!(std::abs(a(i, i)) > off)) return false;
+  }
+  return true;
+}
+
+}  // namespace nw::la

@@ -1,0 +1,196 @@
+#include "la/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nw::la {
+
+void TripletBuilder::add(std::size_t r, std::size_t c, double v) {
+  if (r >= n_ || c >= n_) throw std::out_of_range("TripletBuilder::add");
+  rows_[r][c] += v;
+}
+
+double TripletBuilder::get(std::size_t r, std::size_t c) const {
+  if (r >= n_ || c >= n_) throw std::out_of_range("TripletBuilder::get");
+  const auto it = rows_[r].find(c);
+  return it == rows_[r].end() ? 0.0 : it->second;
+}
+
+std::size_t TripletBuilder::nonzeros() const noexcept {
+  std::size_t nnz = 0;
+  for (const auto& r : rows_) nnz += r.size();
+  return nnz;
+}
+
+SparseMatrix::SparseMatrix(const TripletBuilder& b) : n_(b.dim()) {
+  row_ptr_.reserve(n_ + 1);
+  row_ptr_.push_back(0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (const auto& [c, v] : b.row(r)) {
+      col_.push_back(c);
+      vals_.push_back(v);
+    }
+    row_ptr_.push_back(col_.size());
+  }
+}
+
+std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
+  if (x.size() != n_) throw std::invalid_argument("SparseMatrix::multiply: size");
+  std::vector<double> y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += vals_[k] * x[col_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+double SparseMatrix::get(std::size_t r, std::size_t c) const {
+  if (r >= n_ || c >= n_) throw std::out_of_range("SparseMatrix::get");
+  const auto first = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto last = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return 0.0;
+  return vals_[static_cast<std::size_t>(it - col_.begin())];
+}
+
+SparseLu::SparseLu(const TripletBuilder& a, double pivot_threshold) : n_(a.dim()) {
+  if (pivot_threshold <= 0.0 || pivot_threshold > 1.0) {
+    throw std::invalid_argument("SparseLu: pivot_threshold must be in (0,1]");
+  }
+  // Working rows as sorted maps; rows are eliminated in place. Elimination
+  // multipliers are attached to the *physical* row (indexed by original row
+  // id) so that later pivot swaps reorder them correctly; they are gathered
+  // into position order at the end.
+  std::vector<std::map<std::size_t, double>> work = a.rows_;
+  std::vector<std::size_t> rowidx(n_);  // rowidx[i] = original row used at step i
+  for (std::size_t i = 0; i < n_; ++i) rowidx[i] = i;
+  std::vector<std::vector<std::pair<std::size_t, double>>> mult(n_);
+
+  lower_.assign(n_, {});
+  upper_.assign(n_, {});
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Pick pivot row among remaining rows having column k.
+    double colmax = 0.0;
+    for (std::size_t i = k; i < n_; ++i) {
+      const auto& row = work[rowidx[i]];
+      const auto it = row.find(k);
+      if (it != row.end()) colmax = std::max(colmax, std::abs(it->second));
+    }
+    if (colmax < 1e-300) throw std::runtime_error("SparseLu: singular matrix");
+
+    std::size_t chosen = n_;
+    std::size_t chosen_len = static_cast<std::size_t>(-1);
+    for (std::size_t i = k; i < n_; ++i) {
+      const auto& row = work[rowidx[i]];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      if (std::abs(it->second) >= pivot_threshold * colmax) {
+        // Among acceptable pivots prefer the sparsest row (Markowitz-lite).
+        if (row.size() < chosen_len) {
+          chosen_len = row.size();
+          chosen = i;
+        }
+      }
+    }
+    if (chosen == n_) throw std::runtime_error("SparseLu: pivot selection failed");
+    std::swap(rowidx[k], rowidx[chosen]);
+
+    auto& prow = work[rowidx[k]];
+    const double pivot = prow.at(k);
+
+    // Record U row k (entries with col >= k).
+    for (const auto& [c, v] : prow) {
+      if (c >= k) upper_[k].emplace_back(c, v);
+    }
+
+    // Eliminate column k from all remaining rows.
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      auto& row = work[rowidx[i]];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      const double f = it->second / pivot;
+      row.erase(it);
+      mult[rowidx[i]].emplace_back(k, f);
+      for (const auto& [c, v] : prow) {
+        if (c <= k) continue;
+        auto& target = row[c];
+        target -= f * v;
+        if (std::abs(target) < 1e-300) row.erase(c);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) lower_[i] = std::move(mult[rowidx[i]]);
+  perm_ = rowidx;
+}
+
+std::vector<double> SparseLu::solve(std::span<const double> b) const {
+  if (b.size() != n_) throw std::invalid_argument("SparseLu::solve: size");
+  std::vector<double> y(n_);
+  // Forward: L y = P b  (lower_[i] holds multipliers indexed by pivot step).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[perm_[i]];
+    for (const auto& [k, f] : lower_[i]) acc -= f * y[k];
+    y[i] = acc;
+  }
+  // Back: U x = y.
+  std::vector<double> x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = y[ii];
+    double diag = 0.0;
+    for (const auto& [c, v] : upper_[ii]) {
+      if (c == ii) {
+        diag = v;
+      } else {
+        acc -= v * x[c];
+      }
+    }
+    x[ii] = acc / diag;
+  }
+  return x;
+}
+
+std::size_t SparseLu::factor_nonzeros() const noexcept {
+  std::size_t nnz = 0;
+  for (const auto& r : lower_) nnz += r.size();
+  for (const auto& r : upper_) nnz += r.size();
+  return nnz;
+}
+
+std::vector<double> conjugate_gradient(const SparseMatrix& a, std::span<const double> b,
+                                       double tol, std::size_t max_iter) {
+  const std::size_t n = a.dim();
+  if (b.size() != n) throw std::invalid_argument("conjugate_gradient: size");
+  std::vector<double> x(n, 0.0);
+  std::vector<double> r(b.begin(), b.end());
+  std::vector<double> p = r;
+  double rr = 0.0;
+  for (const auto v : r) rr += v * v;
+  const double b_norm = std::sqrt(rr);
+  if (b_norm == 0.0) return x;
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    const std::vector<double> ap = a.multiply(p);
+    double pap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    if (pap <= 0.0) break;  // not SPD (or converged to machine precision)
+    const double alpha = rr / pap;
+    double rr_new = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+      rr_new += r[i] * r[i];
+    }
+    if (std::sqrt(rr_new) < tol * b_norm) break;
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+  }
+  return x;
+}
+
+}  // namespace nw::la

@@ -1,0 +1,101 @@
+// Sparse linear algebra: triplet assembly, CSR storage, and a direct
+// sparse LU (row-map Gaussian elimination with threshold partial pivoting).
+//
+// MNA matrices of full-design RC networks are extremely sparse (a handful
+// of entries per row). The solver here trades peak asymptotic cleverness
+// for simplicity and robustness; with reverse Cuthill–McKee-style locality
+// the fill-in stays small for tree-structured RC nets.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace nw::la {
+
+/// Coordinate-format accumulator. Duplicate (r,c) entries sum, which is
+/// exactly the "stamping" idiom circuit simulators use.
+class TripletBuilder {
+ public:
+  explicit TripletBuilder(std::size_t n) : n_(n), rows_(n) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return n_; }
+
+  /// Accumulate v at (r, c).
+  void add(std::size_t r, std::size_t c, double v);
+
+  /// Read an entry (0.0 if absent).
+  [[nodiscard]] double get(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] const std::map<std::size_t, double>& row(std::size_t r) const {
+    return rows_[r];
+  }
+
+  [[nodiscard]] std::size_t nonzeros() const noexcept;
+
+ private:
+  friend class SparseMatrix;
+  friend class SparseLu;
+  std::size_t n_;
+  std::vector<std::map<std::size_t, double>> rows_;
+};
+
+/// Compressed sparse row matrix (immutable after construction).
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(const TripletBuilder& b);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return n_; }
+  [[nodiscard]] std::size_t nonzeros() const noexcept { return vals_.size(); }
+
+  /// y = A x
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// Entry lookup (binary search within the row; 0.0 if absent).
+  [[nodiscard]] double get(std::size_t r, std::size_t c) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_;
+  std::vector<double> vals_;
+};
+
+/// Direct sparse LU with threshold partial pivoting on row maps.
+///
+/// Factorizes once; solve() may be called repeatedly (transient simulation
+/// re-solves every timestep with a fixed step size and fixed matrix).
+class SparseLu {
+ public:
+  /// Factorize. `pivot_threshold` in (0,1]: a diagonal is accepted if its
+  /// magnitude is at least threshold * (largest magnitude in its column
+  /// among remaining rows); otherwise rows are swapped. 1.0 = strict
+  /// partial pivoting.
+  explicit SparseLu(const TripletBuilder& a, double pivot_threshold = 0.1);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return n_; }
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Fill statistics: nonzeros in L+U (diagnostic for benches).
+  [[nodiscard]] std::size_t factor_nonzeros() const noexcept;
+
+ private:
+  std::size_t n_;
+  // L (strictly lower, unit diagonal implied) and U (upper incl. diagonal),
+  // stored as sorted (col, val) rows for cache-friendly substitution.
+  std::vector<std::vector<std::pair<std::size_t, double>>> lower_;
+  std::vector<std::vector<std::pair<std::size_t, double>>> upper_;
+  std::vector<std::size_t> perm_;  // row permutation: use row perm_[i] as pivot i
+};
+
+/// Conjugate gradient for SPD systems (used for grounded-conductance
+/// solves, e.g. DC noise propagation over resistive victim trees).
+/// Returns the iterate after convergence (relative residual < tol) or
+/// max_iter sweeps, whichever first.
+[[nodiscard]] std::vector<double> conjugate_gradient(const SparseMatrix& a,
+                                                     std::span<const double> b,
+                                                     double tol = 1e-10,
+                                                     std::size_t max_iter = 10000);
+
+}  // namespace nw::la

@@ -1,0 +1,274 @@
+#include "library/liberty_io.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace nw::lib {
+
+namespace {
+
+void write_doubles(std::ostream& os, std::span<const double> xs) {
+  for (const double x : xs) os << ' ' << x;
+}
+
+void write_t1(std::ostream& os, const char* key, const Table1D& t) {
+  os << key << " t1 " << t.size() << " ;";
+  write_doubles(os, t.axis());
+  os << " ;";
+  write_doubles(os, t.values());
+  os << "\n";
+}
+
+void write_t2(std::ostream& os, const char* key, const Table2D& t) {
+  os << key << " t2 " << t.x_axis().size() << ' ' << t.y_axis().size() << " ;";
+  write_doubles(os, t.x_axis());
+  os << " ;";
+  write_doubles(os, t.y_axis());
+  os << " ;";
+  write_doubles(os, t.values());
+  os << "\n";
+}
+
+const char* sense_str(ArcSense s) {
+  switch (s) {
+    case ArcSense::kPositiveUnate: return "pos";
+    case ArcSense::kNegativeUnate: return "neg";
+    case ArcSense::kNonUnate: return "non";
+  }
+  return "neg";
+}
+
+ArcSense parse_sense(std::string_view s) {
+  if (s == "pos") return ArcSense::kPositiveUnate;
+  if (s == "neg") return ArcSense::kNegativeUnate;
+  if (s == "non") return ArcSense::kNonUnate;
+  throw std::runtime_error("nlib: bad arc sense '" + std::string(s) + "'");
+}
+
+const char* kind_str(CellKind k) {
+  switch (k) {
+    case CellKind::kCombinational: return "comb";
+    case CellKind::kDff: return "dff";
+    case CellKind::kLatch: return "latch";
+  }
+  return "comb";
+}
+
+CellKind parse_kind(std::string_view s) {
+  if (s == "comb") return CellKind::kCombinational;
+  if (s == "dff") return CellKind::kDff;
+  if (s == "latch") return CellKind::kLatch;
+  throw std::runtime_error("nlib: bad cell kind '" + std::string(s) + "'");
+}
+
+const char* role_str(PinRole r) {
+  switch (r) {
+    case PinRole::kNone: return "none";
+    case PinRole::kClock: return "clock";
+    case PinRole::kData: return "data";
+    case PinRole::kEnable: return "enable";
+  }
+  return "none";
+}
+
+PinRole parse_role(std::string_view s) {
+  if (s == "none") return PinRole::kNone;
+  if (s == "clock") return PinRole::kClock;
+  if (s == "data") return PinRole::kData;
+  if (s == "enable") return PinRole::kEnable;
+  throw std::runtime_error("nlib: bad pin role '" + std::string(s) + "'");
+}
+
+/// Tokenized line reader with 1-based line numbers for error messages.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next non-empty, non-comment line split on whitespace; empty when EOF.
+  std::vector<std::string_view> next() {
+    tokens_.clear();
+    while (std::getline(is_, line_)) {
+      ++lineno_;
+      const std::string_view t = nw::trim(line_);
+      if (t.empty() || nw::starts_with(t, "#")) continue;
+      tokens_ = nw::split(t);
+      return tokens_;
+    }
+    return tokens_;
+  }
+
+  [[nodiscard]] int lineno() const noexcept { return lineno_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("nlib line " + std::to_string(lineno_) + ": " + msg);
+  }
+
+ private:
+  std::istream& is_;
+  std::string line_;
+  std::vector<std::string_view> tokens_;
+  int lineno_ = 0;
+};
+
+/// Parse `t1 <n> ; axis ; values` starting at toks[start].
+Table1D parse_t1(LineReader& lr, std::span<const std::string_view> toks, std::size_t start) {
+  if (start >= toks.size() || toks[start] != "t1") lr.fail("expected t1 table");
+  const std::size_t n = nw::parse_uint(toks[start + 1]);
+  std::size_t i = start + 2;
+  auto take_group = [&](std::size_t count) {
+    if (i >= toks.size() || toks[i] != ";") lr.fail("expected ';' in t1");
+    ++i;
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      if (i >= toks.size()) lr.fail("t1: not enough numbers");
+      out.push_back(nw::parse_double(toks[i++]));
+    }
+    return out;
+  };
+  auto axis = take_group(n);
+  auto vals = take_group(n);
+  return Table1D(std::move(axis), std::move(vals));
+}
+
+Table2D parse_t2(LineReader& lr, std::span<const std::string_view> toks, std::size_t start) {
+  if (start >= toks.size() || toks[start] != "t2") lr.fail("expected t2 table");
+  const std::size_t nx = nw::parse_uint(toks[start + 1]);
+  const std::size_t ny = nw::parse_uint(toks[start + 2]);
+  std::size_t i = start + 3;
+  auto take_group = [&](std::size_t count) {
+    if (i >= toks.size() || toks[i] != ";") lr.fail("expected ';' in t2");
+    ++i;
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      if (i >= toks.size()) lr.fail("t2: not enough numbers");
+      out.push_back(nw::parse_double(toks[i++]));
+    }
+    return out;
+  };
+  auto xs = take_group(nx);
+  auto ys = take_group(ny);
+  auto vals = take_group(nx * ny);
+  return Table2D(std::move(xs), std::move(ys), std::move(vals));
+}
+
+}  // namespace
+
+void write_library(std::ostream& os, const Library& lib) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "library " << lib.name() << " vdd " << lib.vdd() << "\n";
+  for (const auto& c : lib.cells()) {
+    os << "cell " << c.name << " kind " << kind_str(c.kind) << " drive "
+       << c.drive_resistance << " holdres " << c.holding_resistance << " setup "
+       << c.setup << " holdt " << c.hold << "\n";
+    for (const auto& p : c.pins) {
+      os << "pin " << p.name << ' ' << (p.dir == PinDir::kInput ? "input" : "output")
+         << " role " << role_str(p.role) << " cap " << p.cap << "\n";
+    }
+    for (const auto& a : c.arcs) {
+      os << "arc " << a.from_pin << ' ' << a.to_pin << ' ' << sense_str(a.sense) << "\n";
+      write_t2(os, "delay_rise", a.delay_rise);
+      write_t2(os, "delay_fall", a.delay_fall);
+      write_t2(os, "slew_rise", a.slew_rise);
+      write_t2(os, "slew_fall", a.slew_fall);
+    }
+    write_t1(os, "immunity", c.immunity.threshold_vs_width);
+    write_t2(os, "prop_peak", c.propagation.out_peak);
+    write_t2(os, "prop_width", c.propagation.out_width);
+    os << "end_cell\n";
+  }
+  os << "end_library\n";
+}
+
+std::string write_library_string(const Library& lib) {
+  std::ostringstream os;
+  write_library(os, lib);
+  return os.str();
+}
+
+Library read_library(std::istream& is) {
+  LineReader lr(is);
+  auto toks = lr.next();
+  if (toks.size() < 4 || toks[0] != "library" || toks[2] != "vdd") {
+    lr.fail("expected 'library <name> vdd <v>'");
+  }
+  Library lib(std::string(toks[1]), nw::parse_double(toks[3]));
+
+  Cell cur;
+  bool in_cell = false;
+  for (toks = lr.next(); !toks.empty(); toks = lr.next()) {
+    const auto key = toks[0];
+    if (key == "end_library") return lib;
+    if (key == "cell") {
+      if (in_cell) lr.fail("nested cell");
+      if (toks.size() < 12) lr.fail("short cell header");
+      cur = Cell{};
+      cur.name = std::string(toks[1]);
+      cur.kind = parse_kind(toks[3]);
+      cur.drive_resistance = nw::parse_double(toks[5]);
+      cur.holding_resistance = nw::parse_double(toks[7]);
+      cur.setup = nw::parse_double(toks[9]);
+      cur.hold = nw::parse_double(toks[11]);
+      in_cell = true;
+    } else if (key == "pin") {
+      if (!in_cell || toks.size() < 7) lr.fail("bad pin line");
+      Pin p;
+      p.name = std::string(toks[1]);
+      p.dir = (toks[2] == "input") ? PinDir::kInput : PinDir::kOutput;
+      p.role = parse_role(toks[4]);
+      p.cap = nw::parse_double(toks[6]);
+      cur.pins.push_back(std::move(p));
+    } else if (key == "arc") {
+      if (!in_cell || toks.size() < 4) lr.fail("bad arc line");
+      TimingArc arc;
+      arc.from_pin = nw::parse_uint(toks[1]);
+      arc.to_pin = nw::parse_uint(toks[2]);
+      arc.sense = parse_sense(toks[3]);
+      auto t = lr.next();
+      if (t.empty() || t[0] != "delay_rise") lr.fail("expected delay_rise");
+      arc.delay_rise = parse_t2(lr, t, 1);
+      t = lr.next();
+      if (t.empty() || t[0] != "delay_fall") lr.fail("expected delay_fall");
+      arc.delay_fall = parse_t2(lr, t, 1);
+      t = lr.next();
+      if (t.empty() || t[0] != "slew_rise") lr.fail("expected slew_rise");
+      arc.slew_rise = parse_t2(lr, t, 1);
+      t = lr.next();
+      if (t.empty() || t[0] != "slew_fall") lr.fail("expected slew_fall");
+      arc.slew_fall = parse_t2(lr, t, 1);
+      cur.arcs.push_back(std::move(arc));
+    } else if (key == "immunity") {
+      if (!in_cell) lr.fail("immunity outside cell");
+      cur.immunity.threshold_vs_width = parse_t1(lr, toks, 1);
+    } else if (key == "prop_peak") {
+      if (!in_cell) lr.fail("prop_peak outside cell");
+      cur.propagation.out_peak = parse_t2(lr, toks, 1);
+    } else if (key == "prop_width") {
+      if (!in_cell) lr.fail("prop_width outside cell");
+      cur.propagation.out_width = parse_t2(lr, toks, 1);
+    } else if (key == "end_cell") {
+      if (!in_cell) lr.fail("end_cell outside cell");
+      lib.add_cell(std::move(cur));
+      in_cell = false;
+    } else {
+      lr.fail("unknown keyword '" + std::string(key) + "'");
+    }
+  }
+  lr.fail("missing end_library");
+}
+
+Library read_library_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_library(is);
+}
+
+}  // namespace nw::lib

@@ -1,0 +1,99 @@
+#include "library/table.hpp"
+
+namespace nw::lib {
+
+namespace {
+void check_axis(std::span<const double> axis, const char* what) {
+  if (axis.empty()) throw std::invalid_argument(std::string(what) + ": empty axis");
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    if (!(axis[i - 1] < axis[i])) {
+      throw std::invalid_argument(std::string(what) + ": axis not strictly increasing");
+    }
+  }
+}
+}  // namespace
+
+AxisPos locate(std::span<const double> axis, double x) {
+  AxisPos p;
+  if (axis.size() < 2) {
+    p.seg = 0;
+    p.frac = 0.0;
+    return p;
+  }
+  std::size_t lo = 0;
+  std::size_t hi = axis.size() - 1;
+  if (x <= axis.front()) {
+    p.seg = 0;
+  } else if (x >= axis.back()) {
+    p.seg = axis.size() - 2;
+  } else {
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (axis[mid] <= x) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    p.seg = lo;
+  }
+  const double x0 = axis[p.seg];
+  const double x1 = axis[p.seg + 1];
+  p.frac = (x - x0) / (x1 - x0);
+  return p;
+}
+
+Table1D::Table1D(std::vector<double> axis, std::vector<double> values)
+    : axis_(std::move(axis)), values_(std::move(values)) {
+  check_axis(axis_, "Table1D");
+  if (axis_.size() != values_.size()) {
+    throw std::invalid_argument("Table1D: axis/value size mismatch");
+  }
+}
+
+double Table1D::lookup(double x) const {
+  if (axis_.empty()) throw std::logic_error("Table1D::lookup on empty table");
+  if (axis_.size() == 1) return values_[0];
+  const AxisPos p = locate(axis_, x);
+  const double v0 = values_[p.seg];
+  const double v1 = values_[p.seg + 1];
+  return v0 + (v1 - v0) * p.frac;
+}
+
+Table2D::Table2D(std::vector<double> x_axis, std::vector<double> y_axis,
+                 std::vector<double> values)
+    : x_(std::move(x_axis)), y_(std::move(y_axis)), v_(std::move(values)) {
+  check_axis(x_, "Table2D(x)");
+  check_axis(y_, "Table2D(y)");
+  if (v_.size() != x_.size() * y_.size()) {
+    throw std::invalid_argument("Table2D: value count mismatch");
+  }
+}
+
+double Table2D::lookup(double x, double y) const {
+  if (x_.empty()) throw std::logic_error("Table2D::lookup on empty table");
+  if (x_.size() == 1 && y_.size() == 1) return v_[0];
+  if (x_.size() == 1) {
+    const AxisPos py = locate(y_, y);
+    const double v0 = value_at(0, py.seg);
+    const double v1 = value_at(0, py.seg + 1);
+    return v0 + (v1 - v0) * py.frac;
+  }
+  if (y_.size() == 1) {
+    const AxisPos px = locate(x_, x);
+    const double v0 = value_at(px.seg, 0);
+    const double v1 = value_at(px.seg + 1, 0);
+    return v0 + (v1 - v0) * px.frac;
+  }
+  const AxisPos px = locate(x_, x);
+  const AxisPos py = locate(y_, y);
+  const double v00 = value_at(px.seg, py.seg);
+  const double v01 = value_at(px.seg, py.seg + 1);
+  const double v10 = value_at(px.seg + 1, py.seg);
+  const double v11 = value_at(px.seg + 1, py.seg + 1);
+  const double a = v00 + (v01 - v00) * py.frac;
+  const double b = v10 + (v11 - v10) * py.frac;
+  return a + (b - a) * px.frac;
+}
+
+}  // namespace nw::lib

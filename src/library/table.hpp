@@ -1,0 +1,89 @@
+// NLDM-style lookup tables with linear interpolation/extrapolation.
+//
+// Liberty characterization stores delay, slew, noise immunity, and noise
+// propagation as small sampled tables over (input slew x load) or
+// (glitch peak x glitch width); downstream engines interpolate. These are
+// exactly that, minus the liberty syntax.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace nw::lib {
+
+/// 1-D piecewise-linear table y(x). The axis must be strictly increasing.
+/// Queries outside the axis range extrapolate linearly from the edge
+/// segment (NLDM convention).
+class Table1D {
+ public:
+  Table1D() = default;
+  Table1D(std::vector<double> axis, std::vector<double> values);
+
+  [[nodiscard]] bool empty() const noexcept { return axis_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return axis_.size(); }
+  [[nodiscard]] std::span<const double> axis() const noexcept { return axis_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+
+  [[nodiscard]] double lookup(double x) const;
+
+  /// Build from an analytic function sampled at the given axis points.
+  template <typename Fn>
+  [[nodiscard]] static Table1D sample(std::vector<double> axis, Fn&& fn) {
+    std::vector<double> vals;
+    vals.reserve(axis.size());
+    for (const double x : axis) vals.push_back(fn(x));
+    return Table1D(std::move(axis), std::move(vals));
+  }
+
+ private:
+  std::vector<double> axis_;
+  std::vector<double> values_;
+};
+
+/// 2-D bilinear table z(x, y); both axes strictly increasing; values stored
+/// row-major as values[ix * ny + iy]. Out-of-range queries extrapolate.
+class Table2D {
+ public:
+  Table2D() = default;
+  Table2D(std::vector<double> x_axis, std::vector<double> y_axis,
+          std::vector<double> values);
+
+  [[nodiscard]] bool empty() const noexcept { return x_.empty(); }
+  [[nodiscard]] std::span<const double> x_axis() const noexcept { return x_; }
+  [[nodiscard]] std::span<const double> y_axis() const noexcept { return y_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return v_; }
+  [[nodiscard]] double value_at(std::size_t ix, std::size_t iy) const {
+    return v_[ix * y_.size() + iy];
+  }
+
+  [[nodiscard]] double lookup(double x, double y) const;
+
+  template <typename Fn>
+  [[nodiscard]] static Table2D sample(std::vector<double> xs, std::vector<double> ys,
+                                      Fn&& fn) {
+    std::vector<double> vals;
+    vals.reserve(xs.size() * ys.size());
+    for (const double x : xs) {
+      for (const double y : ys) vals.push_back(fn(x, y));
+    }
+    return Table2D(std::move(xs), std::move(ys), std::move(vals));
+  }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> v_;
+};
+
+/// Locate x in axis: returns segment index i such that axis[i] <= x <=
+/// axis[i+1] (clamped to the outermost segment for extrapolation) plus the
+/// interpolation fraction, which may fall outside [0,1] when extrapolating.
+struct AxisPos {
+  std::size_t seg = 0;
+  double frac = 0.0;
+};
+[[nodiscard]] AxisPos locate(std::span<const double> axis, double x);
+
+}  // namespace nw::lib

@@ -1,0 +1,240 @@
+#include "netlist/design.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace nw::net {
+
+PinId Design::make_pin(Pin p) {
+  const PinId id{pins_.size()};
+  pins_.push_back(std::move(p));
+  return id;
+}
+
+NetId Design::add_net(const std::string& net_name) {
+  if (net_index_.contains(net_name)) {
+    throw std::invalid_argument("Design::add_net: duplicate net '" + net_name + "'");
+  }
+  const NetId id{nets_.size()};
+  Net n;
+  n.name = net_name;
+  nets_.push_back(std::move(n));
+  net_index_.emplace(net_name, id);
+  return id;
+}
+
+InstId Design::add_instance(const std::string& inst_name, const std::string& cell_name) {
+  if (inst_index_.contains(inst_name)) {
+    throw std::invalid_argument("Design::add_instance: duplicate instance '" + inst_name + "'");
+  }
+  const auto cell_idx = lib_->find(cell_name);
+  if (!cell_idx) {
+    throw std::invalid_argument("Design::add_instance: unknown cell '" + cell_name + "'");
+  }
+  const InstId id{insts_.size()};
+  Instance inst;
+  inst.name = inst_name;
+  inst.cell = *cell_idx;
+  const lib::Cell& cell = lib_->cell(*cell_idx);
+  inst.pins.reserve(cell.pins.size());
+  for (std::size_t i = 0; i < cell.pins.size(); ++i) {
+    Pin p;
+    p.kind = PinKind::kInstance;
+    p.inst = id;
+    p.cell_pin = i;
+    inst.pins.push_back(make_pin(std::move(p)));
+  }
+  insts_.push_back(std::move(inst));
+  inst_index_.emplace(inst_name, id);
+  if (cell.is_sequential()) seqs_.push_back(id);
+  return id;
+}
+
+void Design::connect(InstId inst, const std::string& pin_name, NetId net) {
+  const Instance& instance = insts_.at(inst.index());
+  const lib::Cell& cell = lib_->cell(instance.cell);
+  const auto pin_idx = cell.find_pin(pin_name);
+  if (!pin_idx) {
+    throw std::invalid_argument("Design::connect: cell '" + cell.name +
+                                "' has no pin '" + pin_name + "'");
+  }
+  const PinId pid = instance.pins.at(*pin_idx);
+  Pin& p = pins_.at(pid.index());
+  if (p.net.valid()) {
+    throw std::invalid_argument("Design::connect: pin already connected: " +
+                                this->pin_name(pid));
+  }
+  p.net = net;
+  Net& n = nets_.at(net.index());
+  if (cell.pins[*pin_idx].dir == lib::PinDir::kOutput) {
+    if (n.driver.valid()) {
+      throw std::invalid_argument("Design::connect: net '" + n.name +
+                                  "' already has a driver");
+    }
+    n.driver = pid;
+  } else {
+    n.loads.push_back(pid);
+  }
+}
+
+PinId Design::add_input_port(const std::string& port_name, NetId net, PortDrive drive) {
+  Net& n = nets_.at(net.index());
+  if (n.driver.valid()) {
+    throw std::invalid_argument("Design::add_input_port: net '" + n.name +
+                                "' already has a driver");
+  }
+  Pin p;
+  p.kind = PinKind::kInputPort;
+  p.net = net;
+  p.port_name = port_name;
+  const PinId pid = make_pin(std::move(p));
+  n.driver = pid;
+  in_ports_.push_back(pid);
+  port_drives_.emplace(pid.value(), drive);
+  return pid;
+}
+
+PinId Design::add_output_port(const std::string& port_name, NetId net, double load_cap) {
+  Pin p;
+  p.kind = PinKind::kOutputPort;
+  p.net = net;
+  p.port_name = port_name;
+  const PinId pid = make_pin(std::move(p));
+  nets_.at(net.index()).loads.push_back(pid);
+  out_ports_.push_back(pid);
+  port_caps_.emplace(pid.value(), load_cap);
+  return pid;
+}
+
+std::optional<NetId> Design::find_net(const std::string& net_name) const {
+  const auto it = net_index_.find(net_name);
+  if (it == net_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<InstId> Design::find_instance(const std::string& inst_name) const {
+  const auto it = inst_index_.find(inst_name);
+  if (it == inst_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Design::pin_name(PinId id) const {
+  const Pin& p = pin(id);
+  if (p.kind != PinKind::kInstance) return p.port_name;
+  return instance(p.inst).name + "/" + cell_of(p.inst).pins[p.cell_pin].name;
+}
+
+double Design::pin_cap(PinId id) const {
+  const Pin& p = pin(id);
+  switch (p.kind) {
+    case PinKind::kInstance:
+      return lib_pin(id).cap;
+    case PinKind::kOutputPort: {
+      const auto it = port_caps_.find(id.value());
+      return it == port_caps_.end() ? 0.0 : it->second;
+    }
+    case PinKind::kInputPort:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+const PortDrive& Design::port_drive(PinId id) const {
+  const auto it = port_drives_.find(id.value());
+  if (it == port_drives_.end()) {
+    throw std::invalid_argument("Design::port_drive: not an input port pin");
+  }
+  return it->second;
+}
+
+double Design::driver_resistance(NetId net_id, bool holding) const {
+  const Net& n = net(net_id);
+  if (!n.driver.valid()) {
+    throw std::invalid_argument("Design::driver_resistance: undriven net '" + n.name + "'");
+  }
+  const Pin& drv = pin(n.driver);
+  if (drv.kind == PinKind::kInputPort) return port_drive(n.driver).resistance;
+  const lib::Cell& cell = cell_of(drv.inst);
+  return holding ? cell.holding_resistance : cell.drive_resistance;
+}
+
+std::vector<std::string> Design::lint() const {
+  std::vector<std::string> problems;
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    if (!pins_[i].net.valid()) {
+      problems.push_back("unconnected pin: " + pin_name(PinId{i}));
+    }
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (!nets_[i].driver.valid()) {
+      problems.push_back("undriven net: " + nets_[i].name);
+    }
+    if (nets_[i].loads.empty()) {
+      problems.push_back("unloaded net: " + nets_[i].name);
+    }
+  }
+  return problems;
+}
+
+std::vector<InstId> Design::topological_order() const {
+  // Kahn's algorithm over combinational fanin edges. An instance's inputs
+  // that are driven by ports or sequential outputs don't create
+  // dependencies; a DFF/latch instance itself has no combinational
+  // input->output path, so it is a source for ordering purposes.
+  std::vector<std::size_t> fanin_pending(insts_.size(), 0);
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    const lib::Cell& cell = lib_->cell(insts_[i].cell);
+    if (cell.is_sequential()) continue;  // sources
+    for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+      if (cell.pins[pi].dir != lib::PinDir::kInput) continue;
+      const Pin& p = pins_[insts_[i].pins[pi].index()];
+      if (!p.net.valid()) continue;
+      const PinId drv = nets_[p.net.index()].driver;
+      if (!drv.valid()) continue;
+      const Pin& d = pins_[drv.index()];
+      if (d.kind == PinKind::kInstance && !lib_->cell(insts_[d.inst.index()].cell).is_sequential()) {
+        ++fanin_pending[i];
+      }
+    }
+  }
+
+  std::deque<InstId> ready;
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    if (fanin_pending[i] == 0) ready.push_back(InstId{i});
+  }
+
+  std::vector<InstId> order;
+  order.reserve(insts_.size());
+  while (!ready.empty()) {
+    const InstId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    const Instance& inst = insts_[id.index()];
+    const lib::Cell& cell = lib_->cell(inst.cell);
+    if (cell.is_sequential()) continue;  // Q edges don't gate combinational order
+    for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+      if (cell.pins[pi].dir != lib::PinDir::kOutput) continue;
+      const Pin& p = pins_[inst.pins[pi].index()];
+      if (!p.net.valid()) continue;
+      for (const PinId load : nets_[p.net.index()].loads) {
+        const Pin& lp = pins_[load.index()];
+        if (lp.kind != PinKind::kInstance) continue;
+        const std::size_t li = lp.inst.index();
+        if (lib_->cell(insts_[li].cell).is_sequential()) continue;
+        if (--fanin_pending[li] == 0) ready.push_back(InstId{li});
+      }
+    }
+  }
+
+  if (order.size() != insts_.size()) {
+    for (std::size_t i = 0; i < insts_.size(); ++i) {
+      if (fanin_pending[i] > 0) {
+        throw std::runtime_error("Design::topological_order: combinational loop through '" +
+                                 insts_[i].name + "'");
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace nw::net

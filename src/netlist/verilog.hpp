@@ -1,0 +1,34 @@
+// Structural netlist text format (".nv", a Verilog-lite).
+//
+// noisewin's exchange triple is .nlib (library) + .nv (netlist) + .nwspef
+// (parasitics): enough to run the whole analysis from files, which is what
+// the CLI driver does. The format is line-oriented:
+//
+//   module <name>
+//   input <port> <net> [drive <ohm>] [slew <s>]
+//   output <port> <net> [cap <F>]
+//   wire <net>
+//   inst <name> <cell> <PIN>=<net> [<PIN>=<net> ...]
+//   endmodule
+//
+// Nets must be declared (as wire or via a port line) before use; pins
+// named in `inst` lines must exist on the cell. Round-trips exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace nw::net {
+
+void write_netlist(std::ostream& os, const Design& design);
+[[nodiscard]] std::string write_netlist_string(const Design& design);
+
+/// Parse; throws std::runtime_error (with a line number) on malformed
+/// input, unknown cells/pins, or connectivity errors.
+[[nodiscard]] Design read_netlist(std::istream& is, const lib::Library& library);
+[[nodiscard]] Design read_netlist_string(const std::string& text,
+                                         const lib::Library& library);
+
+}  // namespace nw::net

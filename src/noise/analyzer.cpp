@@ -1,0 +1,467 @@
+#include "noise/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/scanline.hpp"
+
+namespace nw::noise {
+
+const char* to_string(AnalysisMode m) noexcept {
+  switch (m) {
+    case AnalysisMode::kNoFiltering: return "no-filtering";
+    case AnalysisMode::kSwitchingWindows: return "switching-windows";
+    case AnalysisMode::kNoiseWindows: return "noise-windows";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Worst simultaneous sum of contributions, optionally restricted to a
+/// time window (mode 3 latch checks restrict to the sensitivity window).
+struct Combined {
+  double peak = 0.0;
+  double width = 0.0;
+  Interval alignment;
+  std::vector<std::size_t> active;
+};
+
+Combined combine(const std::vector<Contribution>& contributions, AnalysisMode mode,
+                 const Interval& restrict_to, const Constraints& constraints) {
+  Combined out;
+  if (mode == AnalysisMode::kNoFiltering && constraints.empty()) {
+    // Everything coincides, always.
+    for (std::size_t i = 0; i < contributions.size(); ++i) {
+      out.peak += contributions[i].peak;
+      out.width = std::max(out.width, contributions[i].width);
+      out.active.push_back(i);
+    }
+    out.alignment = Interval::everything();
+    return out;
+  }
+  std::vector<WeightedWindow> items;
+  items.reserve(contributions.size());
+  for (const auto& c : contributions) {
+    WeightedWindow ww;
+    ww.weight = c.peak;
+    // No-filtering mode ignores windows but still honours logic
+    // constraints (functional filtering is orthogonal to temporal).
+    const IntervalSet& win = (mode == AnalysisMode::kNoFiltering)
+                                 ? IntervalSet::everything()
+                                 : c.window;
+    ww.window = restrict_to == Interval::everything() ? win
+                                                      : win.intersect(restrict_to);
+    items.push_back(std::move(ww));
+  }
+  ScanResult scan;
+  if (constraints.empty()) {
+    scan = scan_max_overlap(items);
+  } else {
+    std::vector<int> groups(contributions.size(), -1);
+    for (std::size_t i = 0; i < contributions.size(); ++i) {
+      if (contributions[i].aggressor.valid()) {
+        groups[i] = constraints.group_of(contributions[i].aggressor);
+      }
+    }
+    scan = scan_max_overlap_grouped(items, groups);
+  }
+  out.peak = scan.best_sum;
+  out.alignment = scan.best_interval;
+  out.active = scan.active;
+  for (const auto i : scan.active) {
+    out.width = std::max(out.width, contributions[i].width);
+  }
+  return out;
+}
+
+/// Total capacitive load a net presents to its driver (for gate-delay
+/// lookups during noise propagation).
+double net_load_cap(const net::Design& d, const para::Parasitics& para, NetId id) {
+  double cap = para.total_cap(id, /*miller=*/1.0);
+  for (const PinId load : d.net(id).loads) cap += d.pin_cap(load);
+  return cap;
+}
+
+/// One analysis pass over a fixed design/parasitics/timing. The phases —
+/// injected estimation, combination + gate propagation, endpoint checks —
+/// are separate methods so the incremental mode can re-run only what a
+/// change invalidates.
+class Engine {
+ public:
+  Engine(const net::Design& design, const para::Parasitics& para,
+         const sta::Result& sta_result, const Options& opt)
+      : design_(design),
+        para_(para),
+        sta_(sta_result),
+        opt_(opt),
+        vdd_(design.library().vdd()),
+        topo_(design.topological_order()) {
+    if (sta_result.nets.size() != design.net_count()) {
+      throw std::invalid_argument("noise::analyze: STA result does not match design");
+    }
+    orig_win_.resize(design.net_count());
+    for (std::size_t i = 0; i < design.net_count(); ++i) {
+      orig_win_[i] = sta_result.nets[i].window;
+    }
+    switch_win_ = orig_win_;
+  }
+
+  [[nodiscard]] Result run_full() {
+    Result res;
+    const int total_iters = 1 + std::max(opt_.refine_iterations, 0);
+    for (int iter = 0; iter < total_iters; ++iter) {
+      reset(res);
+      for (std::size_t vi = 0; vi < design_.net_count(); ++vi) {
+        injected_for_victim(res, NetId{vi});
+      }
+      combine_propagate(res);
+      check_endpoints(res);
+      res.iteration_violations.push_back(res.violations.size());
+      res.iterations = iter + 1;
+      if (iter + 1 < total_iters && !inflate_windows(res)) break;
+    }
+    return res;
+  }
+
+  [[nodiscard]] Result run_incremental(const Result& previous,
+                                       std::span<const NetId> changed_nets) {
+    if (previous.nets.size() != design_.net_count()) {
+      throw std::invalid_argument("analyze_incremental: previous result mismatch");
+    }
+    // Victims to re-estimate: the changed nets and everything coupled to
+    // them (their injected noise depends on the changed net's parasitics,
+    // timing, or drive).
+    std::unordered_set<NetId::value_type> dirty;
+    for (const NetId n : changed_nets) {
+      if (n.index() >= design_.net_count()) {
+        throw std::invalid_argument("analyze_incremental: bad changed net id");
+      }
+      dirty.insert(n.value());
+      for (const auto ci : para_.couplings_of(n)) {
+        dirty.insert(para_.coupling(ci).other_net(n).value());
+      }
+    }
+
+    Result res;
+    reset(res);
+    for (std::size_t vi = 0; vi < design_.net_count(); ++vi) {
+      if (dirty.contains(NetId{vi}.value())) {
+        injected_for_victim(res, NetId{vi});
+      } else {
+        // Reuse the previous injected contributions (propagated ones are
+        // rebuilt below); aggressor bookkeeping is restored with them.
+        for (const auto& c : previous.nets[vi].contributions) {
+          if (c.is_propagated()) continue;
+          Contribution copy = c;
+          copy.in_worst = false;
+          res.nets[vi].contributions.push_back(std::move(copy));
+        }
+        res.nets[vi].aggressor_count = previous.nets[vi].aggressor_count;
+        res.aggressors_considered += previous.nets[vi].aggressor_count;
+      }
+    }
+    combine_propagate(res);
+    check_endpoints(res);
+    res.iteration_violations.push_back(res.violations.size());
+    res.iterations = 1;
+    return res;
+  }
+
+ private:
+  void reset(Result& res) const {
+    res.nets.assign(design_.net_count(), NetNoise{});
+    res.violations.clear();
+    res.endpoint_slacks.clear();
+    res.endpoints_checked = 0;
+    res.noisy_nets = 0;
+    res.aggressors_considered = 0;
+    res.aggressors_filtered_temporal = 0;
+  }
+
+  // ---- phase 1+2: injected glitch estimation per victim --------------------
+  void injected_for_victim(Result& res, NetId victim) {
+    NetNoise& nn = res.nets[victim.index()];
+    // Group coupling caps by aggressor net.
+    std::unordered_map<NetId::value_type, double> agg_cap;
+    for (const auto ci : para_.couplings_of(victim)) {
+      const auto& cc = para_.coupling(ci);
+      agg_cap[cc.other_net(victim).value()] += cc.c;
+    }
+    for (const auto& [agg_value, c_total] : agg_cap) {
+      if (c_total < opt_.min_coupling_cap) continue;
+      const NetId agg{agg_value};
+      ++nn.aggressor_count;
+      ++res.aggressors_considered;
+
+      const sta::NetTiming& at = sta_.nets[agg.index()];
+      double slew = at.slew_min > 0.0 ? at.slew_min : opt_.default_slew;
+      slew = std::max(slew, 1e-12);
+
+      GlitchEstimate g;
+      if (opt_.model == GlitchModel::kMnaExact) {
+        g = estimate_mna(design_, para_, victim, agg, slew, vdd_, opt_.mna_tran);
+      } else if (opt_.model == GlitchModel::kReducedMna) {
+        g = estimate_reduced(design_, para_, victim, agg, slew, vdd_);
+      } else {
+        g = estimate(opt_.model, scenario_for(design_, para_, victim, agg, slew, vdd_));
+      }
+      if (g.peak < opt_.min_peak) continue;
+
+      Contribution c;
+      c.aggressor = agg;
+      c.peak = g.peak;
+      c.width = g.width;
+      if (opt_.mode == AnalysisMode::kNoFiltering) {
+        c.window = IntervalSet::everything();
+      } else {
+        const Interval sw = switch_win_[agg.index()];
+        if (sw.is_empty()) {
+          // The aggressor never switches: temporally filtered out.
+          ++res.aggressors_filtered_temporal;
+          continue;
+        }
+        // The glitch can exist from the earliest aggressor transition to
+        // the latest one plus injection ramp plus glitch width.
+        c.window = IntervalSet(sw.dilated(0.0, g.peak_delay + g.width));
+      }
+      nn.contributions.push_back(std::move(c));
+    }
+  }
+
+  // ---- phase 3+4: combination and gate propagation in topological order ----
+  void finalize_net(Result& res, NetId id) const {
+    NetNoise& nn = res.nets[id.index()];
+    // Injected-only combination (diagnostic; excludes fanin-propagated).
+    std::vector<Contribution> injected_only;
+    for (const auto& c : nn.contributions) {
+      if (!c.is_propagated()) injected_only.push_back(c);
+    }
+    nn.injected_peak =
+        combine(injected_only, opt_.mode, Interval::everything(), opt_.constraints).peak;
+    const Combined total =
+        combine(nn.contributions, opt_.mode, Interval::everything(), opt_.constraints);
+    nn.total_peak = total.peak;
+    nn.width = total.width;
+    nn.worst_alignment = total.alignment;
+    for (const auto i : total.active) nn.contributions[i].in_worst = true;
+    for (const auto& c : nn.contributions) {
+      if (c.is_propagated()) nn.propagated_peak = std::max(nn.propagated_peak, c.peak);
+      if (opt_.mode != AnalysisMode::kNoFiltering) nn.window.add(c.window);
+    }
+    if (opt_.mode == AnalysisMode::kNoFiltering) nn.window = IntervalSet::everything();
+  }
+
+  void combine_propagate(Result& res) const {
+    for (std::size_t i = 0; i < design_.net_count(); ++i) {
+      const net::Net& n = design_.net(NetId{i});
+      if (n.driver.valid() &&
+          design_.pin(n.driver).kind == net::PinKind::kInputPort) {
+        finalize_net(res, NetId{i});
+      }
+    }
+    for (const InstId inst_id : topo_) {
+      const net::Instance& inst = design_.instance(inst_id);
+      const lib::Cell& cell = design_.cell_of(inst_id);
+      if (cell.is_sequential()) {
+        // Sequential cells do not propagate glitches from D to Q (a latched
+        // upset is a functional failure, handled at the endpoint check).
+        for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+          if (cell.pins[pi].dir == lib::PinDir::kOutput) {
+            const net::Pin& op = design_.pin(inst.pins[pi]);
+            if (op.net.valid()) finalize_net(res, op.net);
+          }
+        }
+        continue;
+      }
+      // Worst input glitch over the cell's input pins.
+      double in_peak = 0.0;
+      double in_width = 0.0;
+      IntervalSet in_window;
+      NetId in_net;
+      for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+        if (cell.pins[pi].dir != lib::PinDir::kInput) continue;
+        const net::Pin& ip = design_.pin(inst.pins[pi]);
+        if (!ip.net.valid()) continue;
+        const NetNoise& fan = res.nets[ip.net.index()];
+        if (fan.total_peak > in_peak) {
+          in_peak = fan.total_peak;
+          in_width = fan.width;
+          in_window = fan.window;
+          in_net = ip.net;
+        }
+      }
+      for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+        if (cell.pins[pi].dir != lib::PinDir::kOutput) continue;
+        const net::Pin& op = design_.pin(inst.pins[pi]);
+        if (!op.net.valid()) continue;
+        if (in_peak >= opt_.min_peak && !cell.arcs.empty()) {
+          const double out_peak = cell.propagation.out_peak.lookup(in_peak, in_width);
+          if (out_peak >= opt_.min_peak) {
+            const double out_width =
+                cell.propagation.out_width.lookup(in_peak, in_width);
+            const double load = net_load_cap(design_, para_, op.net);
+            // Representative gate delay for the window shift: the first
+            // arc's rise delay at (input width as slew proxy, load).
+            const double gate_delay =
+                cell.arcs.front().delay_rise.lookup(in_width, load);
+            Contribution c;
+            c.from_net = in_net;
+            c.peak = out_peak;
+            c.width = out_width;
+            // Only full noise-window mode tracks *when* propagated noise
+            // can exist; the weaker modes assume it coincides with anything.
+            c.window = (opt_.mode == AnalysisMode::kNoiseWindows)
+                           ? in_window.shifted(gate_delay)
+                                 .dilated(0.0, std::max(out_width - in_width, 0.0))
+                           : IntervalSet::everything();
+            res.nets[op.net.index()].contributions.push_back(std::move(c));
+          }
+        }
+        finalize_net(res, op.net);
+      }
+    }
+  }
+
+  // ---- phase 5: endpoint checks ---------------------------------------------
+  void check_endpoints(Result& res) const {
+    // Sequential data pins: immunity + (mode 3) sensitivity-window overlap.
+    for (std::size_t si = 0; si < design_.sequentials().size(); ++si) {
+      const InstId s = design_.sequentials()[si];
+      const net::Instance& inst = design_.instance(s);
+      const lib::Cell& cell = design_.cell_of(s);
+      const Interval clk = si < sta_.clock_arrivals.size() && !sta_.clock_arrivals[si].is_empty()
+                               ? sta_.clock_arrivals[si]
+                               : Interval{0.0, 0.0};
+      // Edge-triggered flops sample only around the next capture edge. A
+      // level-sensitive latch is vulnerable throughout its transparent
+      // phase — anything arriving while the enable is open flows through
+      // and is held at the closing edge. Clock uncertainty widens both.
+      Interval sens;
+      if (cell.kind == lib::CellKind::kLatch) {
+        sens = Interval{clk.lo - cell.setup,
+                        clk.hi + opt_.latch_duty * opt_.clock_period + cell.hold};
+      } else {
+        sens = Interval{clk.lo + opt_.clock_period - cell.setup,
+                        clk.hi + opt_.clock_period + cell.hold};
+      }
+      sens = sens.dilated(opt_.clock_uncertainty, opt_.clock_uncertainty);
+      for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+        if (cell.pins[pi].role != lib::PinRole::kData) continue;
+        const net::Pin& dp = design_.pin(inst.pins[pi]);
+        if (!dp.net.valid()) continue;
+        const NetNoise& nn = res.nets[dp.net.index()];
+        ++res.endpoints_checked;
+
+        double peak = nn.total_peak;
+        double width = nn.width;
+        bool temporal = true;
+        if (opt_.mode == AnalysisMode::kNoiseWindows) {
+          // Worst combination *inside* the sampling window.
+          const Combined in_sens =
+              combine(nn.contributions, opt_.mode, sens, opt_.constraints);
+          peak = in_sens.peak;
+          width = in_sens.width;
+          temporal = peak > 0.0;
+        }
+        const double threshold = cell.immunity.threshold(width);
+        res.endpoint_slacks.push_back(threshold - peak);
+        if (peak >= threshold && temporal) {
+          Violation v;
+          v.endpoint = inst.pins[pi];
+          v.net = dp.net;
+          v.peak = peak;
+          v.width = width;
+          v.threshold = threshold;
+          v.sensitivity = sens;
+          v.temporal = temporal;
+          res.violations.push_back(v);
+        }
+      }
+    }
+
+    // Primary outputs: always-sensitive receivers with a flat immunity.
+    for (const PinId p : design_.output_ports()) {
+      const net::Pin& pp = design_.pin(p);
+      if (!pp.net.valid()) continue;
+      const NetNoise& nn = res.nets[pp.net.index()];
+      ++res.endpoints_checked;
+      const double threshold = opt_.po_immunity_frac * vdd_;
+      res.endpoint_slacks.push_back(threshold - nn.total_peak);
+      if (nn.total_peak >= threshold) {
+        Violation v;
+        v.endpoint = p;
+        v.net = pp.net;
+        v.peak = nn.total_peak;
+        v.width = nn.width;
+        v.threshold = threshold;
+        v.sensitivity = Interval::everything();
+        v.temporal = true;
+        res.violations.push_back(v);
+      }
+    }
+
+    // Noisy nets: glitch exceeds the weakest receiver immunity.
+    for (std::size_t i = 0; i < design_.net_count(); ++i) {
+      const NetNoise& nn = res.nets[i];
+      if (nn.total_peak < opt_.min_peak) continue;
+      double min_threshold = 1e30;
+      for (const PinId load : design_.net(NetId{i}).loads) {
+        const net::Pin& lp = design_.pin(load);
+        if (lp.kind != net::PinKind::kInstance) continue;
+        min_threshold = std::min(min_threshold,
+                                 design_.cell_of(lp.inst).immunity.threshold(nn.width));
+      }
+      if (min_threshold < 1e30 && nn.total_peak >= min_threshold) ++res.noisy_nets;
+    }
+  }
+
+  // ---- refinement: noise-on-delay window inflation --------------------------
+  // Each pass re-derives the inflated window from the *original* STA window
+  // plus the current glitch width (a glitch delays an edge by at most its
+  // width — bounded, not cumulative), so the iteration has a fixpoint.
+  bool inflate_windows(const Result& res) {
+    bool changed = false;
+    for (std::size_t i = 0; i < design_.net_count(); ++i) {
+      const NetNoise& nn = res.nets[i];
+      if (orig_win_[i].is_empty()) continue;
+      const Interval inflated = (nn.total_peak < opt_.min_peak)
+                                    ? orig_win_[i]
+                                    : orig_win_[i].dilated(0.0, nn.width);
+      if (!(inflated == switch_win_[i])) {
+        switch_win_[i] = inflated;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  const net::Design& design_;
+  const para::Parasitics& para_;
+  const sta::Result& sta_;
+  const Options& opt_;
+  double vdd_;
+  std::vector<InstId> topo_;
+  std::vector<Interval> orig_win_;
+  std::vector<Interval> switch_win_;
+};
+
+}  // namespace
+
+Result analyze(const net::Design& design, const para::Parasitics& para,
+               const sta::Result& sta_result, const Options& opt) {
+  Engine engine(design, para, sta_result, opt);
+  return engine.run_full();
+}
+
+Result analyze_incremental(const net::Design& design, const para::Parasitics& para,
+                           const sta::Result& sta_result, const Options& opt,
+                           const Result& previous,
+                           std::span<const NetId> changed_nets) {
+  Engine engine(design, para, sta_result, opt);
+  return engine.run_incremental(previous, changed_nets);
+}
+
+}  // namespace nw::noise

@@ -1,0 +1,139 @@
+// Static noise analysis with noise windows (the paper's contribution).
+//
+// For every net (as victim) the analyzer:
+//   1. identifies coupled aggressors above a capacitance threshold,
+//   2. estimates each aggressor's injected glitch (noise/glitch_models),
+//   3. combines contributions into the worst simultaneous glitch — under
+//      three selectable filtering regimes (the experiment axes):
+//
+//      kNoFiltering       every aggressor switches at once, glitches always
+//                         coincide, latches are always sampling. The
+//                         pre-timing-window industry baseline.
+//      kSwitchingWindows  aggressors only combine where their STA switching
+//                         windows overlap (scan-line worst alignment).
+//      kNoiseWindows      full noise-window propagation: every glitch
+//                         carries the window of time it can exist; injected
+//                         and gate-propagated noise combine only where
+//                         windows overlap; sequential endpoints fail only
+//                         if the noise window intersects the latch
+//                         sensitivity window. The paper's contribution.
+//
+//   4. propagates glitches through gates (library noise-propagation
+//      tables) in topological order, and
+//   5. checks endpoints (sequential data pins, primary outputs) against
+//      immunity curves, recording violations and noise slack.
+//
+// An optional refinement loop models noise-on-delay feedback: combined
+// glitch widths inflate switching windows and the analysis repeats until
+// the violation count stabilizes (experiment R-T5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "noise/constraints.hpp"
+#include "noise/glitch_models.hpp"
+#include "parasitics/rcnet.hpp"
+#include "spice/transient.hpp"
+#include "sta/sta.hpp"
+#include "util/interval.hpp"
+
+namespace nw::noise {
+
+enum class AnalysisMode { kNoFiltering, kSwitchingWindows, kNoiseWindows };
+
+[[nodiscard]] const char* to_string(AnalysisMode m) noexcept;
+
+struct Options {
+  AnalysisMode mode = AnalysisMode::kNoiseWindows;
+  GlitchModel model = GlitchModel::kTwoPi;
+  double min_coupling_cap = 0.05e-15;  ///< ignore weaker aggressor coupling [F]
+  double min_peak = 1e-3;              ///< ignore contributions below [V]
+  double clock_period = 1e-9;          ///< must match the STA run [s]
+  double clock_uncertainty = 0.0;      ///< widens sensitivity windows by +-u [s]
+  double latch_duty = 0.5;             ///< transparent fraction of the cycle (latches)
+  double default_slew = 30e-12;        ///< aggressor slew when STA has none [s]
+  double po_immunity_frac = 0.45;      ///< primary-output immunity (fraction of vdd)
+  int refine_iterations = 0;           ///< extra noise-on-delay passes (0 = off)
+  spice::TranOptions mna_tran{2e-9, 0.5e-12};  ///< kMnaExact settings
+  /// Functional filtering: mutual-exclusion groups of aggressor nets.
+  /// Applies in every mode (it is orthogonal to temporal filtering).
+  Constraints constraints;
+};
+
+/// One aggressor's (or the fanin-propagated) glitch contribution to a net.
+struct Contribution {
+  NetId aggressor;        ///< invalid id = propagated from fanin gate
+  NetId from_net;         ///< propagated only: the fanin net it came through
+  double peak = 0.0;      ///< [V]
+  double width = 0.0;     ///< [s]
+  IntervalSet window;     ///< when the glitch can exist (empty = never)
+  bool in_worst = false;  ///< participates in the worst combination
+
+  [[nodiscard]] bool is_propagated() const noexcept { return !aggressor.valid(); }
+};
+
+/// Combined noise state of a net.
+struct NetNoise {
+  double injected_peak = 0.0;    ///< worst simultaneous aggressor sum [V]
+  double propagated_peak = 0.0;  ///< worst glitch arriving through the driver [V]
+  double total_peak = 0.0;       ///< worst combination of both [V]
+  double width = 0.0;            ///< width of the worst combined glitch [s]
+  IntervalSet window;            ///< noise window of the combined glitch
+  Interval worst_alignment;      ///< time interval achieving total_peak
+  std::vector<Contribution> contributions;
+  std::size_t aggressor_count = 0;  ///< aggressors above the cap threshold
+};
+
+/// A failing endpoint.
+struct Violation {
+  PinId endpoint;
+  NetId net;
+  double peak = 0.0;        ///< noise seen by the endpoint [V]
+  double width = 0.0;       ///< [s]
+  double threshold = 0.0;   ///< immunity at that width [V]
+  Interval sensitivity;     ///< sampling window (sequential endpoints)
+  bool temporal = true;     ///< noise window intersected the sensitivity window
+
+  [[nodiscard]] double slack() const noexcept { return threshold - peak; }
+};
+
+struct Result {
+  std::vector<NetNoise> nets;        ///< indexed by NetId
+  std::vector<Violation> violations;
+  std::size_t endpoints_checked = 0;
+  std::size_t noisy_nets = 0;        ///< nets whose glitch exceeds receiver immunity
+  std::size_t aggressors_considered = 0;
+  std::size_t aggressors_filtered_temporal = 0;  ///< dropped: empty/never-overlapping window
+  int iterations = 1;
+  std::vector<std::size_t> iteration_violations;  ///< per refinement pass
+  /// Noise slack (threshold - peak) of every checked endpoint, violating or
+  /// not — the input of the slack-histogram experiment.
+  std::vector<double> endpoint_slacks;
+
+  [[nodiscard]] const NetNoise& net(NetId id) const { return nets.at(id.index()); }
+};
+
+/// Run the analysis. `sta_result` must come from the same design/parasitics.
+[[nodiscard]] Result analyze(const net::Design& design, const para::Parasitics& para,
+                             const sta::Result& sta_result, const Options& options = {});
+
+/// Incremental re-analysis (ECO mode) after a change localized to
+/// `changed_nets` (coupling edits, resized drivers, re-timed inputs):
+/// injected glitches are re-estimated only for victims coupled to a
+/// changed net (plus the changed nets themselves); unaffected victims
+/// reuse `previous`'s estimates. Propagation and endpoint checks always
+/// re-run — they are cheap next to glitch estimation (dominant under
+/// kReducedMna/kMnaExact). The result is identical to a full analyze()
+/// provided `changed_nets` covers every net whose parasitics or timing
+/// changed. `options.refine_iterations` is ignored (single pass).
+[[nodiscard]] Result analyze_incremental(const net::Design& design,
+                                         const para::Parasitics& para,
+                                         const sta::Result& sta_result,
+                                         const Options& options, const Result& previous,
+                                         std::span<const NetId> changed_nets);
+
+}  // namespace nw::noise

@@ -1,0 +1,70 @@
+#include "noise/delay_impact.hpp"
+
+#include <algorithm>
+
+#include "util/scanline.hpp"
+
+namespace nw::noise {
+
+DelayImpactSummary compute_delay_impact(const net::Design& design,
+                                        const sta::Result& sta_result,
+                                        const Result& noise_result,
+                                        const Options& opt) {
+  if (noise_result.nets.size() != design.net_count() ||
+      sta_result.nets.size() != design.net_count()) {
+    throw std::invalid_argument("compute_delay_impact: result/design mismatch");
+  }
+  const double vdd = design.library().vdd();
+
+  DelayImpactSummary out;
+  out.nets.assign(design.net_count(), DelayImpact{});
+
+  for (std::size_t i = 0; i < design.net_count(); ++i) {
+    const sta::NetTiming& t = sta_result.nets[i];
+    if (!t.switches()) continue;  // a quiet net has no edge to shift
+    const NetNoise& nn = noise_result.nets[i];
+    if (nn.contributions.empty()) continue;
+
+    double peak = 0.0;
+    if (opt.mode == AnalysisMode::kNoFiltering) {
+      // Everything is assumed to align with the victim edge.
+      if (opt.constraints.empty()) {
+        for (const auto& c : nn.contributions) peak += c.peak;
+      } else {
+        // Per mutex group only the heaviest member can align.
+        std::vector<WeightedWindow> items;
+        std::vector<int> groups;
+        for (const auto& c : nn.contributions) {
+          items.push_back({c.peak, IntervalSet::everything()});
+          groups.push_back(c.aggressor.valid() ? opt.constraints.group_of(c.aggressor)
+                                               : -1);
+        }
+        peak = scan_max_overlap_grouped(items, groups).best_sum;
+      }
+    } else {
+      // Restrict every contribution to the victim's transition window.
+      const Interval edge = t.window.dilated(t.slew_max, t.slew_max);
+      std::vector<WeightedWindow> items;
+      std::vector<int> groups;
+      items.reserve(nn.contributions.size());
+      for (const auto& c : nn.contributions) {
+        items.push_back({c.peak, c.window.intersect(edge)});
+        groups.push_back(c.aggressor.valid() ? opt.constraints.group_of(c.aggressor)
+                                             : -1);
+      }
+      peak = opt.constraints.empty() ? scan_max_overlap(items).best_sum
+                                     : scan_max_overlap_grouped(items, groups).best_sum;
+    }
+    if (peak < opt.min_peak) continue;
+
+    DelayImpact& di = out.nets[i];
+    di.peak_during_transition = peak;
+    di.delta_delay = (peak / vdd) * t.slew_max;
+    out.total_delta += di.delta_delay;
+    out.max_delta = std::max(out.max_delta, di.delta_delay);
+    ++out.affected_nets;
+  }
+  return out;
+}
+
+}  // namespace nw::noise

@@ -1,0 +1,258 @@
+#include "noise/glitch_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "parasitics/reduce.hpp"
+#include "spice/cluster.hpp"
+
+namespace nw::noise {
+
+const char* to_string(GlitchModel m) noexcept {
+  switch (m) {
+    case GlitchModel::kChargeSharing: return "charge-sharing";
+    case GlitchModel::kDevgan: return "devgan";
+    case GlitchModel::kTwoPi: return "two-pi";
+    case GlitchModel::kReducedMna: return "reduced-mna";
+    case GlitchModel::kMnaExact: return "mna-exact";
+  }
+  return "?";
+}
+
+GlitchEstimate estimate_charge_sharing(const CouplingScenario& s) {
+  GlitchEstimate g;
+  const double ctot = s.c_couple + s.c_ground;
+  if (ctot <= 0.0) return g;
+  g.peak = s.vdd * s.c_couple / ctot;
+  // The charge-shared level decays through Rh; half-peak width is the RC
+  // half-life plus half the injection ramp.
+  g.width = 0.693 * s.r_hold * ctot + 0.5 * s.slew;
+  g.peak_delay = s.slew;
+  return g;
+}
+
+GlitchEstimate estimate_devgan(const CouplingScenario& s) {
+  GlitchEstimate g;
+  if (s.slew <= 0.0) throw std::invalid_argument("estimate_devgan: non-positive slew");
+  // Devgan's metric: the victim cannot exceed the IR drop of the injected
+  // current Cc * dVa/dt through Rh, capped by the rail.
+  g.peak = std::min(s.vdd, s.r_hold * s.c_couple * s.vdd / s.slew);
+  const double tau = s.r_hold * (s.c_couple + s.c_ground);
+  g.width = s.slew + 0.693 * tau;
+  g.peak_delay = s.slew;
+  return g;
+}
+
+GlitchEstimate estimate_two_pi(const CouplingScenario& s) {
+  GlitchEstimate g;
+  if (s.slew <= 0.0) throw std::invalid_argument("estimate_two_pi: non-positive slew");
+  const double tau_x = s.r_hold * s.c_couple;                 // injection
+  const double tau_v = s.r_hold * (s.c_couple + s.c_ground);  // victim pole
+  if (tau_v <= 0.0) return g;
+  // Single-pole response to a ramp of duration tr injected through Cc:
+  //   v(t) = Vdd (tau_x / tr) (1 - e^{-t/tau_v}),  t <= tr   (rising)
+  //   v(t) = v(tr) e^{-(t - tr)/tau_v},            t >  tr   (decay)
+  const double rise_sat = 1.0 - std::exp(-s.slew / tau_v);
+  g.peak = s.vdd * (tau_x / s.slew) * rise_sat;
+  g.peak = std::min(g.peak, s.vdd);
+  g.peak_delay = s.slew;
+  // Half-peak crossings: t1 on the rise where the saturation term reaches
+  // half its final value, t2 = tr + tau_v ln 2 on the decay.
+  const double half = 0.5 * rise_sat;
+  const double t1 = (half < 1.0) ? -tau_v * std::log(1.0 - half) : 0.0;
+  const double t2 = s.slew + tau_v * 0.693147180559945;
+  g.width = std::max(t2 - t1, 0.0);
+  return g;
+}
+
+GlitchEstimate estimate(GlitchModel model, const CouplingScenario& s) {
+  switch (model) {
+    case GlitchModel::kChargeSharing: return estimate_charge_sharing(s);
+    case GlitchModel::kDevgan: return estimate_devgan(s);
+    case GlitchModel::kTwoPi: return estimate_two_pi(s);
+    case GlitchModel::kReducedMna:
+    case GlitchModel::kMnaExact:
+      throw std::invalid_argument("estimate: model needs the design context");
+  }
+  return {};
+}
+
+namespace {
+
+/// Per-node extra capacitance of `net`: load pin caps at their attachment
+/// nodes plus couplings to every net except `exclude` (quiet neighbours
+/// are AC ground). Unattached loads lump at the driver.
+std::vector<double> extra_caps(const net::Design& design, const para::Parasitics& para,
+                               NetId net, NetId exclude) {
+  const para::RcNet& rc = para.net(net);
+  std::vector<double> extra(rc.node_count(), 0.0);
+  for (const PinId load : design.net(net).loads) {
+    auto node = rc.node_of_pin(load);
+    if (node >= rc.node_count()) node = 0;
+    extra[node] += design.pin_cap(load);
+  }
+  for (const auto ci : para.couplings_of(net)) {
+    const auto& cc = para.coupling(ci);
+    if (cc.other_net(net) == exclude) continue;
+    extra[cc.node_on(net)] += cc.c;
+  }
+  return extra;
+}
+
+}  // namespace
+
+GlitchEstimate estimate_reduced(const net::Design& design, const para::Parasitics& para,
+                                NetId victim, NetId aggressor, double slew,
+                                double vdd) {
+  const para::PiModel pi_v =
+      para::pi_model(para.net(victim), extra_caps(design, para, victim, aggressor));
+  const para::PiModel pi_a =
+      para::pi_model(para.net(aggressor), extra_caps(design, para, aggressor, victim));
+
+  double cc = 0.0;
+  for (const auto ci : para.couplings_of(victim)) {
+    const auto& c = para.coupling(ci);
+    if (c.other_net(victim) == aggressor) cc += c.c;
+  }
+  if (cc <= 0.0) return {};
+
+  const double r_hold = spice::driver_resistance(design, victim, /*holding=*/true);
+  const double r_drv = spice::driver_resistance(design, aggressor, /*holding=*/false);
+
+  spice::Circuit ckt;
+  const std::size_t src = ckt.add_node("src");
+  const std::size_t a1 = ckt.add_node("a1");
+  const std::size_t a2 = (pi_a.r > 0.0) ? ckt.add_node("a2") : a1;
+  const std::size_t v1 = ckt.add_node("v1");
+  const std::size_t v2 = (pi_v.r > 0.0) ? ckt.add_node("v2") : v1;
+
+  ckt.add_vsrc(src, 0, spice::Pwl::ramp(0.0, slew, 0.0, vdd));
+  ckt.add_res(src, a1, r_drv);
+  if (pi_a.c_near > 0.0) ckt.add_cap(a1, 0, pi_a.c_near);
+  if (a2 != a1) {
+    ckt.add_res(a1, a2, pi_a.r);
+    if (pi_a.c_far > 0.0) ckt.add_cap(a2, 0, pi_a.c_far);
+  }
+  ckt.add_res(v1, 0, r_hold);
+  if (pi_v.c_near > 0.0) ckt.add_cap(v1, 0, pi_v.c_near);
+  if (v2 != v1) {
+    ckt.add_res(v1, v2, pi_v.r);
+    if (pi_v.c_far > 0.0) ckt.add_cap(v2, 0, pi_v.c_far);
+  }
+  // Coupling split between the near and far ends of both pi models —
+  // distributed coupling collapses onto the reduced nodes half-and-half.
+  ckt.add_cap(a1, v1, 0.5 * cc);
+  if (a2 != a1 || v2 != v1) {
+    ckt.add_cap(a2, v2, 0.5 * cc);
+  } else {
+    ckt.add_cap(a1, v1, 0.5 * cc);
+  }
+
+  // Simulate long enough for injection + decay.
+  const double tau = r_hold * (cc + pi_v.total_cap());
+  const double t_stop = slew + 12.0 * std::max(tau, 5e-12);
+  const double dt = std::max(std::min(slew, tau) / 50.0, 5e-14);
+  const spice::TransientResult sim = spice::simulate(ckt, {t_stop, dt});
+  const spice::GlitchMeasure m = spice::measure_glitch(sim.waveform(v2), 0.0);
+  GlitchEstimate g;
+  g.peak = m.peak;
+  g.width = m.width;
+  g.peak_delay = m.t_peak;
+  return g;
+}
+
+GlitchEstimate estimate_mna(const net::Design& design, const para::Parasitics& para,
+                            NetId victim, NetId aggressor, double slew, double vdd,
+                            const spice::TranOptions& tran) {
+  spice::ClusterSpec spec;
+  spec.victim = victim;
+  spec.vdd = vdd;
+  spec.aggressors.push_back({aggressor, /*start=*/0.0, slew, /*rising=*/true});
+  const spice::Cluster cl = spice::build_cluster(design, para, spec);
+  const spice::TransientResult sim = spice::simulate(cl.circuit, tran);
+  const spice::Waveform w = sim.waveform(cl.victim_probe);
+  const spice::GlitchMeasure m = spice::measure_glitch(w, cl.baseline);
+  GlitchEstimate g;
+  g.peak = m.peak;
+  g.width = m.width;
+  g.peak_delay = m.t_peak;
+  return g;
+}
+
+spice::Waveform synthesize_glitch(const GlitchEstimate& estimate, double t_start,
+                                  double baseline, double dt, double t_stop) {
+  if (dt <= 0.0 || t_stop <= 0.0) {
+    throw std::invalid_argument("synthesize_glitch: bad time grid");
+  }
+  const auto n = static_cast<std::size_t>(std::ceil(t_stop / dt)) + 1;
+  std::vector<double> samples(n, baseline);
+  if (estimate.peak > 0.0) {
+    const double t_rise = std::max(estimate.peak_delay, dt);
+    // Half-peak width = t_rise/2 (rise side) + tau ln2 (decay side).
+    const double tau =
+        std::max((estimate.width - 0.5 * t_rise) / 0.693147180559945, 0.25 * dt);
+    const double t_peak = t_start + t_rise;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double t = dt * static_cast<double>(k);
+      if (t <= t_start) continue;
+      if (t <= t_peak) {
+        samples[k] = baseline + estimate.peak * (t - t_start) / t_rise;
+      } else {
+        samples[k] = baseline + estimate.peak * std::exp(-(t - t_peak) / tau);
+      }
+    }
+  }
+  return spice::Waveform(0.0, dt, std::move(samples));
+}
+
+CouplingScenario scenario_for(const net::Design& design, const para::Parasitics& para,
+                              NetId victim, NetId aggressor, double aggressor_slew,
+                              double vdd) {
+  CouplingScenario s;
+  s.vdd = vdd;
+  // The driver ramp degrades over the aggressor's own RC before it reaches
+  // the coupling caps: fold the aggressor time constant (drive resistance x
+  // half the distributed load, plus half the wire's own RC) into the edge.
+  const double r_agg = spice::driver_resistance(design, aggressor, /*holding=*/false);
+  double c_agg = para.total_cap(aggressor, 1.0);
+  for (const PinId load : design.net(aggressor).loads) c_agg += design.pin_cap(load);
+  const double tau_agg =
+      r_agg * 0.5 * c_agg + 0.5 * para.net(aggressor).total_res() * 0.5 * c_agg;
+  const double degraded = 2.2 * tau_agg;
+  s.slew = std::sqrt(aggressor_slew * aggressor_slew + degraded * degraded);
+  // The victim's holding impedance at the coupling points includes part of
+  // the victim wire resistance between the holder and the coupled nodes.
+  s.r_hold = spice::driver_resistance(design, victim, /*holding=*/true) +
+             0.5 * para.net(victim).total_res();
+
+  double c_to_aggressor = 0.0;
+  double c_other_coupling = 0.0;
+  for (const auto ci : para.couplings_of(victim)) {
+    const auto& cc = para.coupling(ci);
+    if (cc.other_net(victim) == aggressor) {
+      c_to_aggressor += cc.c;
+    } else {
+      c_other_coupling += cc.c;  // quiet neighbours act as grounded cap
+    }
+  }
+  s.c_couple = c_to_aggressor;
+
+  double c_pins = 0.0;
+  for (const PinId load : design.net(victim).loads) c_pins += design.pin_cap(load);
+  s.c_ground = para.net(victim).total_ground_cap() + c_other_coupling + c_pins;
+  return s;
+}
+
+CouplingScenario bound_scenario_for(const net::Design& design,
+                                    const para::Parasitics& para, NetId victim,
+                                    NetId aggressor, double aggressor_slew,
+                                    double vdd) {
+  CouplingScenario s = scenario_for(design, para, victim, aggressor, aggressor_slew, vdd);
+  s.slew = aggressor_slew;
+  s.r_hold = spice::driver_resistance(design, victim, /*holding=*/true) +
+             para.net(victim).total_res();
+  return s;
+}
+
+}  // namespace nw::noise

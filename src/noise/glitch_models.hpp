@@ -1,0 +1,97 @@
+// Per-aggressor glitch estimation on a quiet victim.
+//
+// The canonical scenario: the victim is held at its quiet level through the
+// driver's holding resistance Rh; one aggressor ramps through the coupling
+// capacitance Cc; the rest of the victim's load is the grounded Cg. Four
+// models of increasing fidelity/cost estimate the resulting glitch:
+//
+//   kChargeSharing  instantaneous-aggressor limit: Vp = Vdd Cc/(Cc+Cg).
+//                   Cheap, pessimistic for slow aggressors.
+//   kDevgan         Devgan's upper bound: Vp = min(Vdd, Rh Cc Vdd / tr).
+//                   Provably >= the exact linear response (tested).
+//   kTwoPi          dominant-pole solution of the reduced (pi-model)
+//                   network; the workhorse model with peak AND width.
+//   kReducedMna     O'Brien–Savarino pi models of victim and aggressor
+//                   joined by the lumped coupling, solved by the MNA
+//                   transient engine on a 5-node circuit. Near-golden
+//                   accuracy at a fixed small cost per pair.
+//   kMnaExact       full cluster MNA transient (spice::simulate) measured
+//                   with spice::measure_glitch. Slowest, used for accuracy
+//                   experiments and high-effort signoff mode.
+#pragma once
+
+#include "netlist/design.hpp"
+#include "parasitics/rcnet.hpp"
+#include "spice/transient.hpp"
+#include "util/ids.hpp"
+
+namespace nw::noise {
+
+enum class GlitchModel { kChargeSharing, kDevgan, kTwoPi, kReducedMna, kMnaExact };
+
+[[nodiscard]] const char* to_string(GlitchModel m) noexcept;
+
+/// Electrical abstract of one victim/aggressor pair.
+struct CouplingScenario {
+  double r_hold = 1e3;   ///< victim holding resistance [ohm]
+  double c_ground = 0.0; ///< victim grounded cap (everything but Cc) [F]
+  double c_couple = 0.0; ///< coupling cap to the switching aggressor [F]
+  double slew = 30e-12;  ///< aggressor transition time [s]
+  double vdd = 1.2;      ///< aggressor swing [V]
+};
+
+/// An estimated glitch.
+struct GlitchEstimate {
+  double peak = 0.0;        ///< [V]
+  double width = 0.0;       ///< duration above half peak [s]
+  double peak_delay = 0.0;  ///< peak time relative to aggressor edge start [s]
+};
+
+[[nodiscard]] GlitchEstimate estimate_charge_sharing(const CouplingScenario& s);
+[[nodiscard]] GlitchEstimate estimate_devgan(const CouplingScenario& s);
+[[nodiscard]] GlitchEstimate estimate_two_pi(const CouplingScenario& s);
+
+/// Dispatch over the three analytic models (not kReducedMna/kMnaExact,
+/// which need the design context).
+[[nodiscard]] GlitchEstimate estimate(GlitchModel model, const CouplingScenario& s);
+
+/// Exact: build the victim/aggressor cluster and simulate.
+[[nodiscard]] GlitchEstimate estimate_mna(const net::Design& design,
+                                          const para::Parasitics& para, NetId victim,
+                                          NetId aggressor, double slew, double vdd,
+                                          const spice::TranOptions& tran);
+
+/// Reduced-order: pi models + lumped coupling on a 5-node circuit.
+[[nodiscard]] GlitchEstimate estimate_reduced(const net::Design& design,
+                                              const para::Parasitics& para,
+                                              NetId victim, NetId aggressor,
+                                              double slew, double vdd);
+
+/// Synthesize the canonical glitch waveform an estimate describes: linear
+/// rise to `peak` over `peak_delay`, then exponential decay whose time
+/// constant is chosen so the half-peak width matches `width`. Used for
+/// waveform-shape comparisons against golden transients and for report
+/// plots. The glitch starts at `t_start` on top of `baseline`.
+[[nodiscard]] spice::Waveform synthesize_glitch(const GlitchEstimate& estimate,
+                                                double t_start, double baseline,
+                                                double dt, double t_stop);
+
+/// Build the CouplingScenario for a victim/aggressor pair from the design
+/// (holding resistance, grounded cap, summed coupling, STA slew). The slew
+/// is degraded by the aggressor's own RC and the holding resistance
+/// includes half the victim wire — the *accuracy* abstraction.
+[[nodiscard]] CouplingScenario scenario_for(const net::Design& design,
+                                            const para::Parasitics& para, NetId victim,
+                                            NetId aggressor, double aggressor_slew,
+                                            double vdd);
+
+/// The *bounding* abstraction: raw driver slew (an aggressor node can never
+/// ramp faster than its source) and the full victim wire resistance (no
+/// victim node is further from the holder). estimate_devgan() on this
+/// scenario provably upper-bounds the exact linear response.
+[[nodiscard]] CouplingScenario bound_scenario_for(const net::Design& design,
+                                                  const para::Parasitics& para,
+                                                  NetId victim, NetId aggressor,
+                                                  double aggressor_slew, double vdd);
+
+}  // namespace nw::noise

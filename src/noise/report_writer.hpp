@@ -1,0 +1,31 @@
+// Human-readable noise report (the tool's primary output artifact).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/delay_impact.hpp"
+
+namespace nw::noise {
+
+struct ReportOptions {
+  std::size_t max_violations = 50;   ///< cap on detailed violation rows
+  std::size_t max_noisy_nets = 20;   ///< cap on the worst-net table
+  bool include_windows = true;       ///< print noise/sensitivity windows
+};
+
+/// Write the full report: summary, violation table, worst nets by peak.
+void write_report(std::ostream& os, const net::Design& design, const Options& options,
+                  const Result& result, const ReportOptions& ropt = {});
+
+/// Append a delay-impact section to a report stream.
+void write_delay_impact(std::ostream& os, const net::Design& design,
+                        const DelayImpactSummary& impact, std::size_t max_rows = 20);
+
+[[nodiscard]] std::string report_string(const net::Design& design, const Options& options,
+                                        const Result& result,
+                                        const ReportOptions& ropt = {});
+
+}  // namespace nw::noise

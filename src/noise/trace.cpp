@@ -1,0 +1,60 @@
+#include "noise/trace.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "report/table.hpp"
+
+namespace nw::noise {
+
+NoiseTrace trace_origin(const Result& result, NetId net) {
+  NoiseTrace trace;
+  if (net.index() >= result.nets.size()) {
+    throw std::invalid_argument("trace_origin: bad net id");
+  }
+
+  std::unordered_set<NetId::value_type> visited;
+  NetId cur = net;
+  while (cur.valid() && visited.insert(cur.value()).second) {
+    const NetNoise& nn = result.nets[cur.index()];
+    if (nn.total_peak <= 0.0) break;
+    trace.path.push_back({cur, nn.total_peak, nn.width});
+
+    // Follow the strongest propagated member of the worst combination.
+    NetId next;
+    double best = 0.0;
+    for (const auto& c : nn.contributions) {
+      if (!c.in_worst || !c.is_propagated()) continue;
+      if (c.peak > best) {
+        best = c.peak;
+        next = c.from_net;
+      }
+    }
+    if (!next.valid()) {
+      // Injection point: report its worst-set aggressors.
+      for (const auto& c : nn.contributions) {
+        if (c.in_worst && !c.is_propagated()) trace.aggressors.push_back(c.aggressor);
+      }
+      break;
+    }
+    cur = next;
+  }
+  return trace;
+}
+
+std::string trace_string(const net::Design& design, const NoiseTrace& trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.path.size(); ++i) {
+    if (i > 0) os << " <- ";
+    const TraceStep& s = trace.path[i];
+    os << design.net(s.net).name << " (" << report::fmt_mv(s.peak) << ")";
+  }
+  if (!trace.aggressors.empty()) {
+    os << " [aggressors:";
+    for (const NetId a : trace.aggressors) os << ' ' << design.net(a).name;
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace nw::noise

@@ -1,0 +1,108 @@
+#include "parasitics/rcnet.hpp"
+
+#include <vector>
+
+namespace nw::para {
+
+std::uint32_t RcNet::add_node(double cground, PinId pin) {
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  RcNode n;
+  n.cground = cground;
+  n.pin = pin;
+  nodes_.push_back(n);
+  return idx;
+}
+
+void RcNet::add_cap(std::uint32_t node, double c) { nodes_.at(node).cground += c; }
+
+void RcNet::attach_pin(std::uint32_t node, PinId pin) {
+  RcNode& n = nodes_.at(node);
+  if (n.pin.valid()) throw std::invalid_argument("RcNet::attach_pin: node has a pin");
+  n.pin = pin;
+}
+
+void RcNet::add_res(std::uint32_t a, std::uint32_t b, double r) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("RcNet::add_res: node index");
+  }
+  if (a == b) throw std::invalid_argument("RcNet::add_res: self-loop");
+  if (r <= 0.0) throw std::invalid_argument("RcNet::add_res: non-positive resistance");
+  ress_.push_back({a, b, r});
+}
+
+std::uint32_t RcNet::node_of_pin(PinId pin) const noexcept {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].pin == pin) return i;
+  }
+  return static_cast<std::uint32_t>(nodes_.size());
+}
+
+double RcNet::total_ground_cap() const noexcept {
+  double c = 0.0;
+  for (const auto& n : nodes_) c += n.cground;
+  return c;
+}
+
+double RcNet::total_res() const noexcept {
+  double r = 0.0;
+  for (const auto& e : ress_) r += e.r;
+  return r;
+}
+
+bool RcNet::is_tree() const {
+  if (ress_.size() + 1 != nodes_.size()) return false;
+  // Connectivity check from node 0.
+  std::vector<std::vector<std::uint32_t>> adj(nodes_.size());
+  for (const auto& e : ress_) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const auto u = stack.back();
+    stack.pop_back();
+    for (const auto v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+RcNet RcNet::lumped(double cap) {
+  RcNet n;
+  n.add_cap(0, cap);
+  return n;
+}
+
+std::size_t Parasitics::add_coupling(NetId a, std::uint32_t node_a, NetId b,
+                                     std::uint32_t node_b, double c) {
+  if (a == b) throw std::invalid_argument("Parasitics::add_coupling: same net");
+  if (node_a >= net(a).node_count() || node_b >= net(b).node_count()) {
+    throw std::out_of_range("Parasitics::add_coupling: node index");
+  }
+  if (c <= 0.0) throw std::invalid_argument("Parasitics::add_coupling: non-positive cap");
+  const std::size_t idx = caps_.size();
+  caps_.push_back({a, node_a, b, node_b, c});
+  incident_.at(a.index()).push_back(idx);
+  incident_.at(b.index()).push_back(idx);
+  return idx;
+}
+
+double Parasitics::coupling_cap_of(NetId id) const {
+  double c = 0.0;
+  for (const auto i : couplings_of(id)) c += caps_[i].c;
+  return c;
+}
+
+double Parasitics::total_cap(NetId id, double miller) const {
+  return net(id).total_ground_cap() + miller * coupling_cap_of(id);
+}
+
+}  // namespace nw::para

@@ -1,0 +1,126 @@
+#include "parasitics/reduce.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nw::para {
+
+TreeAnalysis analyze_tree(const RcNet& net, std::span<const double> extra_cap) {
+  const std::size_t n = net.node_count();
+  if (!extra_cap.empty() && extra_cap.size() != n) {
+    throw std::invalid_argument("analyze_tree: extra_cap size mismatch");
+  }
+  if (!net.is_tree()) throw std::invalid_argument("analyze_tree: net is not a tree");
+
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adj(n);
+  for (const auto& e : net.resistors()) {
+    adj[e.a].emplace_back(e.b, e.r);
+    adj[e.b].emplace_back(e.a, e.r);
+  }
+
+  TreeAnalysis t;
+  t.parent.assign(n, 0);
+  t.res_to_parent.assign(n, 0.0);
+  t.res_from_root.assign(n, 0.0);
+  t.cap_at.assign(n, 0.0);
+  t.downstream_cap.assign(n, 0.0);
+  t.order.reserve(n);
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.cap_at[i] = net.node(i).cground + (extra_cap.empty() ? 0.0 : extra_cap[i]);
+  }
+
+  // Preorder DFS from the root.
+  std::vector<bool> seen(n, false);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const auto u = stack.back();
+    stack.pop_back();
+    t.order.push_back(u);
+    for (const auto& [v, r] : adj[u]) {
+      if (seen[v]) continue;
+      seen[v] = true;
+      t.parent[v] = u;
+      t.res_to_parent[v] = r;
+      t.res_from_root[v] = t.res_from_root[u] + r;
+      stack.push_back(v);
+    }
+  }
+
+  // Downstream caps: accumulate children into parents in reverse preorder.
+  t.downstream_cap = t.cap_at;
+  for (auto it = t.order.rbegin(); it != t.order.rend(); ++it) {
+    const auto u = *it;
+    if (u != 0) t.downstream_cap[t.parent[u]] += t.downstream_cap[u];
+  }
+  return t;
+}
+
+std::vector<double> elmore_delays(const RcNet& net, std::span<const double> extra_cap) {
+  const TreeAnalysis t = analyze_tree(net, extra_cap);
+  std::vector<double> delay(net.node_count(), 0.0);
+  // delay[v] = delay[parent] + r_edge * downstream_cap[v], in preorder.
+  for (const auto u : t.order) {
+    if (u == 0) continue;
+    delay[u] = delay[t.parent[u]] + t.res_to_parent[u] * t.downstream_cap[u];
+  }
+  return delay;
+}
+
+AdmittanceMoments admittance_moments(const RcNet& net, std::span<const double> extra_cap) {
+  const TreeAnalysis t = analyze_tree(net, extra_cap);
+  const std::size_t n = net.node_count();
+
+  AdmittanceMoments m;
+  // With a unit voltage source at the root, node voltages expand as
+  //   v_i(s) = 1 - s E1_i + s^2 E2_i - ...
+  // where E1_i is the Elmore delay and E2_i the second voltage moment.
+  // The input current is I(s) = sum_i s C_i v_i(s), giving
+  //   m1 = sum C_i,   m2 = -sum C_i E1_i,   m3 = sum C_i E2_i.
+
+  // E1: Elmore delays (cap weights C_j).
+  std::vector<double> e1(n, 0.0);
+  for (const auto u : t.order) {
+    if (u == 0) continue;
+    e1[u] = e1[t.parent[u]] + t.res_to_parent[u] * t.downstream_cap[u];
+  }
+  // E2: "Elmore of Elmore" — same traversal with weights C_j * E1_j.
+  std::vector<double> down_ce(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) down_ce[i] = t.cap_at[i] * e1[i];
+  for (auto it = t.order.rbegin(); it != t.order.rend(); ++it) {
+    const auto u = *it;
+    if (u != 0) down_ce[t.parent[u]] += down_ce[u];
+  }
+  std::vector<double> e2(n, 0.0);
+  for (const auto u : t.order) {
+    if (u == 0) continue;
+    e2[u] = e2[t.parent[u]] + t.res_to_parent[u] * down_ce[u];
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    m.m1 += t.cap_at[i];
+    m.m2 -= t.cap_at[i] * e1[i];
+    m.m3 += t.cap_at[i] * e2[i];
+  }
+  return m;
+}
+
+PiModel pi_model(const RcNet& net, std::span<const double> extra_cap) {
+  const AdmittanceMoments m = admittance_moments(net, extra_cap);
+  PiModel pi;
+  if (m.m2 == 0.0 || m.m3 <= 0.0) {
+    // Purely capacitive (single node / zero resistance): all cap near.
+    pi.c_near = m.m1;
+    pi.r = 0.0;
+    pi.c_far = 0.0;
+    return pi;
+  }
+  // O'Brien–Savarino: c_far = m2^2/m3, r = -m3^2/m2^3, c_near = m1 - c_far.
+  pi.c_far = (m.m2 * m.m2) / m.m3;
+  pi.r = -(m.m3 * m.m3) / (m.m2 * m.m2 * m.m2);
+  pi.c_near = std::max(m.m1 - pi.c_far, 0.0);
+  return pi;
+}
+
+}  // namespace nw::para

@@ -1,0 +1,59 @@
+// Interconnect reduction: Elmore delays, admittance moments, pi model.
+//
+// STA uses Elmore per-tap wire delays; noise estimation uses the pi model
+// (O'Brien–Savarino) of the victim seen from its driver, and downstream
+// caps for loading. All routines require the net to be a tree rooted at
+// node 0 and accept per-node extra capacitance (pin caps, Miller-lumped
+// coupling) supplied by the caller.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parasitics/rcnet.hpp"
+
+namespace nw::para {
+
+/// Result of a root-outward tree traversal.
+struct TreeAnalysis {
+  std::vector<std::uint32_t> parent;     ///< parent[node]; parent[0] == 0
+  std::vector<double> res_to_parent;     ///< r of edge to parent; [0] == 0
+  std::vector<double> res_from_root;     ///< sum of r along root->node path
+  std::vector<double> cap_at;            ///< cground + extra per node
+  std::vector<double> downstream_cap;    ///< cap in the subtree rooted at node
+  std::vector<std::uint32_t> order;      ///< preorder from the root
+};
+
+/// Traverse the tree; throws std::invalid_argument if the net is not a
+/// tree or `extra_cap` has the wrong size (pass {} for no extras).
+[[nodiscard]] TreeAnalysis analyze_tree(const RcNet& net,
+                                        std::span<const double> extra_cap = {});
+
+/// Elmore delay from the root to every node: sum over root-path edges of
+/// r_e * downstream_cap(e).
+[[nodiscard]] std::vector<double> elmore_delays(const RcNet& net,
+                                                std::span<const double> extra_cap = {});
+
+/// First three input-admittance moments at the root:
+///   y(s) = m1 s + m2 s^2 + m3 s^3 + ...
+/// with m1 > 0, m2 < 0, m3 > 0 for RC trees.
+struct AdmittanceMoments {
+  double m1 = 0.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+};
+[[nodiscard]] AdmittanceMoments admittance_moments(const RcNet& net,
+                                                   std::span<const double> extra_cap = {});
+
+/// O'Brien–Savarino pi model matching the first three moments:
+/// near cap c1 (at driver), resistance r, far cap c2.
+struct PiModel {
+  double c_near = 0.0;
+  double r = 0.0;
+  double c_far = 0.0;
+  [[nodiscard]] double total_cap() const noexcept { return c_near + c_far; }
+};
+[[nodiscard]] PiModel pi_model(const RcNet& net, std::span<const double> extra_cap = {});
+
+}  // namespace nw::para

@@ -1,0 +1,133 @@
+#include "spice/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/sparse.hpp"
+
+namespace nw::spice {
+
+Waveform TransientResult::waveform(std::size_t node) const {
+  std::vector<double> samples(steps_);
+  for (std::size_t k = 0; k < steps_; ++k) samples[k] = v(node, k);
+  return Waveform(0.0, dt_, std::move(samples));
+}
+
+TransientResult simulate(const Circuit& ckt, const TranOptions& opt) {
+  if (opt.dt <= 0.0 || opt.t_stop <= 0.0) {
+    throw std::invalid_argument("simulate: dt and t_stop must be positive");
+  }
+  const std::size_t n_nodes = ckt.node_count();       // incl. ground
+  const std::size_t nv = n_nodes - 1;                 // voltage unknowns
+  const std::size_t ns = ckt.vsources().size();       // source currents
+  const std::size_t dim = nv + ns;
+  const auto steps = static_cast<std::size_t>(std::ceil(opt.t_stop / opt.dt)) + 1;
+
+  // Index helpers: node k (k>=1) -> unknown k-1; vsource j -> nv + j.
+  auto vi = [](std::size_t node) { return node - 1; };
+
+  // Assemble G (conductances + source incidence) and C (capacitances).
+  la::TripletBuilder g(dim);
+  la::TripletBuilder c(dim);
+
+  for (const auto& r : ckt.resistors()) {
+    const double cond = 1.0 / r.r;
+    if (r.a != 0) g.add(vi(r.a), vi(r.a), cond);
+    if (r.b != 0) g.add(vi(r.b), vi(r.b), cond);
+    if (r.a != 0 && r.b != 0) {
+      g.add(vi(r.a), vi(r.b), -cond);
+      g.add(vi(r.b), vi(r.a), -cond);
+    }
+  }
+  for (const auto& cap : ckt.capacitors()) {
+    if (cap.a != 0) c.add(vi(cap.a), vi(cap.a), cap.c);
+    if (cap.b != 0) c.add(vi(cap.b), vi(cap.b), cap.c);
+    if (cap.a != 0 && cap.b != 0) {
+      c.add(vi(cap.a), vi(cap.b), -cap.c);
+      c.add(vi(cap.b), vi(cap.a), -cap.c);
+    }
+  }
+  for (std::size_t j = 0; j < ns; ++j) {
+    const auto& src = ckt.vsources()[j];
+    const std::size_t row = nv + j;
+    if (src.pos != 0) {
+      g.add(vi(src.pos), row, 1.0);
+      g.add(row, vi(src.pos), 1.0);
+    }
+    if (src.neg != 0) {
+      g.add(vi(src.neg), row, -1.0);
+      g.add(row, vi(src.neg), -1.0);
+    }
+  }
+
+  // Theta scheme on the KCL rows:
+  //   (C/h + theta G) x_{k+1} = (C/h - (1-theta) G) x_k
+  //                             + theta b_{k+1} + (1-theta) b_k
+  // with theta = 1/2 (trapezoidal) or 1 (Backward Euler). Voltage-source
+  // rows are algebraic constraints (v_p - v_n = V(t)) and are kept
+  // unscaled so they hold exactly at t_{k+1}.
+  const double theta = opt.method == Integrator::kBackwardEuler ? 1.0 : 0.5;
+  const double inv_h = 1.0 / opt.dt;
+  la::TripletBuilder lhs(dim);
+  la::TripletBuilder rhs_mat(dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    const bool constraint_row = r >= nv;
+    for (const auto& [col, val] : g.row(r)) {
+      if (constraint_row) {
+        lhs.add(r, col, val);
+      } else {
+        lhs.add(r, col, theta * val);
+        if (theta < 1.0) rhs_mat.add(r, col, -(1.0 - theta) * val);
+      }
+    }
+    for (const auto& [col, val] : c.row(r)) {
+      lhs.add(r, col, inv_h * val);
+      rhs_mat.add(r, col, inv_h * val);
+    }
+  }
+  const la::SparseLu lu(lhs);
+  const la::SparseMatrix rhs_m(rhs_mat);
+
+  auto source_vec = [&](double t) {
+    std::vector<double> b(dim, 0.0);
+    for (const auto& src : ckt.isources()) {
+      if (src.from != 0) b[vi(src.from)] -= src.i;
+      if (src.to != 0) b[vi(src.to)] += src.i;
+    }
+    for (std::size_t j = 0; j < ns; ++j) {
+      b[nv + j] = ckt.vsources()[j].wave.at(t);
+    }
+    return b;
+  };
+
+  // DC operating point at t = 0: solve G x = b(0). Floating pure-C nodes
+  // make G singular; regularize with a tiny leak to ground.
+  la::TripletBuilder g_dc(dim);
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (const auto& [col, val] : g.row(r)) g_dc.add(r, col, val);
+  }
+  for (std::size_t r = 0; r < nv; ++r) g_dc.add(r, r, 1e-12);
+  const la::SparseLu lu_dc(g_dc);
+  std::vector<double> x = lu_dc.solve(source_vec(0.0));
+
+  TransientResult res(opt.dt, n_nodes, steps);
+  for (std::size_t node = 1; node < n_nodes; ++node) res.set(node, 0, x[vi(node)]);
+
+  std::vector<double> b_prev = source_vec(0.0);
+  for (std::size_t k = 1; k < steps; ++k) {
+    const double t = opt.dt * static_cast<double>(k);
+    std::vector<double> b_now = source_vec(t);
+    std::vector<double> rhs = rhs_m.multiply(x);
+    for (std::size_t i = 0; i < nv; ++i) {
+      rhs[i] += theta * b_now[i] + (1.0 - theta) * b_prev[i];
+    }
+    // Constraint rows: v_p - v_n = V(t_{k+1}) exactly.
+    for (std::size_t j = 0; j < ns; ++j) rhs[nv + j] = b_now[nv + j];
+    x = lu.solve(rhs);
+    for (std::size_t node = 1; node < n_nodes; ++node) res.set(node, k, x[vi(node)]);
+    b_prev = std::move(b_now);
+  }
+  return res;
+}
+
+}  // namespace nw::spice

@@ -1,0 +1,62 @@
+// MNA transient simulation (trapezoidal rule, fixed step).
+//
+// Unknowns are the non-ground node voltages plus one branch current per
+// voltage source. For the linear RC + source networks of noise analysis
+// the system matrix is constant, so it is assembled and LU-factorized once
+// and every timestep is a single solve — the same discretization SPICE
+// applies to these elements, which is what makes this engine a legitimate
+// golden reference (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/waveform.hpp"
+
+namespace nw::spice {
+
+/// Integration scheme. Trapezoidal is 2nd-order accurate (the SPICE
+/// default); Backward Euler is 1st-order but L-stable — it damps the
+/// numerical ringing trapezoidal can show on very stiff networks.
+enum class Integrator { kTrapezoidal, kBackwardEuler };
+
+struct TranOptions {
+  double t_stop = 1e-9;   ///< simulation end time [s]
+  double dt = 0.25e-12;   ///< fixed timestep [s]
+  Integrator method = Integrator::kTrapezoidal;
+};
+
+class TransientResult {
+ public:
+  TransientResult(double dt, std::size_t node_count, std::size_t steps)
+      : dt_(dt), node_count_(node_count), steps_(steps),
+        data_(node_count * steps, 0.0) {}
+
+  [[nodiscard]] double dt() const noexcept { return dt_; }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+
+  /// Voltage of node `n` at step `k` (node 0 = ground = 0 V always).
+  [[nodiscard]] double v(std::size_t n, std::size_t k) const {
+    return n == 0 ? 0.0 : data_.at((n - 1) * steps_ + k);
+  }
+  void set(std::size_t n, std::size_t k, double val) {
+    if (n > 0) data_.at((n - 1) * steps_ + k) = val;
+  }
+
+  /// Extract a node's full waveform.
+  [[nodiscard]] Waveform waveform(std::size_t node) const;
+
+ private:
+  double dt_;
+  std::size_t node_count_;  ///< including ground
+  std::size_t steps_;
+  std::vector<double> data_;  ///< (node-1) major, step minor
+};
+
+/// Simulate. Throws std::runtime_error if the MNA matrix is singular
+/// (floating nodes) and std::invalid_argument for a bad option set.
+[[nodiscard]] TransientResult simulate(const Circuit& ckt, const TranOptions& opt);
+
+}  // namespace nw::spice

@@ -1,0 +1,68 @@
+#include "spice/vcd.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nw::spice {
+
+void write_vcd(std::ostream& os, const Circuit& ckt, const TransientResult& result,
+               std::vector<std::size_t> nodes, const VcdOptions& opt) {
+  if (opt.stride == 0) throw std::invalid_argument("write_vcd: zero stride");
+  for (const auto n : nodes) {
+    if (n == 0 || n >= ckt.node_count()) {
+      throw std::invalid_argument("write_vcd: bad node index");
+    }
+  }
+
+  // Identifier codes: printable ASCII starting at '!'.
+  auto code_of = [](std::size_t i) {
+    std::string code;
+    std::size_t v = i;
+    do {
+      code.push_back(static_cast<char>('!' + v % 94));
+      v /= 94;
+    } while (v > 0);
+    return code;
+  };
+
+  os << "$timescale 1fs $end\n";
+  os << "$scope module " << opt.module << " $end\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    os << "$var real 64 " << code_of(i) << ' ' << ckt.node_name(nodes[i]) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  os << std::setprecision(9);
+  std::vector<double> last(nodes.size(), NAN);
+  for (std::size_t k = 0; k < result.steps(); k += opt.stride) {
+    const auto t_fs = static_cast<long long>(
+        std::llround(result.dt() * static_cast<double>(k) / 1e-15));
+    bool stamped = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double v = result.v(nodes[i], k);
+      if (v == last[i]) continue;
+      if (!stamped) {
+        os << '#' << t_fs << "\n";
+        stamped = true;
+      }
+      os << 'r' << v << ' ' << code_of(i) << "\n";
+      last[i] = v;
+    }
+  }
+  os << '#'
+     << static_cast<long long>(std::llround(
+            result.dt() * static_cast<double>(result.steps() - 1) / 1e-15))
+     << "\n";
+}
+
+std::string write_vcd_string(const Circuit& ckt, const TransientResult& result,
+                             std::vector<std::size_t> nodes, const VcdOptions& opt) {
+  std::ostringstream os;
+  write_vcd(os, ckt, result, std::move(nodes), opt);
+  return os.str();
+}
+
+}  // namespace nw::spice

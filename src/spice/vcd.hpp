@@ -1,0 +1,31 @@
+// VCD (Value Change Dump) export of transient waveforms, viewable in
+// GTKWave & friends. Analog node voltages are emitted as VCD `real`
+// variables.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/transient.hpp"
+
+namespace nw::spice {
+
+struct VcdOptions {
+  std::string module = "noisewin";
+  std::size_t stride = 1;   ///< emit every Nth sample (file-size control)
+};
+
+/// Dump the given nodes' waveforms. Node names come from the circuit.
+/// Throws std::invalid_argument for bad nodes or a zero stride.
+void write_vcd(std::ostream& os, const Circuit& ckt, const TransientResult& result,
+               std::vector<std::size_t> nodes, const VcdOptions& opt = {});
+
+[[nodiscard]] std::string write_vcd_string(const Circuit& ckt,
+                                           const TransientResult& result,
+                                           std::vector<std::size_t> nodes,
+                                           const VcdOptions& opt = {});
+
+}  // namespace nw::spice

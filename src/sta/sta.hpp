@@ -1,0 +1,91 @@
+// Static timing analysis: arrival windows, slews, switching windows.
+//
+// Noise-window analysis consumes three STA products:
+//   1. per-net switching windows — the time interval within which the net
+//      can transition (aggressor temporal filtering),
+//   2. per-net slew ranges — the fastest aggressor edge bounds injected
+//      noise,
+//   3. clock arrivals at sequential elements — the latch sensitivity
+//      windows that propagated noise is checked against.
+//
+// The engine is a levelized block-based STA: arrival intervals [earliest,
+// latest] for rise and fall are propagated from primary inputs and
+// sequential outputs through NLDM cell arcs and Elmore wire delays.
+// Sequential launch (CK -> Q) depends on the clock tree, which is itself
+// combinational logic, so propagation iterates to a fixpoint (two passes
+// for ordinary clock trees; bounded at `kMaxPasses`).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "parasitics/rcnet.hpp"
+#include "util/interval.hpp"
+
+namespace nw::sta {
+
+/// Arrival/slew state of one pin. Empty intervals mean "unreached".
+struct PinTiming {
+  Interval rise;             ///< [earliest, latest] rising arrival [s]
+  Interval fall;             ///< [earliest, latest] falling arrival [s]
+  double slew_min = 0.0;     ///< fastest edge seen [s]
+  double slew_max = 0.0;     ///< slowest edge seen [s]
+
+  [[nodiscard]] Interval window() const noexcept { return rise.hull(fall); }
+  [[nodiscard]] bool reached() const noexcept {
+    return !rise.is_empty() || !fall.is_empty();
+  }
+};
+
+/// Per-net summary (timing of the driving pin).
+struct NetTiming {
+  Interval window;           ///< switching window (rise u fall hull)
+  double slew_min = 0.0;
+  double slew_max = 0.0;
+  [[nodiscard]] bool switches() const noexcept { return !window.is_empty(); }
+};
+
+/// A timing endpoint and its setup slack.
+struct Endpoint {
+  PinId pin;
+  double required = 0.0;     ///< latest tolerable arrival [s]
+  double arrival = 0.0;      ///< latest actual arrival [s]
+  [[nodiscard]] double slack() const noexcept { return required - arrival; }
+};
+
+struct Options {
+  double clock_period = 1e-9;
+  std::string clock_port;                      ///< name of the clock input port
+  std::map<std::string, Interval> input_arrivals;  ///< per-port overrides
+  Interval default_input_arrival{0.0, 0.0};
+  double miller_factor = 1.0;                  ///< coupling-cap lumping for delay
+  /// Effective capacitance: account for resistive shielding of far wire
+  /// cap when looking up gate delays. The pi model's far cap is scaled by
+  /// k = Rd / (Rd + Rpi) — a strong driver behind a resistive wire sees
+  /// less of the downstream cap. Off by default (total-cap is the
+  /// conservative signoff convention).
+  bool use_ceff = false;
+};
+
+struct Result {
+  std::vector<PinTiming> pins;       ///< indexed by PinId
+  std::vector<NetTiming> nets;       ///< indexed by NetId
+  std::vector<Endpoint> endpoints;   ///< DFF D pins and output ports
+  /// Clock arrival window at each sequential instance's CK/EN pin,
+  /// indexed by position in design.sequentials().
+  std::vector<Interval> clock_arrivals;
+  int passes = 0;                    ///< fixpoint iterations used
+
+  [[nodiscard]] const NetTiming& net(NetId id) const { return nets.at(id.index()); }
+  [[nodiscard]] const PinTiming& pin(PinId id) const { return pins.at(id.index()); }
+  [[nodiscard]] double worst_slack() const noexcept;
+};
+
+/// Run STA. Throws std::runtime_error on combinational loops and
+/// std::invalid_argument on inconsistent inputs.
+[[nodiscard]] Result run(const net::Design& design, const para::Parasitics& para,
+                         const Options& options = {});
+
+}  // namespace nw::sta

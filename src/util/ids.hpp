@@ -1,0 +1,58 @@
+// Strong integer identifiers.
+//
+// Netlists index everything (nets, instances, pins, nodes). Raw size_t
+// indices are easy to cross-wire; Id<Tag> makes NetId/InstId/PinId distinct
+// types at zero runtime cost (Core Guidelines I.4: strongly typed interfaces).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace nw {
+
+/// A strongly typed index. `Tag` is an empty struct distinguishing id spaces.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() noexcept : v_(kInvalid) {}
+  constexpr explicit Id(std::size_t v) noexcept : v_(static_cast<value_type>(v)) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return v_; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept { return v_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return v_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Id a, Id b) noexcept { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Id a, Id b) noexcept { return a.v_ < b.v_; }
+
+ private:
+  value_type v_;
+};
+
+struct NetTag {};
+struct InstTag {};
+struct PinTag {};
+struct CellTag {};
+struct NodeTag {};
+
+using NetId = Id<NetTag>;
+using InstId = Id<InstTag>;
+using PinId = Id<PinTag>;
+using CellId = Id<CellTag>;
+using NodeId = Id<NodeTag>;
+
+}  // namespace nw
+
+namespace std {
+template <typename Tag>
+struct hash<nw::Id<Tag>> {
+  size_t operator()(nw::Id<Tag> id) const noexcept {
+    return std::hash<typename nw::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,128 @@
+// The noisewin CLI driver, exercised in-process (file and demo flows).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "gen/bus.hpp"
+#include "library/liberty_io.hpp"
+#include "netlist/verilog.hpp"
+#include "parasitics/spef.hpp"
+#include "tools/cli.hpp"
+#include "util/units.hpp"
+
+namespace nw {
+namespace {
+
+namespace fs = std::filesystem;
+
+int run(const std::vector<std::string>& args, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int rc = cli::run_cli(args, out, err);
+  if (out_text) *out_text = out.str();
+  if (err_text) *err_text = err.str();
+  return rc;
+}
+
+TEST(Cli, UsageErrors) {
+  std::string err;
+  EXPECT_EQ(run({}, nullptr, &err), 1);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+  EXPECT_EQ(run({"--bogus"}, nullptr, &err), 1);
+  EXPECT_EQ(run({"--mode", "nonsense", "--demo", "bus"}, nullptr, &err), 1);
+  EXPECT_EQ(run({"--demo"}, nullptr, &err), 1);               // missing value
+  EXPECT_EQ(run({"--demo", "bus", "--lib", "x"}, nullptr, &err), 1);  // both sources
+}
+
+TEST(Cli, DemoRuns) {
+  for (const char* demo : {"bus", "logic", "pipeline"}) {
+    std::string out;
+    const int rc = run({"--demo", demo, "--mode", "noise-windows"}, &out);
+    EXPECT_TRUE(rc == 0 || rc == 2) << demo;
+    EXPECT_NE(out.find("noisewin report"), std::string::npos) << demo;
+  }
+}
+
+TEST(Cli, DemoUnknownFails) {
+  std::string err;
+  EXPECT_EQ(run({"--demo", "nope"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown demo"), std::string::npos);
+}
+
+TEST(Cli, FileFlowEndToEnd) {
+  // Write library/netlist/spef/arrivals for a generated bus, then run the
+  // CLI against the files.
+  const lib::Library library = lib::default_library();
+  gen::BusConfig cfg;
+  cfg.bits = 8;
+  cfg.segments = 2;
+  const gen::Generated g = gen::make_bus(library, cfg);
+
+  const fs::path dir = fs::temp_directory_path() / "noisewin_cli_test";
+  fs::create_directories(dir);
+  const auto lib_path = (dir / "lib.nlib").string();
+  const auto nv_path = (dir / "top.nv").string();
+  const auto spef_path = (dir / "top.nwspef").string();
+  const auto arr_path = (dir / "arrivals.txt").string();
+  const auto rpt_path = (dir / "out.rpt").string();
+
+  {
+    std::ofstream f(lib_path);
+    lib::write_library(f, library);
+  }
+  {
+    std::ofstream f(nv_path);
+    net::write_netlist(f, g.design);
+  }
+  {
+    std::ofstream f(spef_path);
+    para::write_spef(f, g.design, g.para);
+  }
+  {
+    std::ofstream f(arr_path);
+    f << "# port lo hi\n";
+    for (const auto& [port, win] : g.sta_options.input_arrivals) {
+      f << port << ' ' << win.lo << ' ' << win.hi << "\n";
+    }
+  }
+
+  std::string out;
+  std::string err;
+  const int rc = run({"--lib", lib_path, "--netlist", nv_path, "--spef", spef_path,
+                      "--arrivals", arr_path, "--mode", "noise-windows", "--period",
+                      "2e-9", "--report", rpt_path, "--delay-impact"},
+                     &out, &err);
+  EXPECT_TRUE(rc == 0 || rc == 2) << err;
+  EXPECT_NE(out.find("report written to"), std::string::npos);
+  std::ifstream rpt(rpt_path);
+  ASSERT_TRUE(rpt.good());
+  std::stringstream content;
+  content << rpt.rdbuf();
+  EXPECT_NE(content.str().find("noisewin report: design 'bus8'"), std::string::npos);
+  EXPECT_NE(content.str().find("crosstalk delay impact"), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
+TEST(Cli, MissingFileFails) {
+  std::string err;
+  EXPECT_EQ(run({"--lib", "/nonexistent.nlib", "--netlist", "/x.nv", "--spef", "/x.sp"},
+                nullptr, &err),
+            1);
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, ModelSelection) {
+  std::string out;
+  const int rc =
+      run({"--demo", "bus", "--model", "reduced-mna", "--mode", "switching-windows"}, &out);
+  EXPECT_TRUE(rc == 0 || rc == 2);
+  EXPECT_NE(out.find("model: reduced-mna"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nw

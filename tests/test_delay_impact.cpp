@@ -1,0 +1,121 @@
+// Crosstalk delay-impact computation (noise-on-delay).
+#include <gtest/gtest.h>
+
+#include "gen/bus.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/delay_impact.hpp"
+#include "sta/sta.hpp"
+#include "util/units.hpp"
+
+namespace nw::noise {
+namespace {
+
+gen::BusConfig bus_cfg(std::size_t stagger_groups) {
+  gen::BusConfig cfg;
+  cfg.bits = 12;
+  cfg.segments = 3;
+  cfg.coupling_adj = 6 * FF;
+  cfg.stagger_groups = stagger_groups;
+  cfg.stagger = 400 * PS;
+  cfg.window_width = 40 * PS;
+  cfg.jitter = 0.0;
+  return cfg;
+}
+
+struct Fixture {
+  lib::Library library = lib::default_library();
+  gen::Generated g;
+
+  explicit Fixture(std::size_t stagger_groups)
+      : g(gen::make_bus(library, bus_cfg(stagger_groups))) {}
+};
+
+TEST(DelayImpact, AlignedAggressorsShiftDelay) {
+  Fixture f(1);  // all windows coincide: aggressors align with victim edges
+  const sta::Result timing = sta::run(f.g.design, f.g.para, f.g.sta_options);
+  Options o;
+  o.clock_period = f.g.sta_options.clock_period;
+  const Result r = analyze(f.g.design, f.g.para, timing, o);
+  const DelayImpactSummary impact = compute_delay_impact(f.g.design, timing, r, o);
+
+  EXPECT_GT(impact.affected_nets, 0u);
+  EXPECT_GT(impact.total_delta, 0.0);
+  EXPECT_GE(impact.max_delta, impact.total_delta / static_cast<double>(impact.affected_nets));
+  const NetId victim = *f.g.design.find_net("w6");
+  EXPECT_GT(impact.net(victim).delta_delay, 0.0);
+  // delta = (peak/vdd) * slew by construction.
+  const auto& di = impact.net(victim);
+  EXPECT_NEAR(di.delta_delay,
+              di.peak_during_transition / f.library.vdd() *
+                  timing.net(victim).slew_max,
+              1e-15);
+}
+
+TEST(DelayImpact, DisjointWindowsRemoveImpact) {
+  // Victim in group 0, neighbours in other groups 400 ps away: nothing can
+  // align with the victim's own transition, so windows zero the impact —
+  // while the no-filtering mode still reports it (the pessimism).
+  Fixture f(4);
+  const sta::Result timing = sta::run(f.g.design, f.g.para, f.g.sta_options);
+  const NetId victim = *f.g.design.find_net("w4");  // group 0
+
+  Options windows;
+  windows.clock_period = f.g.sta_options.clock_period;
+  const Result r_win = analyze(f.g.design, f.g.para, timing, windows);
+  const DelayImpactSummary with_windows =
+      compute_delay_impact(f.g.design, timing, r_win, windows);
+
+  Options none = windows;
+  none.mode = AnalysisMode::kNoFiltering;
+  const Result r_none = analyze(f.g.design, f.g.para, timing, none);
+  const DelayImpactSummary without =
+      compute_delay_impact(f.g.design, timing, r_none, none);
+
+  EXPECT_GT(without.net(victim).delta_delay, 0.0);
+  EXPECT_LT(with_windows.net(victim).delta_delay, without.net(victim).delta_delay);
+  EXPECT_LT(with_windows.total_delta, without.total_delta);
+}
+
+TEST(DelayImpact, QuietNetsHaveNoImpact) {
+  Fixture f(1);
+  const sta::Result timing = sta::run(f.g.design, f.g.para, f.g.sta_options);
+  Options o;
+  o.clock_period = f.g.sta_options.clock_period;
+  const Result r = analyze(f.g.design, f.g.para, timing, o);
+  const DelayImpactSummary impact = compute_delay_impact(f.g.design, timing, r, o);
+  for (std::size_t i = 0; i < f.g.design.net_count(); ++i) {
+    if (!timing.nets[i].switches()) {
+      EXPECT_DOUBLE_EQ(impact.nets[i].delta_delay, 0.0);
+    }
+  }
+}
+
+TEST(DelayImpact, MismatchThrows) {
+  Fixture f(1);
+  const sta::Result timing = sta::run(f.g.design, f.g.para, f.g.sta_options);
+  const Result bogus;
+  EXPECT_THROW((void)compute_delay_impact(f.g.design, timing, bogus, Options{}),
+               std::invalid_argument);
+}
+
+TEST(DelayImpact, ConstraintsReduceImpact) {
+  Fixture f(1);
+  const sta::Result timing = sta::run(f.g.design, f.g.para, f.g.sta_options);
+  const NetId victim = *f.g.design.find_net("w6");
+
+  Options o;
+  o.clock_period = f.g.sta_options.clock_period;
+  const Result r = analyze(f.g.design, f.g.para, timing, o);
+  const double before = compute_delay_impact(f.g.design, timing, r, o).net(victim).delta_delay;
+
+  Options oc = o;
+  const std::vector<NetId> grp{*f.g.design.find_net("w5"), *f.g.design.find_net("w7")};
+  oc.constraints.add_mutex_group(grp);
+  const Result rc = analyze(f.g.design, f.g.para, timing, oc);
+  const double after =
+      compute_delay_impact(f.g.design, timing, rc, oc).net(victim).delta_delay;
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace nw::noise

@@ -1,0 +1,194 @@
+// Dense linear algebra: LU, Cholesky, inversion, matrix properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense.hpp"
+#include "util/rng.hpp"
+
+namespace nw::la {
+namespace {
+
+Matrix random_matrix(Rng& rng, std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  // Diagonal boost keeps it comfortably nonsingular.
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += 2.0 * static_cast<double>(n);
+  return m;
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix id = Matrix::identity(3);
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y = id.multiply(x);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 2;
+  Matrix b = a;
+  b *= 3.0;
+  const Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 8.0);
+  const Matrix d = c - a;
+  EXPECT_DOUBLE_EQ(d(0, 0), 3.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(3, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW((void)a.multiply(b), std::invalid_argument);
+  EXPECT_THROW((void)a.at(5, 0), std::out_of_range);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a(2, 3);
+  a(0, 1) = 7.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 7.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const LuFactor lu(a);
+  const Vector x = lu.solve(Vector{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(lu.determinant(), 5.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const LuFactor lu(a);
+  const Vector x = lu.solve(Vector{3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuFactor{a}, std::runtime_error);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.below(20);
+    const Matrix a = random_matrix(rng, n);
+    Vector x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-3.0, 3.0);
+    const Vector b = a.multiply(x_true);
+    const LuFactor lu(a);
+    const Vector x = lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(Inverse, RoundTrip) {
+  Rng rng(23);
+  const Matrix a = random_matrix(rng, 6);
+  const Matrix inv = inverse(a);
+  const Matrix prod = a.multiply(inv);
+  const Matrix err = prod - Matrix::identity(6);
+  EXPECT_LT(err.max_abs(), 1e-9);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  // A = M M^T is SPD for nonsingular M.
+  Rng rng(31);
+  const Matrix m = random_matrix(rng, 5);
+  const Matrix a = m.multiply(m.transposed());
+  Vector x_true{1, -2, 3, -4, 5};
+  const Vector b = a.multiply(x_true);
+  const CholeskyFactor chol(a);
+  const Vector x = chol.solve(b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  EXPECT_THROW(CholeskyFactor{a}, std::runtime_error);
+}
+
+TEST(IsSpd, Classification) {
+  Matrix spd(2, 2);
+  spd(0, 0) = 2;
+  spd(0, 1) = 1;
+  spd(1, 0) = 1;
+  spd(1, 1) = 2;
+  EXPECT_TRUE(is_spd(spd));
+
+  Matrix asym = spd;
+  asym(0, 1) = 0.5;
+  EXPECT_FALSE(is_spd(asym));
+
+  Matrix indef(2, 2);
+  indef(0, 0) = 1;
+  indef(1, 1) = -1;
+  EXPECT_FALSE(is_spd(indef));
+}
+
+TEST(DiagonalDominance, Classification) {
+  Matrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = -1;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_TRUE(is_strictly_diagonally_dominant(a));
+  a(0, 1) = -3;
+  EXPECT_FALSE(is_strictly_diagonally_dominant(a));
+}
+
+/// Conductance matrices of grounded resistor networks are SPD and
+/// diagonally dominant — the property the noise engine's passivity
+/// arguments lean on. Build random networks and check.
+class ConductanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConductanceProperty, GroundedNetworksAreSpd) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const std::size_t n = 3 + rng.below(8);
+  Matrix g(n, n);
+  // Random conductances between node pairs and each node to ground.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!rng.chance(0.5)) continue;
+      const double c = rng.uniform(0.1, 2.0);
+      g(i, i) += c;
+      g(j, j) += c;
+      g(i, j) -= c;
+      g(j, i) -= c;
+    }
+    const double gnd = rng.uniform(0.1, 1.0);
+    g(i, i) += gnd;
+  }
+  EXPECT_TRUE(is_spd(g));
+  EXPECT_TRUE(is_strictly_diagonally_dominant(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConductanceProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace nw::la

@@ -1,0 +1,170 @@
+// Sparse assembly, CSR, sparse LU (vs dense reference), conjugate gradient.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/dense.hpp"
+#include "la/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace nw::la {
+namespace {
+
+TEST(TripletBuilder, StampsAccumulate) {
+  TripletBuilder b(3);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(1, 2, -0.5);
+  EXPECT_DOUBLE_EQ(b.get(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(b.get(1, 2), -0.5);
+  EXPECT_DOUBLE_EQ(b.get(2, 2), 0.0);
+  EXPECT_EQ(b.nonzeros(), 2u);
+  EXPECT_THROW(b.add(3, 0, 1.0), std::out_of_range);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(7);
+  const std::size_t n = 12;
+  TripletBuilder b(n);
+  Matrix dense(n, n);
+  for (int k = 0; k < 40; ++k) {
+    const auto r = rng.below(n);
+    const auto c = rng.below(n);
+    const double v = rng.uniform(-2.0, 2.0);
+    b.add(r, c, v);
+    dense(r, c) += v;
+  }
+  const SparseMatrix sp(b);
+  Vector x(n);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const Vector y_sp = sp.multiply(x);
+  const Vector y_dn = dense.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y_sp[i], y_dn[i], 1e-12);
+}
+
+TEST(SparseMatrix, GetEntry) {
+  TripletBuilder b(3);
+  b.add(1, 2, 5.0);
+  const SparseMatrix sp(b);
+  EXPECT_DOUBLE_EQ(sp.get(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(sp.get(0, 0), 0.0);
+  EXPECT_EQ(sp.nonzeros(), 1u);
+}
+
+TEST(SparseLu, SolvesSmallSystem) {
+  TripletBuilder b(2);
+  b.add(0, 0, 2.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 3.0);
+  const SparseLu lu(b);
+  const auto x = lu.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, PivotsOnZeroDiagonal) {
+  TripletBuilder b(2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  const SparseLu lu(b);
+  const auto x = lu.solve(std::vector<double>{3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseLu, SingularThrows) {
+  TripletBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 2.0);
+  b.add(1, 1, 4.0);
+  EXPECT_THROW(SparseLu{b}, std::runtime_error);
+}
+
+TEST(SparseLu, BadThresholdThrows) {
+  TripletBuilder b(1);
+  b.add(0, 0, 1.0);
+  EXPECT_THROW(SparseLu(b, 0.0), std::invalid_argument);
+  EXPECT_THROW(SparseLu(b, 1.5), std::invalid_argument);
+}
+
+/// Property sweep: sparse LU matches dense LU on random sparse systems of
+/// varying size, including MNA-like indefinite ones.
+class SparseLuRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseLuRandom, MatchesDense) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const std::size_t n = 3 + rng.below(30);
+  TripletBuilder b(n);
+  Matrix dense(n, n);
+  // Sparse random entries + strong-ish diagonal, then knock a few diagonal
+  // entries to zero to force pivoting.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = rng.uniform(1.0, 4.0);
+    b.add(i, i, d);
+    dense(i, i) += d;
+    for (int k = 0; k < 3; ++k) {
+      const auto j = rng.below(n);
+      if (j == i) continue;
+      const double v = rng.uniform(-1.0, 1.0);
+      b.add(i, j, v);
+      dense(i, j) += v;
+    }
+  }
+  // Off-diagonal swap rows to create structural pivoting pressure.
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+  const Vector rhs = dense.multiply(x_true);
+  const SparseLu slu(b);
+  const auto x = slu.solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+  EXPECT_GE(slu.factor_nonzeros(), n);  // at least the diagonal
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseLuRandom, ::testing::Range(0, 25));
+
+TEST(SparseLu, RepeatedSolves) {
+  // Transient simulation re-solves with many right-hand sides.
+  TripletBuilder b(3);
+  b.add(0, 0, 4.0);
+  b.add(1, 1, 5.0);
+  b.add(2, 2, 6.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 2, 1.0);
+  const SparseLu lu(b);
+  for (int k = 0; k < 5; ++k) {
+    const double s = static_cast<double>(k);
+    const auto x = lu.solve(std::vector<double>{4 * s + s, 5 * s + s, 6 * s});
+    EXPECT_NEAR(x[2], s, 1e-12);
+  }
+}
+
+TEST(ConjugateGradient, SolvesSpdSystem) {
+  // Grounded resistor ladder conductance matrix (SPD).
+  const std::size_t n = 10;
+  TripletBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i + 1 < n) {
+      b.add(i, i + 1, -1.0);
+      b.add(i + 1, i, -1.0);
+    }
+  }
+  const SparseMatrix a(b);
+  std::vector<double> x_true(n, 1.0);
+  const auto rhs = a.multiply(x_true);
+  const auto x = conjugate_gradient(a, rhs, 1e-12, 1000);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], 1.0, 1e-8);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZero) {
+  TripletBuilder b(3);
+  for (std::size_t i = 0; i < 3; ++i) b.add(i, i, 1.0);
+  const SparseMatrix a(b);
+  const auto x = conjugate_gradient(a, std::vector<double>{0, 0, 0});
+  for (const double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace nw::la

@@ -1,0 +1,83 @@
+// .nlib serialization round-trip and error handling.
+#include <gtest/gtest.h>
+
+#include "library/liberty_io.hpp"
+
+namespace nw::lib {
+namespace {
+
+TEST(LibertyIo, RoundTripDefaultLibrary) {
+  const Library lib = default_library();
+  const std::string text = write_library_string(lib);
+  const Library back = read_library_string(text);
+
+  EXPECT_EQ(back.name(), lib.name());
+  EXPECT_DOUBLE_EQ(back.vdd(), lib.vdd());
+  ASSERT_EQ(back.size(), lib.size());
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const Cell& a = lib.cell(i);
+    const Cell& b = back.cell(i);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_DOUBLE_EQ(a.drive_resistance, b.drive_resistance);
+    EXPECT_DOUBLE_EQ(a.holding_resistance, b.holding_resistance);
+    EXPECT_DOUBLE_EQ(a.setup, b.setup);
+    EXPECT_DOUBLE_EQ(a.hold, b.hold);
+    ASSERT_EQ(a.pins.size(), b.pins.size());
+    for (std::size_t p = 0; p < a.pins.size(); ++p) {
+      EXPECT_EQ(a.pins[p].name, b.pins[p].name);
+      EXPECT_EQ(a.pins[p].dir, b.pins[p].dir);
+      EXPECT_EQ(a.pins[p].role, b.pins[p].role);
+      EXPECT_DOUBLE_EQ(a.pins[p].cap, b.pins[p].cap);
+    }
+    ASSERT_EQ(a.arcs.size(), b.arcs.size());
+    for (std::size_t k = 0; k < a.arcs.size(); ++k) {
+      EXPECT_EQ(a.arcs[k].from_pin, b.arcs[k].from_pin);
+      EXPECT_EQ(a.arcs[k].to_pin, b.arcs[k].to_pin);
+      EXPECT_EQ(a.arcs[k].sense, b.arcs[k].sense);
+      // Exact table round-trip at a probe point.
+      EXPECT_DOUBLE_EQ(a.arcs[k].delay_rise.lookup(3e-11, 1e-14),
+                       b.arcs[k].delay_rise.lookup(3e-11, 1e-14));
+      EXPECT_DOUBLE_EQ(a.arcs[k].slew_fall.lookup(1e-10, 5e-14),
+                       b.arcs[k].slew_fall.lookup(1e-10, 5e-14));
+    }
+    EXPECT_DOUBLE_EQ(a.immunity.threshold(7e-11), b.immunity.threshold(7e-11));
+    EXPECT_DOUBLE_EQ(a.propagation.out_peak.lookup(0.6, 1e-10),
+                     b.propagation.out_peak.lookup(0.6, 1e-10));
+    EXPECT_DOUBLE_EQ(a.propagation.out_width.lookup(0.6, 1e-10),
+                     b.propagation.out_width.lookup(0.6, 1e-10));
+  }
+}
+
+TEST(LibertyIo, DoubleRoundTripIsIdentical) {
+  const Library lib = default_library();
+  const std::string once = write_library_string(lib);
+  const std::string twice = write_library_string(read_library_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(LibertyIo, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "library t vdd 1\n"
+      "# another\n"
+      "end_library\n";
+  const Library lib = read_library_string(text);
+  EXPECT_EQ(lib.name(), "t");
+  EXPECT_EQ(lib.size(), 0u);
+}
+
+TEST(LibertyIo, Errors) {
+  EXPECT_THROW((void)read_library_string("bogus\n"), std::runtime_error);
+  EXPECT_THROW((void)read_library_string("library t vdd 1\n"), std::runtime_error);
+  EXPECT_THROW((void)read_library_string("library t vdd 1\npin A input role none cap 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)read_library_string("library t vdd 1\ncell C kind bogus drive 1 holdres 1 "
+                                "setup 0 holdt 0\nend_cell\nend_library\n"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nw::lib

@@ -1,0 +1,90 @@
+// Noise report rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/pipeline.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/delay_impact.hpp"
+#include "noise/report_writer.hpp"
+#include "sta/sta.hpp"
+#include "util/units.hpp"
+
+namespace nw::noise {
+namespace {
+
+gen::PipelineConfig pipe_cfg() {
+  gen::PipelineConfig cfg;
+  cfg.paths = 32;
+  cfg.coupling_cap = 28 * FF;
+  return cfg;
+}
+
+struct Fixture {
+  lib::Library library = lib::default_library();
+  gen::Generated g = gen::make_pipeline(library, pipe_cfg());
+  sta::Result timing;
+  Options opt;
+  Result result;
+
+  Fixture() {
+    timing = sta::run(g.design, g.para, g.sta_options);
+    opt.mode = AnalysisMode::kNoFiltering;  // guarantees violations
+    opt.clock_period = g.sta_options.clock_period;
+    result = analyze(g.design, g.para, timing, opt);
+  }
+};
+
+TEST(ReportWriter, ContainsSummaryAndTables) {
+  const Fixture f;
+  ASSERT_GT(f.result.violations.size(), 0u);
+  const std::string text = report_string(f.g.design, f.opt, f.result);
+  EXPECT_NE(text.find("noisewin report"), std::string::npos);
+  EXPECT_NE(text.find("mode: no-filtering"), std::string::npos);
+  EXPECT_NE(text.find("violations: " + std::to_string(f.result.violations.size())),
+            std::string::npos);
+  EXPECT_NE(text.find("-- violations"), std::string::npos);
+  EXPECT_NE(text.find("-- worst nets by combined peak --"), std::string::npos);
+  // The worst violation's endpoint name appears.
+  EXPECT_NE(text.find(f.g.design.pin_name(f.result.violations.front().endpoint)),
+            std::string::npos);
+  // And its origin trace with the aggressor list.
+  EXPECT_NE(text.find("worst violation origin:"), std::string::npos);
+  EXPECT_NE(text.find("[aggressors:"), std::string::npos);
+}
+
+TEST(ReportWriter, CapsRows) {
+  const Fixture f;
+  ReportOptions ropt;
+  ropt.max_violations = 3;
+  const std::string text = report_string(f.g.design, f.opt, f.result, ropt);
+  if (f.result.violations.size() > 3) {
+    EXPECT_NE(text.find("showing 3 of"), std::string::npos) << text;
+  }
+}
+
+TEST(ReportWriter, CleanDesignHasNoViolationSection) {
+  const Fixture f;
+  Options opt = f.opt;
+  opt.mode = AnalysisMode::kNoiseWindows;  // pipeline glitches are early
+  const Result clean = analyze(f.g.design, f.g.para, f.timing, opt);
+  ASSERT_EQ(clean.violations.size(), 0u);
+  const std::string text = report_string(f.g.design, opt, clean);
+  EXPECT_EQ(text.find("-- violations"), std::string::npos);
+  EXPECT_NE(text.find("violations: 0"), std::string::npos);
+}
+
+TEST(ReportWriter, DelayImpactSection) {
+  const Fixture f;
+  const DelayImpactSummary impact =
+      compute_delay_impact(f.g.design, f.timing, f.result, f.opt);
+  std::ostringstream os;
+  write_delay_impact(os, f.g.design, impact);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("crosstalk delay impact"), std::string::npos);
+  EXPECT_NE(text.find("affected nets: " + std::to_string(impact.affected_nets)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nw::noise

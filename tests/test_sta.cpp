@@ -1,0 +1,248 @@
+// Static timing: arrival windows, slews, clock propagation, endpoints.
+#include <gtest/gtest.h>
+
+#include "gen/bus.hpp"
+#include "gen/pipeline.hpp"
+#include "library/library.hpp"
+#include "netlist/design.hpp"
+#include "parasitics/rcnet.hpp"
+#include "sta/sta.hpp"
+#include "util/units.hpp"
+
+namespace nw::sta {
+namespace {
+
+class StaTest : public ::testing::Test {
+ protected:
+  lib::Library library_ = lib::default_library();
+};
+
+TEST_F(StaTest, ChainDelaysAccumulate) {
+  net::Design d(library_, "chain");
+  const NetId n0 = d.add_net("n0");
+  const NetId n1 = d.add_net("n1");
+  const NetId n2 = d.add_net("n2");
+  d.add_input_port("in", n0, {500.0, 20 * PS});
+  const InstId g1 = d.add_instance("g1", "INV_X1");
+  const InstId g2 = d.add_instance("g2", "INV_X1");
+  d.connect(g1, "A", n0);
+  d.connect(g1, "Y", n1);
+  d.connect(g2, "A", n1);
+  d.connect(g2, "Y", n2);
+  d.add_output_port("out", n2);
+
+  para::Parasitics p(d.net_count());
+  for (std::size_t i = 0; i < d.net_count(); ++i) p.net(NetId{i}).add_cap(0, 2e-15);
+
+  Options opt;
+  opt.clock_period = 1 * NS;
+  const Result r = run(d, p, opt);
+
+  // Arrivals strictly increase along the chain.
+  EXPECT_DOUBLE_EQ(r.net(n0).window.lo, 0.0);
+  EXPECT_GT(r.net(n1).window.lo, 0.0);
+  EXPECT_GT(r.net(n2).window.lo, r.net(n1).window.lo);
+  EXPECT_TRUE(r.net(n2).switches());
+  // One PO endpoint with positive slack at a relaxed period.
+  ASSERT_EQ(r.endpoints.size(), 1u);
+  EXPECT_GT(r.endpoints[0].slack(), 0.0);
+  EXPECT_GT(r.worst_slack(), 0.0);
+}
+
+TEST_F(StaTest, InputArrivalWindowPropagates) {
+  net::Design d(library_, "win");
+  const NetId n0 = d.add_net("n0");
+  const NetId n1 = d.add_net("n1");
+  d.add_input_port("in", n0, {500.0, 20 * PS});
+  const InstId g = d.add_instance("g", "BUF_X1");
+  d.connect(g, "A", n0);
+  d.connect(g, "Y", n1);
+  d.add_output_port("out", n1);
+  para::Parasitics p(d.net_count());
+  for (std::size_t i = 0; i < d.net_count(); ++i) p.net(NetId{i}).add_cap(0, 2e-15);
+
+  Options opt;
+  opt.input_arrivals["in"] = Interval{100 * PS, 250 * PS};
+  const Result r = run(d, p, opt);
+  // Window width is preserved (same min/max path) and shifted by delay.
+  EXPECT_NEAR(r.net(n1).window.length(), 150 * PS, 1 * PS);
+  EXPECT_GT(r.net(n1).window.lo, 100 * PS);
+}
+
+TEST_F(StaTest, WireDelayShiftsLoadPins) {
+  net::Design d(library_, "wire");
+  const NetId n0 = d.add_net("n0");
+  const NetId n1 = d.add_net("n1");
+  d.add_input_port("in", n0, {500.0, 20 * PS});
+  const InstId g = d.add_instance("g", "INV_X1");
+  d.connect(g, "A", n0);
+  d.connect(g, "Y", n1);
+  d.add_output_port("out", n1);
+
+  // Large wire RC on n0.
+  para::Parasitics p(d.net_count());
+  para::RcNet& rc = p.net(n0);
+  const auto far = rc.add_node(50e-15);
+  rc.add_res(0, far, 2000.0);
+  rc.attach_pin(far, d.net(n0).loads.front());
+  p.net(n1).add_cap(0, 2e-15);
+
+  const Result r = run(d, p, {});
+  // The receiving gate sees the Elmore-delayed arrival; with ~100 ps of
+  // wire delay the output must arrive later than the gate delay alone.
+  const Result r_nowire = [&] {
+    para::Parasitics p2(d.net_count());
+    p2.net(n0).add_cap(0, 50e-15);  // same cap, no resistance
+    p2.net(n1).add_cap(0, 2e-15);
+    return run(d, p2, {});
+  }();
+  EXPECT_GT(r.net(n1).window.lo, r_nowire.net(n1).window.lo + 50 * PS);
+}
+
+TEST_F(StaTest, NonUnateExpandsWindow) {
+  net::Design d(library_, "xor");
+  const NetId a = d.add_net("a");
+  const NetId b = d.add_net("b");
+  const NetId y = d.add_net("y");
+  d.add_input_port("ia", a, {500.0, 20 * PS});
+  d.add_input_port("ib", b, {500.0, 20 * PS});
+  const InstId g = d.add_instance("g", "XOR2_X1");
+  d.connect(g, "A", a);
+  d.connect(g, "B", b);
+  d.connect(g, "Y", y);
+  d.add_output_port("out", y);
+  para::Parasitics p(d.net_count());
+  for (std::size_t i = 0; i < d.net_count(); ++i) p.net(NetId{i}).add_cap(0, 2e-15);
+
+  Options opt;
+  opt.input_arrivals["ia"] = Interval{0.0, 50 * PS};
+  opt.input_arrivals["ib"] = Interval{200 * PS, 300 * PS};
+  const Result r = run(d, p, opt);
+  // The output can switch from either input: window spans both.
+  EXPECT_LT(r.net(y).window.lo, 150 * PS);
+  EXPECT_GT(r.net(y).window.hi, 200 * PS);
+}
+
+TEST_F(StaTest, SequentialLaunchUsesClockTree) {
+  gen::PipelineConfig cfg;
+  cfg.paths = 4;
+  gen::Generated g = gen::make_pipeline(lib::default_library(), cfg);
+  // Use the member library to keep lifetimes simple.
+  gen::Generated g2 = gen::make_pipeline(library_, cfg);
+  const Result r = run(g2.design, g2.para, g2.sta_options);
+  // Every capture-flop data pin is an endpoint; all reachable.
+  EXPECT_EQ(r.endpoints.size(), 2u * cfg.paths + cfg.paths);  // D pins + POs
+  // Clock arrivals exist and are positive (root + leaf buffer delays).
+  ASSERT_EQ(r.clock_arrivals.size(), g2.design.sequentials().size());
+  for (const auto& clk : r.clock_arrivals) {
+    ASSERT_FALSE(clk.is_empty());
+    EXPECT_GT(clk.lo, 0.0);
+  }
+  // Fixpoint needed more than one pass (flop launch after clock tree).
+  EXPECT_GE(r.passes, 2);
+}
+
+TEST_F(StaTest, SlewRangeTracked) {
+  gen::BusConfig cfg;
+  cfg.bits = 8;
+  gen::Generated g = gen::make_bus(library_, cfg);
+  const Result r = run(g.design, g.para, g.sta_options);
+  const NetId w0 = *g.design.find_net("w0");
+  EXPECT_GT(r.net(w0).slew_min, 0.0);
+  EXPECT_GE(r.net(w0).slew_max, r.net(w0).slew_min);
+}
+
+TEST_F(StaTest, EffectiveCapacitanceShieldsResistiveWire) {
+  // Strong driver behind a resistive wire: with Ceff the gate sees less
+  // load, so arrivals come earlier; with a near-zero wire resistance the
+  // two options agree.
+  net::Design d(library_, "ceff");
+  const NetId n0 = d.add_net("n0");
+  const NetId n1 = d.add_net("n1");
+  d.add_input_port("in", n0, {500.0, 20 * PS});
+  const InstId g = d.add_instance("g", "INV_X4");
+  d.connect(g, "A", n0);
+  d.connect(g, "Y", n1);
+  d.add_output_port("out", n1);
+
+  para::Parasitics p(d.net_count());
+  p.net(n0).add_cap(0, 2e-15);
+  // n1: heavy far cap behind a large wire resistance.
+  para::RcNet& rc = p.net(n1);
+  const auto far = rc.add_node(60e-15);
+  rc.add_res(0, far, 5000.0);
+
+  Options opt;
+  const Result plain = run(d, p, opt);
+  opt.use_ceff = true;
+  const Result ceff = run(d, p, opt);
+  EXPECT_LT(ceff.net(n1).window.hi, plain.net(n1).window.hi);
+
+  // Negligible wire resistance: shielding vanishes.
+  para::Parasitics p2(d.net_count());
+  p2.net(n0).add_cap(0, 2e-15);
+  para::RcNet& rc2 = p2.net(n1);
+  const auto far2 = rc2.add_node(60e-15);
+  rc2.add_res(0, far2, 0.01);
+  Options o2;
+  const Result a = run(d, p2, o2);
+  o2.use_ceff = true;
+  const Result b = run(d, p2, o2);
+  EXPECT_NEAR(a.net(n1).window.hi, b.net(n1).window.hi,
+              0.01 * a.net(n1).window.hi);
+}
+
+TEST_F(StaTest, MismatchedParasiticsThrow) {
+  net::Design d(library_, "x");
+  d.add_net("n");
+  para::Parasitics p(5);
+  EXPECT_THROW((void)run(d, p, {}), std::invalid_argument);
+}
+
+TEST_F(StaTest, MillerFactorIncreasesDelay) {
+  gen::BusConfig cfg;
+  cfg.bits = 8;
+  cfg.segments = 3;
+  gen::Generated g = gen::make_bus(library_, cfg);
+  sta::Options o = g.sta_options;
+  o.miller_factor = 0.0;  // coupling ignored
+  const Result light = run(g.design, g.para, o);
+  o.miller_factor = 2.0;  // worst-case switching-opposite lumping
+  const Result heavy = run(g.design, g.para, o);
+  const NetId w3 = *g.design.find_net("w3");
+  // More lumped cap -> later arrival at the receiver output.
+  const NetId r3 = *g.design.find_net("r3_0");
+  EXPECT_GT(heavy.net(r3).window.hi, light.net(r3).window.hi);
+  EXPECT_GE(heavy.net(w3).slew_max, light.net(w3).slew_max);
+}
+
+TEST_F(StaTest, EndpointSlackRespondsToPeriod) {
+  gen::PipelineConfig cfg;
+  cfg.paths = 4;
+  gen::Generated g = gen::make_pipeline(library_, cfg);
+  sta::Options o = g.sta_options;
+  o.clock_period = 2e-9;
+  const Result relaxed = run(g.design, g.para, o);
+  o.clock_period = 0.2e-9;
+  const Result tight = run(g.design, g.para, o);
+  EXPECT_GT(relaxed.worst_slack(), tight.worst_slack());
+  EXPECT_LT(tight.worst_slack(), 0.0);  // 200 ps is infeasible here
+}
+
+TEST_F(StaTest, UnreachedNetsDoNotSwitch) {
+  net::Design d(library_, "dangling");
+  const NetId n = d.add_net("n");
+  const NetId y = d.add_net("y");
+  const InstId g = d.add_instance("g", "INV_X1");
+  d.connect(g, "A", n);  // n has no driver: never switches
+  d.connect(g, "Y", y);
+  d.add_output_port("out", y);
+  para::Parasitics p(d.net_count());
+  const Result r = run(d, p, {});
+  EXPECT_FALSE(r.net(n).switches());
+  EXPECT_FALSE(r.net(y).switches());
+  EXPECT_TRUE(r.endpoints.empty());
+}
+
+}  // namespace
+}  // namespace nw::sta

@@ -1,0 +1,93 @@
+// Lookup tables: interpolation, extrapolation, axis validation.
+#include <gtest/gtest.h>
+
+#include "library/table.hpp"
+
+namespace nw::lib {
+namespace {
+
+TEST(Locate, FindsSegments) {
+  const std::vector<double> axis{0.0, 1.0, 3.0};
+  EXPECT_EQ(locate(axis, 0.5).seg, 0u);
+  EXPECT_NEAR(locate(axis, 0.5).frac, 0.5, 1e-12);
+  EXPECT_EQ(locate(axis, 2.0).seg, 1u);
+  EXPECT_NEAR(locate(axis, 2.0).frac, 0.5, 1e-12);
+  // Extrapolation: frac outside [0,1].
+  EXPECT_EQ(locate(axis, -1.0).seg, 0u);
+  EXPECT_NEAR(locate(axis, -1.0).frac, -1.0, 1e-12);
+  EXPECT_EQ(locate(axis, 5.0).seg, 1u);
+  EXPECT_NEAR(locate(axis, 5.0).frac, 2.0, 1e-12);
+}
+
+TEST(Table1D, InterpolatesLinearly) {
+  const Table1D t({0.0, 1.0, 2.0}, {10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.5), 30.0);
+  EXPECT_DOUBLE_EQ(t.lookup(2.0), 40.0);
+}
+
+TEST(Table1D, ExtrapolatesFromEdges) {
+  const Table1D t({0.0, 1.0}, {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(t.lookup(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.lookup(-1.0), -10.0);
+}
+
+TEST(Table1D, SinglePointIsConstant) {
+  const Table1D t({5.0}, {3.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.lookup(100.0), 3.0);
+}
+
+TEST(Table1D, Validation) {
+  EXPECT_THROW(Table1D({1.0, 1.0}, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Table1D({2.0, 1.0}, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Table1D({1.0}, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Table1D({}, {}), std::invalid_argument);
+}
+
+TEST(Table1D, SampleFromFunction) {
+  const Table1D t = Table1D::sample({0.0, 1.0, 2.0}, [](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(t.lookup(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.5), 2.5);  // linear between 1 and 4
+}
+
+TEST(Table2D, BilinearInterpolation) {
+  // z = x + 10 y over a 2x2 grid: bilinear reproduces it exactly.
+  const Table2D t({0.0, 1.0}, {0.0, 1.0}, {0.0, 10.0, 1.0, 11.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 1.0), 11.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 0.5), 5.5);
+  EXPECT_DOUBLE_EQ(t.lookup(0.25, 0.75), 7.75);
+}
+
+TEST(Table2D, Extrapolates) {
+  const Table2D t({0.0, 1.0}, {0.0, 1.0}, {0.0, 10.0, 1.0, 11.0});
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 2.0), 20.0);
+}
+
+TEST(Table2D, DegenerateAxes) {
+  // Single x row: behaves as a 1-D table in y.
+  const Table2D ty({5.0}, {0.0, 1.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(ty.lookup(99.0, 0.5), 2.0);
+  const Table2D tx({0.0, 1.0}, {5.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(tx.lookup(0.5, 99.0), 2.0);
+  const Table2D t1({5.0}, {7.0}, {42.0});
+  EXPECT_DOUBLE_EQ(t1.lookup(0.0, 0.0), 42.0);
+}
+
+TEST(Table2D, Validation) {
+  EXPECT_THROW(Table2D({0.0, 1.0}, {0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Table2D({1.0, 0.0}, {0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Table2D, SampleFromFunction) {
+  const Table2D t = Table2D::sample({0.0, 2.0}, {0.0, 4.0},
+                                    [](double x, double y) { return x * y; });
+  EXPECT_DOUBLE_EQ(t.lookup(2.0, 4.0), 8.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 2.0), 2.0);  // bilinear of xy is exact at center
+}
+
+}  // namespace
+}  // namespace nw::lib

@@ -1,0 +1,107 @@
+// Noise origin tracing through propagation chains.
+#include <gtest/gtest.h>
+
+#include "library/library.hpp"
+#include "netlist/design.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/trace.hpp"
+#include "sta/sta.hpp"
+#include "util/units.hpp"
+
+namespace nw::noise {
+namespace {
+
+/// victim -> INV -> m1 -> BUF -> m2; the aggressor couples only to the
+/// victim, so noise on m2 must trace back two gates to the victim.
+struct ChainFixture {
+  lib::Library library = lib::default_library();
+  net::Design design{library, "chain"};
+  NetId victim, agg, m1, m2;
+
+  ChainFixture() {
+    victim = design.add_net("victim");
+    agg = design.add_net("agg");
+    m1 = design.add_net("m1");
+    m2 = design.add_net("m2");
+    design.add_input_port("vin", victim, {4000.0, 30 * PS});
+    design.add_input_port("ain", agg, {300.0, 15 * PS});
+    const InstId g1 = design.add_instance("g1", "INV_X1");
+    design.connect(g1, "A", victim);
+    design.connect(g1, "Y", m1);
+    const InstId g2 = design.add_instance("g2", "BUF_X1");
+    design.connect(g2, "A", m1);
+    design.connect(g2, "Y", m2);
+    design.add_output_port("out", m2);
+    const InstId rx = design.add_instance("rx", "INV_X1");
+    design.connect(rx, "A", agg);
+    const NetId ay = design.add_net("ay");
+    design.connect(rx, "Y", ay);
+    design.add_output_port("ao", ay);
+  }
+
+  para::Parasitics make_para() const {
+    para::Parasitics p(design.net_count());
+    for (std::size_t i = 0; i < design.net_count(); ++i) p.net(NetId{i}).add_cap(0, 2 * FF);
+    p.add_coupling(victim, 0, agg, 0, 60 * FF);
+    return p;
+  }
+};
+
+TEST(Trace, FollowsPropagationChainToOrigin) {
+  const ChainFixture f;
+  const auto p = f.make_para();
+  sta::Options sopt;
+  sopt.input_arrivals["ain"] = Interval{100 * PS, 150 * PS};
+  sopt.input_arrivals["vin"] = Interval{0.0, 0.0};
+  const auto timing = sta::run(f.design, p, sopt);
+  Options o;
+  o.mode = AnalysisMode::kNoiseWindows;
+  const Result r = analyze(f.design, p, timing, o);
+  ASSERT_GT(r.net(f.m2).total_peak, 0.0);
+
+  const NoiseTrace t = trace_origin(r, f.m2);
+  ASSERT_EQ(t.path.size(), 3u);
+  EXPECT_EQ(t.path[0].net, f.m2);
+  EXPECT_EQ(t.path[1].net, f.m1);
+  EXPECT_EQ(t.path[2].net, f.victim);
+  // The injected glitch is super-threshold here, so the chain carries it
+  // at full strength (gates amplify glitches above their switching point).
+  EXPECT_GT(t.path[2].peak, 0.5);
+  EXPECT_GT(t.path[1].peak, 0.5);
+  ASSERT_EQ(t.aggressors.size(), 1u);
+  EXPECT_EQ(t.aggressors[0], f.agg);
+
+  const std::string text = trace_string(f.design, t);
+  EXPECT_NE(text.find("m2"), std::string::npos);
+  EXPECT_NE(text.find("victim"), std::string::npos);
+  EXPECT_NE(text.find("[aggressors: agg]"), std::string::npos) << text;
+}
+
+TEST(Trace, InjectionNetIsItsOwnOrigin) {
+  const ChainFixture f;
+  const auto p = f.make_para();
+  sta::Options sopt;
+  sopt.input_arrivals["ain"] = Interval{0.0, 50 * PS};
+  sopt.input_arrivals["vin"] = Interval{0.0, 0.0};
+  const auto timing = sta::run(f.design, p, sopt);
+  const Result r = analyze(f.design, p, timing, {});
+  const NoiseTrace t = trace_origin(r, f.victim);
+  ASSERT_EQ(t.path.size(), 1u);
+  EXPECT_EQ(t.path[0].net, f.victim);
+  EXPECT_EQ(t.aggressors.size(), 1u);
+}
+
+TEST(Trace, QuietNetGivesEmptyTrace) {
+  const ChainFixture f;
+  const auto p = f.make_para();
+  const auto timing = sta::run(f.design, p, {});
+  const Result r = analyze(f.design, p, timing, {});
+  const NoiseTrace t = trace_origin(r, f.agg);  // agg itself sees ~no noise?
+  // Whether or not agg has noise, a bad id must throw and the empty case
+  // must render cleanly.
+  EXPECT_THROW((void)trace_origin(r, NetId{99999}), std::invalid_argument);
+  (void)trace_string(f.design, t);
+}
+
+}  // namespace
+}  // namespace nw::noise

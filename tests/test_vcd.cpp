@@ -1,0 +1,68 @@
+// VCD waveform export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/vcd.hpp"
+#include "util/units.hpp"
+
+namespace nw::spice {
+namespace {
+
+struct Sim {
+  Circuit ckt;
+  std::size_t n1;
+  TransientResult result;
+
+  Sim() : result(make()) {}
+
+  TransientResult make() {
+    n1 = ckt.add_node("victim");
+    const auto src = ckt.add_node("drv");
+    ckt.add_vsrc(src, 0, Pwl::ramp(0.0, 50 * PS, 0.0, 1.0));
+    ckt.add_res(src, n1, 1000.0);
+    ckt.add_cap(n1, 0, 10 * FF);
+    return simulate(ckt, {0.5 * NS, 1 * PS});
+  }
+};
+
+TEST(Vcd, HeaderAndValues) {
+  Sim s;
+  const std::string vcd = write_vcd_string(s.ckt, s.result, {s.n1});
+  EXPECT_NE(vcd.find("$timescale 1fs $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var real 64 ! victim $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("r0 !"), std::string::npos);  // initial value
+  // Final timestamp present: (steps-1) * dt in femtoseconds.
+  const auto last_fs = static_cast<long long>(
+      std::llround(s.result.dt() * static_cast<double>(s.result.steps() - 1) / 1e-15));
+  EXPECT_NE(vcd.find("#" + std::to_string(last_fs)), std::string::npos)
+      << vcd.substr(0, 400);
+}
+
+TEST(Vcd, StrideReducesSamples) {
+  Sim s;
+  const std::string fine = write_vcd_string(s.ckt, s.result, {s.n1}, {"m", 1});
+  const std::string coarse = write_vcd_string(s.ckt, s.result, {s.n1}, {"m", 50});
+  EXPECT_GT(fine.size(), 4 * coarse.size());
+}
+
+TEST(Vcd, Validation) {
+  Sim s;
+  EXPECT_THROW((void)write_vcd_string(s.ckt, s.result, {0}), std::invalid_argument);
+  EXPECT_THROW((void)write_vcd_string(s.ckt, s.result, {99}), std::invalid_argument);
+  EXPECT_THROW((void)write_vcd_string(s.ckt, s.result, {s.n1}, {"m", 0}),
+               std::invalid_argument);
+}
+
+TEST(Vcd, MultipleNodesGetDistinctCodes) {
+  Sim s;
+  const std::size_t extra = s.ckt.node_count() - 1;  // 'drv'
+  const std::string vcd = write_vcd_string(s.ckt, s.result, {s.n1, extra});
+  EXPECT_NE(vcd.find("$var real 64 ! victim $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var real 64 \" drv $end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nw::spice

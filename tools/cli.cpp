@@ -1,0 +1,240 @@
+#include "tools/cli.hpp"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/bus.hpp"
+#include "gen/pipeline.hpp"
+#include "gen/randlogic.hpp"
+#include "library/liberty_io.hpp"
+#include "netlist/verilog.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/delay_impact.hpp"
+#include "noise/report_writer.hpp"
+#include "parasitics/spef.hpp"
+#include "sta/sta.hpp"
+#include "util/strings.hpp"
+
+namespace nw::cli {
+
+namespace {
+
+struct Args {
+  std::string lib_path;
+  std::string netlist_path;
+  std::string spef_path;
+  std::string arrivals_path;
+  std::string report_path;
+  std::string demo;
+  noise::Options noise_opt;
+  bool delay_impact = false;
+  bool have_mode = false;
+};
+
+const char kUsage[] =
+    "usage: noisewin --lib L.nlib --netlist D.nv --spef P.nwspef [options]\n"
+    "       noisewin --demo bus|logic|pipeline [options]\n"
+    "options:\n"
+    "  --arrivals <file>   per-port arrival windows: '<port> <lo> <hi>' lines\n"
+    "  --mode <m>          no-filtering | switching-windows | noise-windows\n"
+    "  --model <m>         charge-sharing | devgan | two-pi | reduced-mna | mna-exact\n"
+    "  --period <s>        clock period in seconds (default 1e-9)\n"
+    "  --refine <n>        noise-on-delay refinement passes (default 0)\n"
+    "  --report <file>     write the full report to a file (default: stdout)\n"
+    "  --delay-impact      append the crosstalk delay-impact section\n";
+
+std::optional<noise::AnalysisMode> parse_mode(std::string_view s) {
+  if (s == "no-filtering") return noise::AnalysisMode::kNoFiltering;
+  if (s == "switching-windows") return noise::AnalysisMode::kSwitchingWindows;
+  if (s == "noise-windows") return noise::AnalysisMode::kNoiseWindows;
+  return std::nullopt;
+}
+
+std::optional<noise::GlitchModel> parse_model(std::string_view s) {
+  if (s == "charge-sharing") return noise::GlitchModel::kChargeSharing;
+  if (s == "devgan") return noise::GlitchModel::kDevgan;
+  if (s == "two-pi") return noise::GlitchModel::kTwoPi;
+  if (s == "reduced-mna") return noise::GlitchModel::kReducedMna;
+  if (s == "mna-exact") return noise::GlitchModel::kMnaExact;
+  return std::nullopt;
+}
+
+std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& err) {
+  Args a;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    auto need_value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argv.size()) {
+        err << "noisewin: missing value after " << arg << "\n";
+        return std::nullopt;
+      }
+      return argv[++i];
+    };
+    if (arg == "--lib") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.lib_path = *v;
+    } else if (arg == "--netlist") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.netlist_path = *v;
+    } else if (arg == "--spef") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.spef_path = *v;
+    } else if (arg == "--arrivals") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.arrivals_path = *v;
+    } else if (arg == "--report") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.report_path = *v;
+    } else if (arg == "--demo") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.demo = *v;
+    } else if (arg == "--mode") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const auto m = parse_mode(*v);
+      if (!m) {
+        err << "noisewin: unknown mode '" << *v << "'\n";
+        return std::nullopt;
+      }
+      a.noise_opt.mode = *m;
+      a.have_mode = true;
+    } else if (arg == "--model") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      const auto m = parse_model(*v);
+      if (!m) {
+        err << "noisewin: unknown model '" << *v << "'\n";
+        return std::nullopt;
+      }
+      a.noise_opt.model = *m;
+    } else if (arg == "--period") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.noise_opt.clock_period = nw::parse_double(*v);
+    } else if (arg == "--refine") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.noise_opt.refine_iterations = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--delay-impact") {
+      a.delay_impact = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return std::nullopt;  // caller prints usage with code 1; acceptable
+    } else {
+      err << "noisewin: unknown argument '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  const bool files_any =
+      !a.lib_path.empty() || !a.netlist_path.empty() || !a.spef_path.empty();
+  const bool files_all =
+      !a.lib_path.empty() && !a.netlist_path.empty() && !a.spef_path.empty();
+  // Exactly one complete input source: all three files, or a demo.
+  if (a.demo.empty() ? !files_all : files_any) {
+    err << "noisewin: give either --lib/--netlist/--spef or --demo\n";
+    return std::nullopt;
+  }
+  return a;
+}
+
+}  // namespace
+
+int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& err) {
+  const auto parsed = parse_args(args, err);
+  if (!parsed) {
+    err << kUsage;
+    return 1;
+  }
+  const Args& a = *parsed;
+
+  try {
+    lib::Library library;
+    std::optional<net::Design> design;
+    std::optional<para::Parasitics> parasitics;
+    sta::Options sta_opt;
+    sta_opt.clock_period = a.noise_opt.clock_period;
+
+    if (!a.demo.empty()) {
+      library = lib::default_library();
+      gen::Generated g = [&] {
+        if (a.demo == "bus") return gen::make_bus(library, {});
+        if (a.demo == "logic") return gen::make_rand_logic(library, {});
+        if (a.demo == "pipeline") return gen::make_pipeline(library, {});
+        throw std::runtime_error("unknown demo '" + a.demo + "' (bus|logic|pipeline)");
+      }();
+      sta_opt = g.sta_options;
+      sta_opt.clock_period = a.noise_opt.clock_period;
+      design.emplace(std::move(g.design));
+      parasitics.emplace(std::move(g.para));
+    } else {
+      std::ifstream lf(a.lib_path);
+      if (!lf) throw std::runtime_error("cannot open library '" + a.lib_path + "'");
+      library = lib::read_library(lf);
+      std::ifstream nf(a.netlist_path);
+      if (!nf) throw std::runtime_error("cannot open netlist '" + a.netlist_path + "'");
+      design.emplace(net::read_netlist(nf, library));
+      std::ifstream pf(a.spef_path);
+      if (!pf) throw std::runtime_error("cannot open spef '" + a.spef_path + "'");
+      parasitics.emplace(para::read_spef(pf, *design));
+      if (!a.arrivals_path.empty()) {
+        std::ifstream af(a.arrivals_path);
+        if (!af) throw std::runtime_error("cannot open arrivals '" + a.arrivals_path + "'");
+        std::string line;
+        int lineno = 0;
+        while (std::getline(af, line)) {
+          ++lineno;
+          const auto t = nw::trim(line);
+          if (t.empty() || nw::starts_with(t, "#")) continue;
+          const auto toks = nw::split(t);
+          if (toks.size() < 3) {
+            throw std::runtime_error("arrivals line " + std::to_string(lineno) +
+                                     ": expected '<port> <lo> <hi>'");
+          }
+          sta_opt.input_arrivals[std::string(toks[0])] =
+              Interval{nw::parse_double(toks[1]), nw::parse_double(toks[2])};
+        }
+      }
+    }
+
+    const auto lint = design->lint();
+    for (const auto& problem : lint) err << "lint: " << problem << "\n";
+
+    const sta::Result timing = sta::run(*design, *parasitics, sta_opt);
+    const noise::Result result = noise::analyze(*design, *parasitics, timing, a.noise_opt);
+
+    std::ofstream report_file;
+    std::ostream* report_os = &out;
+    if (!a.report_path.empty()) {
+      report_file.open(a.report_path);
+      if (!report_file) {
+        throw std::runtime_error("cannot write report '" + a.report_path + "'");
+      }
+      report_os = &report_file;
+    }
+    noise::write_report(*report_os, *design, a.noise_opt, result);
+    if (a.delay_impact) {
+      const noise::DelayImpactSummary impact =
+          noise::compute_delay_impact(*design, timing, result, a.noise_opt);
+      noise::write_delay_impact(*report_os, *design, impact);
+    }
+    if (!a.report_path.empty()) {
+      out << "report written to " << a.report_path << " (" << result.violations.size()
+          << " violations)\n";
+    }
+    return result.violations.empty() ? 0 : 2;
+  } catch (const std::exception& e) {
+    err << "noisewin: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace nw::cli

@@ -1,0 +1,24 @@
+// The noisewin command-line driver, factored for testability: run_cli()
+// does everything main() does, against caller-supplied streams.
+//
+// Usage:
+//   noisewin --lib <file.nlib> --netlist <file.nv> --spef <file.nwspef>
+//            [--arrivals <file>] [--mode no-filtering|switching-windows|noise-windows]
+//            [--model charge-sharing|devgan|two-pi|reduced-mna|mna-exact]
+//            [--period <seconds>] [--report <file>] [--delay-impact]
+//   noisewin --demo bus|logic|pipeline [--mode ...] [...]
+//
+// The arrivals file has lines: `<port> <earliest> <latest>` (seconds).
+// Exit code: 0 = clean, 2 = violations found, 1 = usage/input error.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace nw::cli {
+
+/// Run with argv-style arguments (excluding the program name).
+int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& err);
+
+}  // namespace nw::cli

@@ -1,0 +1,12 @@
+// The noisewin command-line tool. All logic lives in tools/cli.cpp so that
+// tests can drive it without spawning a process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return nw::cli::run_cli(args, std::cout, std::cerr);
+}
