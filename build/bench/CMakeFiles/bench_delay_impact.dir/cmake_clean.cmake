@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_impact.dir/bench_delay_impact.cpp.o"
+  "CMakeFiles/bench_delay_impact.dir/bench_delay_impact.cpp.o.d"
+  "bench_delay_impact"
+  "bench_delay_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_designs.dir/bench_designs.cpp.o"
+  "CMakeFiles/bench_designs.dir/bench_designs.cpp.o.d"
+  "bench_designs"
+  "bench_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

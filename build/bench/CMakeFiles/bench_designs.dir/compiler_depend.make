@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_designs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iteration.dir/bench_iteration.cpp.o"
+  "CMakeFiles/bench_iteration.dir/bench_iteration.cpp.o.d"
+  "bench_iteration"
+  "bench_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latch.dir/bench_latch.cpp.o"
+  "CMakeFiles/bench_latch.dir/bench_latch.cpp.o.d"
+  "bench_latch"
+  "bench_latch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_ablation.dir/bench_model_ablation.cpp.o"
+  "CMakeFiles/bench_model_ablation.dir/bench_model_ablation.cpp.o.d"
+  "bench_model_ablation"
+  "bench_model_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

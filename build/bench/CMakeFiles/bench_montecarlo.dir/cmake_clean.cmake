@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_montecarlo.dir/bench_montecarlo.cpp.o"
+  "CMakeFiles/bench_montecarlo.dir/bench_montecarlo.cpp.o.d"
+  "bench_montecarlo"
+  "bench_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slack_hist.dir/bench_slack_hist.cpp.o"
+  "CMakeFiles/bench_slack_hist.dir/bench_slack_hist.cpp.o.d"
+  "bench_slack_hist"
+  "bench_slack_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slack_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

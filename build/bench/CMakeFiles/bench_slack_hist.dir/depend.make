@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_slack_hist.
+# This may be replaced when dependencies are built.

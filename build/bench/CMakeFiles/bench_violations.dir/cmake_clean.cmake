@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_violations.dir/bench_violations.cpp.o"
+  "CMakeFiles/bench_violations.dir/bench_violations.cpp.o.d"
+  "bench_violations"
+  "bench_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

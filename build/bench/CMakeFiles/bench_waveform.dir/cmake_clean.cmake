@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_waveform.dir/bench_waveform.cpp.o"
+  "CMakeFiles/bench_waveform.dir/bench_waveform.cpp.o.d"
+  "bench_waveform"
+  "bench_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_crosstalk.dir/bus_crosstalk.cpp.o"
+  "CMakeFiles/bus_crosstalk.dir/bus_crosstalk.cpp.o.d"
+  "bus_crosstalk"
+  "bus_crosstalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bus_crosstalk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_flow.dir/extraction_flow.cpp.o"
+  "CMakeFiles/extraction_flow.dir/extraction_flow.cpp.o.d"
+  "extraction_flow"
+  "extraction_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_constraints.dir/logic_constraints.cpp.o"
+  "CMakeFiles/logic_constraints.dir/logic_constraints.cpp.o.d"
+  "logic_constraints"
+  "logic_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

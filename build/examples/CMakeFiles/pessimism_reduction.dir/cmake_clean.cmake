@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pessimism_reduction.dir/pessimism_reduction.cpp.o"
+  "CMakeFiles/pessimism_reduction.dir/pessimism_reduction.cpp.o.d"
+  "pessimism_reduction"
+  "pessimism_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pessimism_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_validation.dir/spice_validation.cpp.o"
+  "CMakeFiles/spice_validation.dir/spice_validation.cpp.o.d"
+  "spice_validation"
+  "spice_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

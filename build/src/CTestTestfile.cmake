@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("la")
+subdirs("library")
+subdirs("netlist")
+subdirs("parasitics")
+subdirs("extract")
+subdirs("sta")
+subdirs("spice")
+subdirs("noise")
+subdirs("gen")
+subdirs("report")

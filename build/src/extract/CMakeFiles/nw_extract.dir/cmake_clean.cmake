@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_extract.dir/extractor.cpp.o"
+  "CMakeFiles/nw_extract.dir/extractor.cpp.o.d"
+  "libnw_extract.a"
+  "libnw_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

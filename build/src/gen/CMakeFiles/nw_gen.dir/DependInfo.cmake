@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/bus.cpp" "src/gen/CMakeFiles/nw_gen.dir/bus.cpp.o" "gcc" "src/gen/CMakeFiles/nw_gen.dir/bus.cpp.o.d"
+  "/root/repo/src/gen/pipeline.cpp" "src/gen/CMakeFiles/nw_gen.dir/pipeline.cpp.o" "gcc" "src/gen/CMakeFiles/nw_gen.dir/pipeline.cpp.o.d"
+  "/root/repo/src/gen/randlogic.cpp" "src/gen/CMakeFiles/nw_gen.dir/randlogic.cpp.o" "gcc" "src/gen/CMakeFiles/nw_gen.dir/randlogic.cpp.o.d"
+  "/root/repo/src/gen/routed_bus.cpp" "src/gen/CMakeFiles/nw_gen.dir/routed_bus.cpp.o" "gcc" "src/gen/CMakeFiles/nw_gen.dir/routed_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/nw_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nw_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/parasitics/CMakeFiles/nw_parasitics.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/nw_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/nw_sta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_gen.dir/bus.cpp.o"
+  "CMakeFiles/nw_gen.dir/bus.cpp.o.d"
+  "CMakeFiles/nw_gen.dir/pipeline.cpp.o"
+  "CMakeFiles/nw_gen.dir/pipeline.cpp.o.d"
+  "CMakeFiles/nw_gen.dir/randlogic.cpp.o"
+  "CMakeFiles/nw_gen.dir/randlogic.cpp.o.d"
+  "CMakeFiles/nw_gen.dir/routed_bus.cpp.o"
+  "CMakeFiles/nw_gen.dir/routed_bus.cpp.o.d"
+  "libnw_gen.a"
+  "libnw_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

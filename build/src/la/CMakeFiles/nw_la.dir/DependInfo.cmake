@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/dense.cpp" "src/la/CMakeFiles/nw_la.dir/dense.cpp.o" "gcc" "src/la/CMakeFiles/nw_la.dir/dense.cpp.o.d"
+  "/root/repo/src/la/sparse.cpp" "src/la/CMakeFiles/nw_la.dir/sparse.cpp.o" "gcc" "src/la/CMakeFiles/nw_la.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_la.dir/dense.cpp.o"
+  "CMakeFiles/nw_la.dir/dense.cpp.o.d"
+  "CMakeFiles/nw_la.dir/sparse.cpp.o"
+  "CMakeFiles/nw_la.dir/sparse.cpp.o.d"
+  "libnw_la.a"
+  "libnw_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nw_la.
+# This may be replaced when dependencies are built.

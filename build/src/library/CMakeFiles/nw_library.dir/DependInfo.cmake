@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/library/liberty_io.cpp" "src/library/CMakeFiles/nw_library.dir/liberty_io.cpp.o" "gcc" "src/library/CMakeFiles/nw_library.dir/liberty_io.cpp.o.d"
+  "/root/repo/src/library/library.cpp" "src/library/CMakeFiles/nw_library.dir/library.cpp.o" "gcc" "src/library/CMakeFiles/nw_library.dir/library.cpp.o.d"
+  "/root/repo/src/library/table.cpp" "src/library/CMakeFiles/nw_library.dir/table.cpp.o" "gcc" "src/library/CMakeFiles/nw_library.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

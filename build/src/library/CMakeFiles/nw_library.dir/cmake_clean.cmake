@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_library.dir/liberty_io.cpp.o"
+  "CMakeFiles/nw_library.dir/liberty_io.cpp.o.d"
+  "CMakeFiles/nw_library.dir/library.cpp.o"
+  "CMakeFiles/nw_library.dir/library.cpp.o.d"
+  "CMakeFiles/nw_library.dir/table.cpp.o"
+  "CMakeFiles/nw_library.dir/table.cpp.o.d"
+  "libnw_library.a"
+  "libnw_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_netlist.dir/design.cpp.o"
+  "CMakeFiles/nw_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/nw_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/nw_netlist.dir/verilog.cpp.o.d"
+  "libnw_netlist.a"
+  "libnw_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

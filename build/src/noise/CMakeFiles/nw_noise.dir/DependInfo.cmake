@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/analyzer.cpp" "src/noise/CMakeFiles/nw_noise.dir/analyzer.cpp.o" "gcc" "src/noise/CMakeFiles/nw_noise.dir/analyzer.cpp.o.d"
+  "/root/repo/src/noise/delay_impact.cpp" "src/noise/CMakeFiles/nw_noise.dir/delay_impact.cpp.o" "gcc" "src/noise/CMakeFiles/nw_noise.dir/delay_impact.cpp.o.d"
+  "/root/repo/src/noise/glitch_models.cpp" "src/noise/CMakeFiles/nw_noise.dir/glitch_models.cpp.o" "gcc" "src/noise/CMakeFiles/nw_noise.dir/glitch_models.cpp.o.d"
+  "/root/repo/src/noise/report_writer.cpp" "src/noise/CMakeFiles/nw_noise.dir/report_writer.cpp.o" "gcc" "src/noise/CMakeFiles/nw_noise.dir/report_writer.cpp.o.d"
+  "/root/repo/src/noise/trace.cpp" "src/noise/CMakeFiles/nw_noise.dir/trace.cpp.o" "gcc" "src/noise/CMakeFiles/nw_noise.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/nw_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/nw_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nw_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/parasitics/CMakeFiles/nw_parasitics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/nw_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nw_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/nw_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_noise.dir/analyzer.cpp.o"
+  "CMakeFiles/nw_noise.dir/analyzer.cpp.o.d"
+  "CMakeFiles/nw_noise.dir/delay_impact.cpp.o"
+  "CMakeFiles/nw_noise.dir/delay_impact.cpp.o.d"
+  "CMakeFiles/nw_noise.dir/glitch_models.cpp.o"
+  "CMakeFiles/nw_noise.dir/glitch_models.cpp.o.d"
+  "CMakeFiles/nw_noise.dir/report_writer.cpp.o"
+  "CMakeFiles/nw_noise.dir/report_writer.cpp.o.d"
+  "CMakeFiles/nw_noise.dir/trace.cpp.o"
+  "CMakeFiles/nw_noise.dir/trace.cpp.o.d"
+  "libnw_noise.a"
+  "libnw_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parasitics/rcnet.cpp" "src/parasitics/CMakeFiles/nw_parasitics.dir/rcnet.cpp.o" "gcc" "src/parasitics/CMakeFiles/nw_parasitics.dir/rcnet.cpp.o.d"
+  "/root/repo/src/parasitics/reduce.cpp" "src/parasitics/CMakeFiles/nw_parasitics.dir/reduce.cpp.o" "gcc" "src/parasitics/CMakeFiles/nw_parasitics.dir/reduce.cpp.o.d"
+  "/root/repo/src/parasitics/spef.cpp" "src/parasitics/CMakeFiles/nw_parasitics.dir/spef.cpp.o" "gcc" "src/parasitics/CMakeFiles/nw_parasitics.dir/spef.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nw_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/nw_library.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_parasitics.dir/rcnet.cpp.o"
+  "CMakeFiles/nw_parasitics.dir/rcnet.cpp.o.d"
+  "CMakeFiles/nw_parasitics.dir/reduce.cpp.o"
+  "CMakeFiles/nw_parasitics.dir/reduce.cpp.o.d"
+  "CMakeFiles/nw_parasitics.dir/spef.cpp.o"
+  "CMakeFiles/nw_parasitics.dir/spef.cpp.o.d"
+  "libnw_parasitics.a"
+  "libnw_parasitics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_parasitics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

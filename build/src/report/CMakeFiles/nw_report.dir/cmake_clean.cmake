@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_report.dir/table.cpp.o"
+  "CMakeFiles/nw_report.dir/table.cpp.o.d"
+  "libnw_report.a"
+  "libnw_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

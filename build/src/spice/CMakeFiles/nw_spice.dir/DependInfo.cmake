@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/nw_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/nw_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/cluster.cpp" "src/spice/CMakeFiles/nw_spice.dir/cluster.cpp.o" "gcc" "src/spice/CMakeFiles/nw_spice.dir/cluster.cpp.o.d"
+  "/root/repo/src/spice/deck.cpp" "src/spice/CMakeFiles/nw_spice.dir/deck.cpp.o" "gcc" "src/spice/CMakeFiles/nw_spice.dir/deck.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/spice/CMakeFiles/nw_spice.dir/transient.cpp.o" "gcc" "src/spice/CMakeFiles/nw_spice.dir/transient.cpp.o.d"
+  "/root/repo/src/spice/vcd.cpp" "src/spice/CMakeFiles/nw_spice.dir/vcd.cpp.o" "gcc" "src/spice/CMakeFiles/nw_spice.dir/vcd.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/nw_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/nw_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/nw_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/nw_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/parasitics/CMakeFiles/nw_parasitics.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/nw_library.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

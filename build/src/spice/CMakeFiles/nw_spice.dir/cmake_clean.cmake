@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_spice.dir/circuit.cpp.o"
+  "CMakeFiles/nw_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/nw_spice.dir/cluster.cpp.o"
+  "CMakeFiles/nw_spice.dir/cluster.cpp.o.d"
+  "CMakeFiles/nw_spice.dir/deck.cpp.o"
+  "CMakeFiles/nw_spice.dir/deck.cpp.o.d"
+  "CMakeFiles/nw_spice.dir/transient.cpp.o"
+  "CMakeFiles/nw_spice.dir/transient.cpp.o.d"
+  "CMakeFiles/nw_spice.dir/vcd.cpp.o"
+  "CMakeFiles/nw_spice.dir/vcd.cpp.o.d"
+  "CMakeFiles/nw_spice.dir/waveform.cpp.o"
+  "CMakeFiles/nw_spice.dir/waveform.cpp.o.d"
+  "libnw_spice.a"
+  "libnw_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

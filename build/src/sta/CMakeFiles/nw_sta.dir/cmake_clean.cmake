@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_sta.dir/sta.cpp.o"
+  "CMakeFiles/nw_sta.dir/sta.cpp.o.d"
+  "libnw_sta.a"
+  "libnw_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_util.dir/interval.cpp.o"
+  "CMakeFiles/nw_util.dir/interval.cpp.o.d"
+  "CMakeFiles/nw_util.dir/scanline.cpp.o"
+  "CMakeFiles/nw_util.dir/scanline.cpp.o.d"
+  "CMakeFiles/nw_util.dir/stats.cpp.o"
+  "CMakeFiles/nw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nw_util.dir/strings.cpp.o"
+  "CMakeFiles/nw_util.dir/strings.cpp.o.d"
+  "libnw_util.a"
+  "libnw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_impact.dir/test_delay_impact.cpp.o"
+  "CMakeFiles/test_delay_impact.dir/test_delay_impact.cpp.o.d"
+  "test_delay_impact"
+  "test_delay_impact.pdb"
+  "test_delay_impact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

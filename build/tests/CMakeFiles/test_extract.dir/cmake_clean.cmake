@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extract.dir/test_extract.cpp.o"
+  "CMakeFiles/test_extract.dir/test_extract.cpp.o.d"
+  "test_extract"
+  "test_extract.pdb"
+  "test_extract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glitch_models.dir/test_glitch_models.cpp.o"
+  "CMakeFiles/test_glitch_models.dir/test_glitch_models.cpp.o.d"
+  "test_glitch_models"
+  "test_glitch_models.pdb"
+  "test_glitch_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glitch_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

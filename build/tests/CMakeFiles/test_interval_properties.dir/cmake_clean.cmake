@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_properties.dir/test_interval_properties.cpp.o"
+  "CMakeFiles/test_interval_properties.dir/test_interval_properties.cpp.o.d"
+  "test_interval_properties"
+  "test_interval_properties.pdb"
+  "test_interval_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

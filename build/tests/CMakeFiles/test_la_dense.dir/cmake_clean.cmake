@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_dense.dir/test_la_dense.cpp.o"
+  "CMakeFiles/test_la_dense.dir/test_la_dense.cpp.o.d"
+  "test_la_dense"
+  "test_la_dense.pdb"
+  "test_la_dense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_sparse.dir/test_la_sparse.cpp.o"
+  "CMakeFiles/test_la_sparse.dir/test_la_sparse.cpp.o.d"
+  "test_la_sparse"
+  "test_la_sparse.pdb"
+  "test_la_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

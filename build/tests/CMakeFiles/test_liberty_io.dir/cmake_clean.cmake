@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_liberty_io.dir/test_liberty_io.cpp.o"
+  "CMakeFiles/test_liberty_io.dir/test_liberty_io.cpp.o.d"
+  "test_liberty_io"
+  "test_liberty_io.pdb"
+  "test_liberty_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_liberty_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_library.dir/test_library.cpp.o"
+  "CMakeFiles/test_library.dir/test_library.cpp.o.d"
+  "test_library"
+  "test_library.pdb"
+  "test_library[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

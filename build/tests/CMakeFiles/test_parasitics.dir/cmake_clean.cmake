@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parasitics.dir/test_parasitics.cpp.o"
+  "CMakeFiles/test_parasitics.dir/test_parasitics.cpp.o.d"
+  "test_parasitics"
+  "test_parasitics.pdb"
+  "test_parasitics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parasitics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_writer.dir/test_report_writer.cpp.o"
+  "CMakeFiles/test_report_writer.dir/test_report_writer.cpp.o.d"
+  "test_report_writer"
+  "test_report_writer.pdb"
+  "test_report_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scanline.dir/test_scanline.cpp.o"
+  "CMakeFiles/test_scanline.dir/test_scanline.cpp.o.d"
+  "test_scanline"
+  "test_scanline.pdb"
+  "test_scanline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scanline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spef.dir/test_spef.cpp.o"
+  "CMakeFiles/test_spef.dir/test_spef.cpp.o.d"
+  "test_spef"
+  "test_spef.pdb"
+  "test_spef[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sta.dir/test_sta.cpp.o"
+  "CMakeFiles/test_sta.dir/test_sta.cpp.o.d"
+  "test_sta"
+  "test_sta.pdb"
+  "test_sta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcd.dir/test_vcd.cpp.o"
+  "CMakeFiles/test_vcd.dir/test_vcd.cpp.o.d"
+  "test_vcd"
+  "test_vcd.pdb"
+  "test_vcd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

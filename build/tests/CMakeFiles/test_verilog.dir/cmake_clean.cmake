@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verilog.dir/test_verilog.cpp.o"
+  "CMakeFiles/test_verilog.dir/test_verilog.cpp.o.d"
+  "test_verilog"
+  "test_verilog.pdb"
+  "test_verilog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

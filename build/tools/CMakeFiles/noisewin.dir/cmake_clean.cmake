@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisewin.dir/noisewin_main.cpp.o"
+  "CMakeFiles/noisewin.dir/noisewin_main.cpp.o.d"
+  "noisewin"
+  "noisewin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisewin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_cli.dir/cli.cpp.o"
+  "CMakeFiles/nw_cli.dir/cli.cpp.o.d"
+  "libnw_cli.a"
+  "libnw_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnw_cli.a"
+)
