@@ -59,6 +59,30 @@ void BM_LogicNoiseWindows(benchmark::State& state) {
   run_mode(state, g, noise::AnalysisMode::kNoiseWindows);
 }
 
+// Thread scaling of the staged pipeline on the suite's largest generated
+// design (D5-logic10k): wall time per analysis vs. Options::threads. The
+// per-phase telemetry surfaces as counters, so a run shows where the
+// added threads went. Speedup at t threads = time(threads=1) / time(t).
+void BM_ThreadScaling(benchmark::State& state) {
+  static const gen::Generated g =
+      gen::make_rand_logic(library(), bench::logic_config(10000));
+  static const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  noise::Options o;
+  o.mode = noise::AnalysisMode::kNoiseWindows;
+  o.clock_period = g.sta_options.clock_period;
+  o.threads = static_cast<int>(state.range(0));
+  noise::Telemetry tel;
+  for (auto _ : state) {
+    const noise::Result r = noise::analyze(g.design, g.para, timing, o);
+    tel = r.telemetry;
+    benchmark::DoNotOptimize(r.violations.size());
+  }
+  state.counters["threads"] = static_cast<double>(tel.threads);
+  state.counters["estimate_ms"] = tel.estimate_seconds * 1e3;
+  state.counters["propagate_ms"] = tel.propagate_seconds * 1e3;
+  state.counters["endpoints_ms"] = tel.endpoints_seconds * 1e3;
+}
+
 void BM_StaOnly(benchmark::State& state) {
   const auto g = gen::make_bus(library(), bench::bus_config(
                                               static_cast<std::size_t>(state.range(0))));
@@ -72,6 +96,13 @@ BENCHMARK(BM_BusNoFilter)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillis
 BENCHMARK(BM_BusSwitching)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BusNoiseWindows)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LogicNoiseWindows)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_StaOnly)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,10 +1,13 @@
 #include "noise/analyzer.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
 
+#include "noise/context.hpp"
+#include "util/executor.hpp"
 #include "util/scanline.hpp"
 
 namespace nw::noise {
@@ -19,6 +22,30 @@ const char* to_string(AnalysisMode m) noexcept {
 }
 
 namespace {
+
+// Work-distribution granularity. Any value is determinism-safe (results
+// are slot-addressed); these balance scheduling overhead against skew for
+// cheap analytic models vs. per-pair MNA solves.
+constexpr std::size_t kEstimateChunk = 8;
+constexpr std::size_t kPropagateChunk = 16;
+constexpr std::size_t kEndpointChunk = 32;
+
+/// Accumulates wall time into a Telemetry field for the enclosing scope.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& acc)
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& acc_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Worst simultaneous sum of contributions, optionally restricted to a
 /// time window (mode 3 latch checks restrict to the sensitivity window).
@@ -77,36 +104,35 @@ Combined combine(const std::vector<Contribution>& contributions, AnalysisMode mo
   return out;
 }
 
-/// Total capacitive load a net presents to its driver (for gate-delay
-/// lookups during noise propagation).
-double net_load_cap(const net::Design& d, const para::Parasitics& para, NetId id) {
-  double cap = para.total_cap(id, /*miller=*/1.0);
-  for (const PinId load : d.net(id).loads) cap += d.pin_cap(load);
-  return cap;
-}
+/// What one endpoint check produced (slot-addressed so the parallel check
+/// stage folds back into Result in deterministic endpoint order).
+struct EndpointOutcome {
+  double slack = 0.0;
+  std::optional<Violation> violation;
+};
 
-/// One analysis pass over a fixed design/parasitics/timing. The phases —
-/// injected estimation, combination + gate propagation, endpoint checks —
-/// are separate methods so the incremental mode can re-run only what a
-/// change invalidates.
-class Engine {
+/// The staged pipeline: one analysis over a fixed design/parasitics/timing.
+/// Full and incremental runs share every stage — estimate_injected,
+/// propagate, check_endpoints — and differ only in which victims the
+/// estimation stage recomputes. All stages run on the shared executor and
+/// write to pre-sized per-index slots, so output is bit-identical across
+/// thread counts.
+class Pipeline {
  public:
-  Engine(const net::Design& design, const para::Parasitics& para,
-         const sta::Result& sta_result, const Options& opt)
+  Pipeline(const net::Design& design, const para::Parasitics& para,
+           const sta::Result& sta_result, const Options& opt)
       : design_(design),
         para_(para),
         sta_(sta_result),
         opt_(opt),
-        vdd_(design.library().vdd()),
-        topo_(design.topological_order()) {
-    if (sta_result.nets.size() != design.net_count()) {
-      throw std::invalid_argument("noise::analyze: STA result does not match design");
-    }
-    orig_win_.resize(design.net_count());
-    for (std::size_t i = 0; i < design.net_count(); ++i) {
-      orig_win_[i] = sta_result.nets[i].window;
-    }
-    switch_win_ = orig_win_;
+        exec_(opt.threads),
+        start_(std::chrono::steady_clock::now()) {
+    PhaseTimer timer(tel_.context_seconds);
+    ctx_ = AnalysisContext::build(design, para, sta_result, opt);
+    switch_win_ = ctx_.switch_window;
+    tel_.threads = exec_.thread_count();
+    tel_.pairs_filtered_cap = ctx_.pairs_filtered_cap;
+    tel_.levels = ctx_.levels.size();
   }
 
   [[nodiscard]] Result run_full() {
@@ -114,15 +140,15 @@ class Engine {
     const int total_iters = 1 + std::max(opt_.refine_iterations, 0);
     for (int iter = 0; iter < total_iters; ++iter) {
       reset(res);
-      for (std::size_t vi = 0; vi < design_.net_count(); ++vi) {
-        injected_for_victim(res, NetId{vi});
-      }
-      combine_propagate(res);
+      estimate_injected(res, /*dirty=*/nullptr, /*previous=*/nullptr);
+      propagate(res);
       check_endpoints(res);
       res.iteration_violations.push_back(res.violations.size());
       res.iterations = iter + 1;
       if (iter + 1 < total_iters && !inflate_windows(res)) break;
     }
+    tel_.iterations = res.iterations;
+    finish(res);
     return res;
   }
 
@@ -134,43 +160,40 @@ class Engine {
     // Victims to re-estimate: the changed nets and everything coupled to
     // them (their injected noise depends on the changed net's parasitics,
     // timing, or drive).
-    std::unordered_set<NetId::value_type> dirty;
+    std::vector<char> dirty(design_.net_count(), 0);
     for (const NetId n : changed_nets) {
       if (n.index() >= design_.net_count()) {
         throw std::invalid_argument("analyze_incremental: bad changed net id");
       }
-      dirty.insert(n.value());
+      dirty[n.index()] = 1;
       for (const auto ci : para_.couplings_of(n)) {
-        dirty.insert(para_.coupling(ci).other_net(n).value());
+        dirty[para_.coupling(ci).other_net(n).index()] = 1;
       }
     }
 
     Result res;
     reset(res);
-    for (std::size_t vi = 0; vi < design_.net_count(); ++vi) {
-      if (dirty.contains(NetId{vi}.value())) {
-        injected_for_victim(res, NetId{vi});
-      } else {
-        // Reuse the previous injected contributions (propagated ones are
-        // rebuilt below); aggressor bookkeeping is restored with them.
-        for (const auto& c : previous.nets[vi].contributions) {
-          if (c.is_propagated()) continue;
-          Contribution copy = c;
-          copy.in_worst = false;
-          res.nets[vi].contributions.push_back(std::move(copy));
-        }
-        res.nets[vi].aggressor_count = previous.nets[vi].aggressor_count;
-        res.aggressors_considered += previous.nets[vi].aggressor_count;
-      }
-    }
-    combine_propagate(res);
+    estimate_injected(res, &dirty, &previous);
+    propagate(res);
     check_endpoints(res);
     res.iteration_violations.push_back(res.violations.size());
     res.iterations = 1;
+    tel_.iterations = 1;
+    finish(res);
     return res;
   }
 
  private:
+  /// Stamps the total wall time (context build included) and attaches the
+  /// telemetry. Must run before returning — PhaseTimer flushes on scope
+  /// exit, which would be too late for a copy made inside the function.
+  void finish(Result& res) {
+    tel_.total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    res.telemetry = tel_;
+  }
+
   void reset(Result& res) const {
     res.nets.assign(design_.net_count(), NetNoise{});
     res.violations.clear();
@@ -181,20 +204,49 @@ class Engine {
     res.aggressors_filtered_temporal = 0;
   }
 
-  // ---- phase 1+2: injected glitch estimation per victim --------------------
-  void injected_for_victim(Result& res, NetId victim) {
-    NetNoise& nn = res.nets[victim.index()];
-    // Group coupling caps by aggressor net.
-    std::unordered_map<NetId::value_type, double> agg_cap;
-    for (const auto ci : para_.couplings_of(victim)) {
-      const auto& cc = para_.coupling(ci);
-      agg_cap[cc.other_net(victim).value()] += cc.c;
+  // ---- stage 1: injected glitch estimation, parallel over victims ----------
+  // Shared-nothing: victim vi touches only res.nets[vi] and its slot in the
+  // per-victim counter array; counters fold serially afterwards.
+  void estimate_injected(Result& res, const std::vector<char>* dirty,
+                         const Result* previous) {
+    PhaseTimer timer(tel_.estimate_seconds);
+    const std::size_t n = design_.net_count();
+    std::size_t estimated = 0;
+    std::size_t reused = 0;
+    exec_.parallel_for(n, kEstimateChunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t vi = begin; vi < end; ++vi) {
+        if (dirty == nullptr || (*dirty)[vi]) {
+          estimate_for_victim(res.nets[vi], NetId{vi});
+        } else {
+          // Reuse the previous injected contributions (propagated ones are
+          // rebuilt below); aggressor bookkeeping is restored with them.
+          for (const auto& c : previous->nets[vi].contributions) {
+            if (c.is_propagated()) continue;
+            Contribution copy = c;
+            copy.in_worst = false;
+            res.nets[vi].contributions.push_back(std::move(copy));
+          }
+          res.nets[vi].aggressor_count = previous->nets[vi].aggressor_count;
+          res.nets[vi].filtered_temporal = previous->nets[vi].filtered_temporal;
+        }
+      }
+    });
+    // Deterministic fold of the per-victim counters.
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      res.aggressors_considered += res.nets[vi].aggressor_count;
+      res.aggressors_filtered_temporal += res.nets[vi].filtered_temporal;
+      const bool recomputed = dirty == nullptr || (*dirty)[vi];
+      if (recomputed) tel_.aggressor_pairs += res.nets[vi].aggressor_count;
+      (recomputed ? estimated : reused) += 1;
     }
-    for (const auto& [agg_value, c_total] : agg_cap) {
-      if (c_total < opt_.min_coupling_cap) continue;
-      const NetId agg{agg_value};
+    tel_.victims_estimated += estimated;
+    tel_.victims_reused += reused;
+  }
+
+  void estimate_for_victim(NetNoise& nn, NetId victim) const {
+    for (const AggressorEdge& edge : ctx_.aggressors[victim.index()]) {
+      const NetId agg = edge.net;
       ++nn.aggressor_count;
-      ++res.aggressors_considered;
 
       const sta::NetTiming& at = sta_.nets[agg.index()];
       double slew = at.slew_min > 0.0 ? at.slew_min : opt_.default_slew;
@@ -202,11 +254,11 @@ class Engine {
 
       GlitchEstimate g;
       if (opt_.model == GlitchModel::kMnaExact) {
-        g = estimate_mna(design_, para_, victim, agg, slew, vdd_, opt_.mna_tran);
+        g = estimate_mna(design_, para_, victim, agg, slew, ctx_.vdd, opt_.mna_tran);
       } else if (opt_.model == GlitchModel::kReducedMna) {
-        g = estimate_reduced(design_, para_, victim, agg, slew, vdd_);
+        g = estimate_reduced(design_, para_, victim, agg, slew, ctx_.vdd);
       } else {
-        g = estimate(opt_.model, scenario_for(design_, para_, victim, agg, slew, vdd_));
+        g = estimate(opt_.model, scenario_for(design_, para_, victim, agg, slew, ctx_.vdd));
       }
       if (g.peak < opt_.min_peak) continue;
 
@@ -220,7 +272,7 @@ class Engine {
         const Interval sw = switch_win_[agg.index()];
         if (sw.is_empty()) {
           // The aggressor never switches: temporally filtered out.
-          ++res.aggressors_filtered_temporal;
+          ++nn.filtered_temporal;
           continue;
         }
         // The glitch can exist from the earliest aggressor transition to
@@ -231,7 +283,9 @@ class Engine {
     }
   }
 
-  // ---- phase 3+4: combination and gate propagation in topological order ----
+  // ---- stage 2: combination + gate propagation, levelized ------------------
+  // Within a level no instance reads another's outputs and every net has a
+  // single driver, so instances of a level run in parallel.
   void finalize_net(Result& res, NetId id) const {
     NetNoise& nn = res.nets[id.index()];
     // Injected-only combination (diagnostic; excludes fanin-propagated).
@@ -254,133 +308,101 @@ class Engine {
     if (opt_.mode == AnalysisMode::kNoFiltering) nn.window = IntervalSet::everything();
   }
 
-  void combine_propagate(Result& res) const {
-    for (std::size_t i = 0; i < design_.net_count(); ++i) {
-      const net::Net& n = design_.net(NetId{i});
-      if (n.driver.valid() &&
-          design_.pin(n.driver).kind == net::PinKind::kInputPort) {
-        finalize_net(res, NetId{i});
+  void propagate_instance(Result& res, InstId inst_id) const {
+    const net::Instance& inst = design_.instance(inst_id);
+    const lib::Cell& cell = design_.cell_of(inst_id);
+    if (cell.is_sequential()) {
+      // Sequential cells do not propagate glitches from D to Q (a latched
+      // upset is a functional failure, handled at the endpoint check).
+      for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+        if (cell.pins[pi].dir == lib::PinDir::kOutput) {
+          const net::Pin& op = design_.pin(inst.pins[pi]);
+          if (op.net.valid()) finalize_net(res, op.net);
+        }
+      }
+      return;
+    }
+    // Worst input glitch over the cell's input pins.
+    double in_peak = 0.0;
+    double in_width = 0.0;
+    IntervalSet in_window;
+    NetId in_net;
+    for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+      if (cell.pins[pi].dir != lib::PinDir::kInput) continue;
+      const net::Pin& ip = design_.pin(inst.pins[pi]);
+      if (!ip.net.valid()) continue;
+      const NetNoise& fan = res.nets[ip.net.index()];
+      if (fan.total_peak > in_peak) {
+        in_peak = fan.total_peak;
+        in_width = fan.width;
+        in_window = fan.window;
+        in_net = ip.net;
       }
     }
-    for (const InstId inst_id : topo_) {
-      const net::Instance& inst = design_.instance(inst_id);
-      const lib::Cell& cell = design_.cell_of(inst_id);
-      if (cell.is_sequential()) {
-        // Sequential cells do not propagate glitches from D to Q (a latched
-        // upset is a functional failure, handled at the endpoint check).
-        for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
-          if (cell.pins[pi].dir == lib::PinDir::kOutput) {
-            const net::Pin& op = design_.pin(inst.pins[pi]);
-            if (op.net.valid()) finalize_net(res, op.net);
-          }
-        }
-        continue;
-      }
-      // Worst input glitch over the cell's input pins.
-      double in_peak = 0.0;
-      double in_width = 0.0;
-      IntervalSet in_window;
-      NetId in_net;
-      for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
-        if (cell.pins[pi].dir != lib::PinDir::kInput) continue;
-        const net::Pin& ip = design_.pin(inst.pins[pi]);
-        if (!ip.net.valid()) continue;
-        const NetNoise& fan = res.nets[ip.net.index()];
-        if (fan.total_peak > in_peak) {
-          in_peak = fan.total_peak;
-          in_width = fan.width;
-          in_window = fan.window;
-          in_net = ip.net;
+    for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+      if (cell.pins[pi].dir != lib::PinDir::kOutput) continue;
+      const net::Pin& op = design_.pin(inst.pins[pi]);
+      if (!op.net.valid()) continue;
+      if (in_peak >= opt_.min_peak && !cell.arcs.empty()) {
+        const double out_peak = cell.propagation.out_peak.lookup(in_peak, in_width);
+        if (out_peak >= opt_.min_peak) {
+          const double out_width =
+              cell.propagation.out_width.lookup(in_peak, in_width);
+          const double load = ctx_.load_cap[op.net.index()];
+          // Representative gate delay for the window shift: the first
+          // arc's rise delay at (input width as slew proxy, load).
+          const double gate_delay =
+              cell.arcs.front().delay_rise.lookup(in_width, load);
+          Contribution c;
+          c.from_net = in_net;
+          c.peak = out_peak;
+          c.width = out_width;
+          // Only full noise-window mode tracks *when* propagated noise
+          // can exist; the weaker modes assume it coincides with anything.
+          c.window = (opt_.mode == AnalysisMode::kNoiseWindows)
+                         ? in_window.shifted(gate_delay)
+                               .dilated(0.0, std::max(out_width - in_width, 0.0))
+                         : IntervalSet::everything();
+          res.nets[op.net.index()].contributions.push_back(std::move(c));
         }
       }
-      for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
-        if (cell.pins[pi].dir != lib::PinDir::kOutput) continue;
-        const net::Pin& op = design_.pin(inst.pins[pi]);
-        if (!op.net.valid()) continue;
-        if (in_peak >= opt_.min_peak && !cell.arcs.empty()) {
-          const double out_peak = cell.propagation.out_peak.lookup(in_peak, in_width);
-          if (out_peak >= opt_.min_peak) {
-            const double out_width =
-                cell.propagation.out_width.lookup(in_peak, in_width);
-            const double load = net_load_cap(design_, para_, op.net);
-            // Representative gate delay for the window shift: the first
-            // arc's rise delay at (input width as slew proxy, load).
-            const double gate_delay =
-                cell.arcs.front().delay_rise.lookup(in_width, load);
-            Contribution c;
-            c.from_net = in_net;
-            c.peak = out_peak;
-            c.width = out_width;
-            // Only full noise-window mode tracks *when* propagated noise
-            // can exist; the weaker modes assume it coincides with anything.
-            c.window = (opt_.mode == AnalysisMode::kNoiseWindows)
-                           ? in_window.shifted(gate_delay)
-                                 .dilated(0.0, std::max(out_width - in_width, 0.0))
-                           : IntervalSet::everything();
-            res.nets[op.net.index()].contributions.push_back(std::move(c));
-          }
-        }
-        finalize_net(res, op.net);
-      }
+      finalize_net(res, op.net);
     }
   }
 
-  // ---- phase 5: endpoint checks ---------------------------------------------
-  void check_endpoints(Result& res) const {
-    // Sequential data pins: immunity + (mode 3) sensitivity-window overlap.
-    for (std::size_t si = 0; si < design_.sequentials().size(); ++si) {
-      const InstId s = design_.sequentials()[si];
-      const net::Instance& inst = design_.instance(s);
-      const lib::Cell& cell = design_.cell_of(s);
-      const Interval clk = si < sta_.clock_arrivals.size() && !sta_.clock_arrivals[si].is_empty()
-                               ? sta_.clock_arrivals[si]
-                               : Interval{0.0, 0.0};
-      // Edge-triggered flops sample only around the next capture edge. A
-      // level-sensitive latch is vulnerable throughout its transparent
-      // phase — anything arriving while the enable is open flows through
-      // and is held at the closing edge. Clock uncertainty widens both.
-      Interval sens;
-      if (cell.kind == lib::CellKind::kLatch) {
-        sens = Interval{clk.lo - cell.setup,
-                        clk.hi + opt_.latch_duty * opt_.clock_period + cell.hold};
-      } else {
-        sens = Interval{clk.lo + opt_.clock_period - cell.setup,
-                        clk.hi + opt_.clock_period + cell.hold};
-      }
-      sens = sens.dilated(opt_.clock_uncertainty, opt_.clock_uncertainty);
-      for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
-        if (cell.pins[pi].role != lib::PinRole::kData) continue;
-        const net::Pin& dp = design_.pin(inst.pins[pi]);
-        if (!dp.net.valid()) continue;
-        const NetNoise& nn = res.nets[dp.net.index()];
-        ++res.endpoints_checked;
-
-        double peak = nn.total_peak;
-        double width = nn.width;
-        bool temporal = true;
-        if (opt_.mode == AnalysisMode::kNoiseWindows) {
-          // Worst combination *inside* the sampling window.
-          const Combined in_sens =
-              combine(nn.contributions, opt_.mode, sens, opt_.constraints);
-          peak = in_sens.peak;
-          width = in_sens.width;
-          temporal = peak > 0.0;
-        }
-        const double threshold = cell.immunity.threshold(width);
-        res.endpoint_slacks.push_back(threshold - peak);
-        if (peak >= threshold && temporal) {
-          Violation v;
-          v.endpoint = inst.pins[pi];
-          v.net = dp.net;
-          v.peak = peak;
-          v.width = width;
-          v.threshold = threshold;
-          v.sensitivity = sens;
-          v.temporal = temporal;
-          res.violations.push_back(v);
-        }
-      }
+  void propagate(Result& res) {
+    PhaseTimer timer(tel_.propagate_seconds);
+    // Port-driven nets first: every gate may read them.
+    exec_.parallel_for(ctx_.port_nets.size(), kPropagateChunk,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           finalize_net(res, ctx_.port_nets[i]);
+                         }
+                       });
+    // Level 0 (sequential outputs), then each combinational level: a level
+    // only reads nets finalized by earlier levels.
+    for (const auto& level : ctx_.levels) {
+      exec_.parallel_for(level.size(), kPropagateChunk,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             propagate_instance(res, level[i]);
+                           }
+                         });
     }
+  }
+
+  // ---- stage 3: endpoint checks, parallel over endpoints -------------------
+  void check_endpoints(Result& res) {
+    PhaseTimer timer(tel_.endpoints_seconds);
+    // Sequential data pins: immunity + (mode 3) sensitivity-window overlap.
+    exec_.map_reduce_ordered<EndpointOutcome>(
+        ctx_.endpoints.size(), kEndpointChunk,
+        [&](std::size_t ei) { return check_sequential(res, ctx_.endpoints[ei]); },
+        [&](std::size_t, EndpointOutcome outcome) {
+          ++res.endpoints_checked;
+          res.endpoint_slacks.push_back(outcome.slack);
+          if (outcome.violation) res.violations.push_back(*outcome.violation);
+        });
 
     // Primary outputs: always-sensitive receivers with a flat immunity.
     for (const PinId p : design_.output_ports()) {
@@ -388,7 +410,7 @@ class Engine {
       if (!pp.net.valid()) continue;
       const NetNoise& nn = res.nets[pp.net.index()];
       ++res.endpoints_checked;
-      const double threshold = opt_.po_immunity_frac * vdd_;
+      const double threshold = opt_.po_immunity_frac * ctx_.vdd;
       res.endpoint_slacks.push_back(threshold - nn.total_peak);
       if (nn.total_peak >= threshold) {
         Violation v;
@@ -402,20 +424,58 @@ class Engine {
         res.violations.push_back(v);
       }
     }
+    tel_.endpoints = res.endpoints_checked;
 
     // Noisy nets: glitch exceeds the weakest receiver immunity.
-    for (std::size_t i = 0; i < design_.net_count(); ++i) {
-      const NetNoise& nn = res.nets[i];
-      if (nn.total_peak < opt_.min_peak) continue;
-      double min_threshold = 1e30;
-      for (const PinId load : design_.net(NetId{i}).loads) {
-        const net::Pin& lp = design_.pin(load);
-        if (lp.kind != net::PinKind::kInstance) continue;
-        min_threshold = std::min(min_threshold,
-                                 design_.cell_of(lp.inst).immunity.threshold(nn.width));
+    const std::size_t n = design_.net_count();
+    std::vector<char> noisy(n, 0);
+    exec_.parallel_for(n, kEndpointChunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const NetNoise& nn = res.nets[i];
+        if (nn.total_peak < opt_.min_peak) continue;
+        double min_threshold = 1e30;
+        for (const PinId load : design_.net(NetId{i}).loads) {
+          const net::Pin& lp = design_.pin(load);
+          if (lp.kind != net::PinKind::kInstance) continue;
+          min_threshold = std::min(
+              min_threshold, design_.cell_of(lp.inst).immunity.threshold(nn.width));
+        }
+        if (min_threshold < 1e30 && nn.total_peak >= min_threshold) noisy[i] = 1;
       }
-      if (min_threshold < 1e30 && nn.total_peak >= min_threshold) ++res.noisy_nets;
+    });
+    for (std::size_t i = 0; i < n; ++i) res.noisy_nets += noisy[i];
+  }
+
+  [[nodiscard]] EndpointOutcome check_sequential(const Result& res,
+                                                 const EndpointRef& ep) const {
+    const NetNoise& nn = res.nets[ep.net.index()];
+    double peak = nn.total_peak;
+    double width = nn.width;
+    bool temporal = true;
+    if (opt_.mode == AnalysisMode::kNoiseWindows) {
+      // Worst combination *inside* the sampling window.
+      const Combined in_sens =
+          combine(nn.contributions, opt_.mode, ep.sensitivity, opt_.constraints);
+      peak = in_sens.peak;
+      width = in_sens.width;
+      temporal = peak > 0.0;
     }
+    const lib::Cell& cell = design_.cell_of(ep.inst);
+    const double threshold = cell.immunity.threshold(width);
+    EndpointOutcome outcome;
+    outcome.slack = threshold - peak;
+    if (peak >= threshold && temporal) {
+      Violation v;
+      v.endpoint = ep.pin;
+      v.net = ep.net;
+      v.peak = peak;
+      v.width = width;
+      v.threshold = threshold;
+      v.sensitivity = ep.sensitivity;
+      v.temporal = temporal;
+      outcome.violation = v;
+    }
+    return outcome;
   }
 
   // ---- refinement: noise-on-delay window inflation --------------------------
@@ -426,10 +486,10 @@ class Engine {
     bool changed = false;
     for (std::size_t i = 0; i < design_.net_count(); ++i) {
       const NetNoise& nn = res.nets[i];
-      if (orig_win_[i].is_empty()) continue;
+      if (ctx_.switch_window[i].is_empty()) continue;
       const Interval inflated = (nn.total_peak < opt_.min_peak)
-                                    ? orig_win_[i]
-                                    : orig_win_[i].dilated(0.0, nn.width);
+                                    ? ctx_.switch_window[i]
+                                    : ctx_.switch_window[i].dilated(0.0, nn.width);
       if (!(inflated == switch_win_[i])) {
         switch_win_[i] = inflated;
         changed = true;
@@ -442,26 +502,27 @@ class Engine {
   const para::Parasitics& para_;
   const sta::Result& sta_;
   const Options& opt_;
-  double vdd_;
-  std::vector<InstId> topo_;
-  std::vector<Interval> orig_win_;
-  std::vector<Interval> switch_win_;
+  util::Executor exec_;
+  std::chrono::steady_clock::time_point start_;
+  AnalysisContext ctx_;
+  std::vector<Interval> switch_win_;  ///< per-pass inflated windows
+  Telemetry tel_;
 };
 
 }  // namespace
 
 Result analyze(const net::Design& design, const para::Parasitics& para,
                const sta::Result& sta_result, const Options& opt) {
-  Engine engine(design, para, sta_result, opt);
-  return engine.run_full();
+  Pipeline pipeline(design, para, sta_result, opt);
+  return pipeline.run_full();
 }
 
 Result analyze_incremental(const net::Design& design, const para::Parasitics& para,
                            const sta::Result& sta_result, const Options& opt,
                            const Result& previous,
                            std::span<const NetId> changed_nets) {
-  Engine engine(design, para, sta_result, opt);
-  return engine.run_incremental(previous, changed_nets);
+  Pipeline pipeline(design, para, sta_result, opt);
+  return pipeline.run_incremental(previous, changed_nets);
 }
 
 }  // namespace nw::noise

@@ -26,6 +26,14 @@
 // An optional refinement loop models noise-on-delay feedback: combined
 // glitch widths inflate switching windows and the analysis repeats until
 // the violation count stabilizes (experiment R-T5).
+//
+// Execution model: the analysis is a staged pipeline over an immutable
+// AnalysisContext (noise/context.hpp) — estimate_injected (parallel over
+// victims), propagate (levelized, parallel within a level), and
+// check_endpoints (parallel over endpoints) — run on a util::Executor of
+// Options::threads threads. Full and incremental analysis are the same
+// stages; incremental mode only narrows the estimation stage to dirty
+// victims. Output is bit-identical for every thread count.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +44,7 @@
 #include "netlist/design.hpp"
 #include "noise/constraints.hpp"
 #include "noise/glitch_models.hpp"
+#include "noise/telemetry.hpp"
 #include "parasitics/rcnet.hpp"
 #include "spice/transient.hpp"
 #include "sta/sta.hpp"
@@ -58,6 +67,11 @@ struct Options {
   double default_slew = 30e-12;        ///< aggressor slew when STA has none [s]
   double po_immunity_frac = 0.45;      ///< primary-output immunity (fraction of vdd)
   int refine_iterations = 0;           ///< extra noise-on-delay passes (0 = off)
+  /// Analysis parallelism: 1 = serial (default), 0 = hardware_concurrency,
+  /// n = a fixed pool of n threads. Results are bit-identical for every
+  /// value — stages write to pre-sized per-index slots and reduce in index
+  /// order (see DESIGN.md "Execution model").
+  int threads = 1;
   spice::TranOptions mna_tran{2e-9, 0.5e-12};  ///< kMnaExact settings
   /// Functional filtering: mutual-exclusion groups of aggressor nets.
   /// Applies in every mode (it is orthogonal to temporal filtering).
@@ -86,6 +100,10 @@ struct NetNoise {
   Interval worst_alignment;      ///< time interval achieving total_peak
   std::vector<Contribution> contributions;
   std::size_t aggressor_count = 0;  ///< aggressors above the cap threshold
+  /// Aggressors dropped because they never switch (empty window). Tracked
+  /// per net so incremental runs restore it for reused victims and the
+  /// aggregate counter matches a full re-run exactly.
+  std::size_t filtered_temporal = 0;
 };
 
 /// A failing endpoint.
@@ -113,6 +131,9 @@ struct Result {
   /// Noise slack (threshold - peak) of every checked endpoint, violating or
   /// not — the input of the slack-histogram experiment.
   std::vector<double> endpoint_slacks;
+  /// Phase wall times and work counters for this run (the only
+  /// nondeterministic fields of a Result).
+  Telemetry telemetry;
 
   [[nodiscard]] const NetNoise& net(NetId id) const { return nets.at(id.index()); }
 };

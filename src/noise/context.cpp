@@ -1,0 +1,129 @@
+#include "noise/context.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "noise/analyzer.hpp"
+
+namespace nw::noise {
+
+AnalysisContext AnalysisContext::build(const net::Design& design,
+                                       const para::Parasitics& para,
+                                       const sta::Result& sta_result,
+                                       const Options& opt) {
+  if (sta_result.nets.size() != design.net_count()) {
+    throw std::invalid_argument("noise::analyze: STA result does not match design");
+  }
+  AnalysisContext ctx;
+  ctx.vdd = design.library().vdd();
+  const std::size_t n = design.net_count();
+
+  // Coupling-graph adjacency: per victim, coupling caps grouped by
+  // aggressor and pre-filtered against the threshold.
+  ctx.aggressors.resize(n);
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    const NetId victim{vi};
+    std::unordered_map<NetId::value_type, double> agg_cap;
+    for (const auto ci : para.couplings_of(victim)) {
+      const auto& cc = para.coupling(ci);
+      agg_cap[cc.other_net(victim).value()] += cc.c;
+    }
+    auto& edges = ctx.aggressors[vi];
+    edges.reserve(agg_cap.size());
+    for (const auto& [agg_value, c_total] : agg_cap) {
+      if (c_total < opt.min_coupling_cap) {
+        ++ctx.pairs_filtered_cap;
+        continue;
+      }
+      edges.push_back(AggressorEdge{NetId{agg_value}, c_total});
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const AggressorEdge& a, const AggressorEdge& b) {
+                return a.net.value() < b.net.value();
+              });
+  }
+
+  // Per-net driver load (for gate-delay lookups during propagation).
+  ctx.load_cap.resize(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NetId id{i};
+    double cap = para.total_cap(id, /*miller=*/1.0);
+    for (const PinId load : design.net(id).loads) cap += design.pin_cap(load);
+    ctx.load_cap[i] = cap;
+  }
+
+  ctx.switch_window.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ctx.switch_window[i] = sta_result.nets[i].window;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Net& nn = design.net(NetId{i});
+    if (nn.driver.valid() && design.pin(nn.driver).kind == net::PinKind::kInputPort) {
+      ctx.port_nets.push_back(NetId{i});
+    }
+  }
+
+  // Levelized schedule from the topological order. net_level is 0 for
+  // port-driven, sequential-driven, and undriven nets; a combinational
+  // instance sits one level above its deepest input net.
+  const std::vector<InstId> topo = design.topological_order();
+  std::vector<std::size_t> net_level(n, 0);
+  std::vector<std::size_t> inst_level(design.instance_count(), 0);
+  std::size_t max_level = 0;
+  for (const InstId inst_id : topo) {
+    const net::Instance& inst = design.instance(inst_id);
+    const lib::Cell& cell = design.cell_of(inst_id);
+    if (cell.is_sequential()) continue;  // level 0
+    std::size_t lvl = 0;
+    for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+      if (cell.pins[pi].dir != lib::PinDir::kInput) continue;
+      const net::Pin& ip = design.pin(inst.pins[pi]);
+      if (ip.net.valid()) lvl = std::max(lvl, net_level[ip.net.index()]);
+    }
+    lvl += 1;
+    inst_level[inst_id.index()] = lvl;
+    max_level = std::max(max_level, lvl);
+    for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+      if (cell.pins[pi].dir != lib::PinDir::kOutput) continue;
+      const net::Pin& op = design.pin(inst.pins[pi]);
+      if (op.net.valid()) net_level[op.net.index()] = lvl;
+    }
+  }
+  ctx.levels.assign(max_level + 1, {});
+  for (const InstId inst_id : topo) {
+    ctx.levels[inst_level[inst_id.index()]].push_back(inst_id);
+  }
+
+  // Sequential endpoints with precomputed sensitivity windows.
+  for (std::size_t si = 0; si < design.sequentials().size(); ++si) {
+    const InstId s = design.sequentials()[si];
+    const net::Instance& inst = design.instance(s);
+    const lib::Cell& cell = design.cell_of(s);
+    const Interval clk =
+        si < sta_result.clock_arrivals.size() && !sta_result.clock_arrivals[si].is_empty()
+            ? sta_result.clock_arrivals[si]
+            : Interval{0.0, 0.0};
+    // Edge-triggered flops sample only around the next capture edge. A
+    // level-sensitive latch is vulnerable throughout its transparent
+    // phase — anything arriving while the enable is open flows through
+    // and is held at the closing edge. Clock uncertainty widens both.
+    Interval sens;
+    if (cell.kind == lib::CellKind::kLatch) {
+      sens = Interval{clk.lo - cell.setup,
+                      clk.hi + opt.latch_duty * opt.clock_period + cell.hold};
+    } else {
+      sens = Interval{clk.lo + opt.clock_period - cell.setup,
+                      clk.hi + opt.clock_period + cell.hold};
+    }
+    sens = sens.dilated(opt.clock_uncertainty, opt.clock_uncertainty);
+    for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
+      if (cell.pins[pi].role != lib::PinRole::kData) continue;
+      const net::Pin& dp = design.pin(inst.pins[pi]);
+      if (!dp.net.valid()) continue;
+      ctx.endpoints.push_back(EndpointRef{s, inst.pins[pi], dp.net, sens});
+    }
+  }
+  return ctx;
+}
+
+}  // namespace nw::noise

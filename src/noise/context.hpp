@@ -1,0 +1,76 @@
+// The immutable per-run inputs of the staged analysis pipeline.
+//
+// Everything the stages share read-only — coupling-graph adjacency,
+// per-net load caps, the levelized propagation schedule, and endpoint
+// sensitivity windows — is derived exactly once per analyze() call and
+// then handed to every stage and every worker thread. Nothing in here
+// changes during a run (the refinement loop's inflated switching windows
+// are the pipeline's only mutable state and live outside the context).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "parasitics/rcnet.hpp"
+#include "sta/sta.hpp"
+#include "util/interval.hpp"
+
+namespace nw::noise {
+
+struct Options;
+
+/// One aggressor of a victim: coupling caps between the pair, summed and
+/// pre-filtered against Options::min_coupling_cap. Sorted by aggressor id
+/// within each victim, so estimation order (and therefore contribution
+/// order and scan-line tie-breaking) is deterministic.
+struct AggressorEdge {
+  NetId net;
+  double coupling = 0.0;  ///< summed victim/aggressor coupling [F]
+};
+
+/// A sequential endpoint to check: one data pin of one sequential cell,
+/// with its sampling-sensitivity window precomputed from the clock
+/// arrival, cell setup/hold, and clock options.
+struct EndpointRef {
+  InstId inst;
+  PinId pin;         ///< the data pin itself
+  NetId net;         ///< the net it samples
+  Interval sensitivity;
+};
+
+struct AnalysisContext {
+  double vdd = 0.0;
+
+  /// victim -> aggressors above the coupling threshold (sorted by net id).
+  std::vector<std::vector<AggressorEdge>> aggressors;
+  std::size_t pairs_filtered_cap = 0;  ///< pairs dropped by the threshold
+
+  /// Total capacitive load a net presents to its driver (ground + coupling
+  /// + receiver pin caps) — the gate-delay lookup load during propagation.
+  std::vector<double> load_cap;
+
+  /// STA switching window per net (the refinement loop's baseline).
+  std::vector<Interval> switch_window;
+
+  /// Nets driven by input ports: finalized before any gate level runs.
+  std::vector<NetId> port_nets;
+
+  /// Levelized propagation schedule. Level 0 holds every sequential
+  /// instance (their outputs depend on no combinational fanin — Q noise is
+  /// injected-only); level L >= 1 holds combinational instances whose
+  /// deepest combinational fanin sits at level L-1. Instances within a
+  /// level touch disjoint nets and may run in parallel.
+  std::vector<std::vector<InstId>> levels;
+
+  /// Sequential endpoints in deterministic (instance, pin) order.
+  std::vector<EndpointRef> endpoints;
+
+  /// Derive the context. `sta_result` must match the design (checked).
+  [[nodiscard]] static AnalysisContext build(const net::Design& design,
+                                             const para::Parasitics& para,
+                                             const sta::Result& sta_result,
+                                             const Options& options);
+};
+
+}  // namespace nw::noise

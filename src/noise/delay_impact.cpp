@@ -2,9 +2,61 @@
 
 #include <algorithm>
 
+#include "util/executor.hpp"
 #include "util/scanline.hpp"
 
 namespace nw::noise {
+
+namespace {
+
+/// Per-net impact (shared-nothing over nets; same scan-line math as the
+/// serial path, so the parallel run is bit-identical). `affected` reports
+/// whether the net counts toward the summary.
+DelayImpact impact_for_net(const sta::NetTiming& t, const NetNoise& nn,
+                           const Options& opt, double vdd, char& affected) {
+  DelayImpact di;
+  if (!t.switches()) return di;  // a quiet net has no edge to shift
+  if (nn.contributions.empty()) return di;
+
+  double peak = 0.0;
+  if (opt.mode == AnalysisMode::kNoFiltering) {
+    // Everything is assumed to align with the victim edge.
+    if (opt.constraints.empty()) {
+      for (const auto& c : nn.contributions) peak += c.peak;
+    } else {
+      // Per mutex group only the heaviest member can align.
+      std::vector<WeightedWindow> items;
+      std::vector<int> groups;
+      for (const auto& c : nn.contributions) {
+        items.push_back({c.peak, IntervalSet::everything()});
+        groups.push_back(c.aggressor.valid() ? opt.constraints.group_of(c.aggressor)
+                                             : -1);
+      }
+      peak = scan_max_overlap_grouped(items, groups).best_sum;
+    }
+  } else {
+    // Restrict every contribution to the victim's transition window.
+    const Interval edge = t.window.dilated(t.slew_max, t.slew_max);
+    std::vector<WeightedWindow> items;
+    std::vector<int> groups;
+    items.reserve(nn.contributions.size());
+    for (const auto& c : nn.contributions) {
+      items.push_back({c.peak, c.window.intersect(edge)});
+      groups.push_back(c.aggressor.valid() ? opt.constraints.group_of(c.aggressor)
+                                           : -1);
+    }
+    peak = opt.constraints.empty() ? scan_max_overlap(items).best_sum
+                                   : scan_max_overlap_grouped(items, groups).best_sum;
+  }
+  if (peak < opt.min_peak) return di;
+
+  affected = 1;
+  di.peak_during_transition = peak;
+  di.delta_delay = (peak / vdd) * t.slew_max;
+  return di;
+}
+
+}  // namespace
 
 DelayImpactSummary compute_delay_impact(const net::Design& design,
                                         const sta::Result& sta_result,
@@ -19,49 +71,20 @@ DelayImpactSummary compute_delay_impact(const net::Design& design,
   DelayImpactSummary out;
   out.nets.assign(design.net_count(), DelayImpact{});
 
-  for (std::size_t i = 0; i < design.net_count(); ++i) {
-    const sta::NetTiming& t = sta_result.nets[i];
-    if (!t.switches()) continue;  // a quiet net has no edge to shift
-    const NetNoise& nn = noise_result.nets[i];
-    if (nn.contributions.empty()) continue;
-
-    double peak = 0.0;
-    if (opt.mode == AnalysisMode::kNoFiltering) {
-      // Everything is assumed to align with the victim edge.
-      if (opt.constraints.empty()) {
-        for (const auto& c : nn.contributions) peak += c.peak;
-      } else {
-        // Per mutex group only the heaviest member can align.
-        std::vector<WeightedWindow> items;
-        std::vector<int> groups;
-        for (const auto& c : nn.contributions) {
-          items.push_back({c.peak, IntervalSet::everything()});
-          groups.push_back(c.aggressor.valid() ? opt.constraints.group_of(c.aggressor)
-                                               : -1);
-        }
-        peak = scan_max_overlap_grouped(items, groups).best_sum;
-      }
-    } else {
-      // Restrict every contribution to the victim's transition window.
-      const Interval edge = t.window.dilated(t.slew_max, t.slew_max);
-      std::vector<WeightedWindow> items;
-      std::vector<int> groups;
-      items.reserve(nn.contributions.size());
-      for (const auto& c : nn.contributions) {
-        items.push_back({c.peak, c.window.intersect(edge)});
-        groups.push_back(c.aggressor.valid() ? opt.constraints.group_of(c.aggressor)
-                                             : -1);
-      }
-      peak = opt.constraints.empty() ? scan_max_overlap(items).best_sum
-                                     : scan_max_overlap_grouped(items, groups).best_sum;
+  // Parallel over nets into pre-sized slots; totals fold in index order so
+  // the floating-point sums match the serial run exactly.
+  std::vector<char> affected(design.net_count(), 0);
+  util::Executor exec(opt.threads);
+  exec.parallel_for(design.net_count(), 32, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out.nets[i] = impact_for_net(sta_result.nets[i], noise_result.nets[i], opt, vdd,
+                                   affected[i]);
     }
-    if (peak < opt.min_peak) continue;
-
-    DelayImpact& di = out.nets[i];
-    di.peak_during_transition = peak;
-    di.delta_delay = (peak / vdd) * t.slew_max;
-    out.total_delta += di.delta_delay;
-    out.max_delta = std::max(out.max_delta, di.delta_delay);
+  });
+  for (std::size_t i = 0; i < design.net_count(); ++i) {
+    if (!affected[i]) continue;
+    out.total_delta += out.nets[i].delta_delay;
+    out.max_delta = std::max(out.max_delta, out.nets[i].delta_delay);
     ++out.affected_nets;
   }
   return out;

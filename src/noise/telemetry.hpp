@@ -1,0 +1,39 @@
+// Per-run analysis telemetry: phase wall times and work counters.
+//
+// Filled in by every noise::analyze / analyze_incremental call and embedded
+// in the Result, so callers (CLI --stats, bench_runtime's thread-scaling
+// column, future incremental servers) can see where the run spent its time
+// without instrumenting the analyzer themselves. Wall times are the only
+// nondeterministic part of a Result — everything else is bit-identical
+// across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace nw::noise {
+
+struct Telemetry {
+  int threads = 1;      ///< resolved executor parallelism
+  int iterations = 1;   ///< analysis passes (1 + refinement reruns)
+
+  // Phase wall times, summed over refinement passes [s].
+  double context_seconds = 0.0;    ///< AnalysisContext build (once per run)
+  double estimate_seconds = 0.0;   ///< per-victim injected-glitch estimation
+  double propagate_seconds = 0.0;  ///< combination + levelized gate propagation
+  double endpoints_seconds = 0.0;  ///< endpoint checks + noisy-net scan
+  double total_seconds = 0.0;      ///< whole analyze() call
+
+  // Work counters (deterministic).
+  std::size_t victims_estimated = 0;   ///< nets whose glitches were computed
+  std::size_t victims_reused = 0;      ///< incremental: estimates carried over
+  std::size_t aggressor_pairs = 0;     ///< victim/aggressor pairs evaluated
+  std::size_t pairs_filtered_cap = 0;  ///< pairs dropped below min_coupling_cap
+  std::size_t levels = 0;              ///< propagation levels (parallel width)
+  std::size_t endpoints = 0;           ///< endpoints checked per pass
+};
+
+/// Human-readable phase/counter table (the CLI's --stats section).
+void write_stats(std::ostream& os, const Telemetry& t);
+
+}  // namespace nw::noise

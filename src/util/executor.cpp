@@ -1,0 +1,153 @@
+#include "util/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace nw::util {
+
+namespace {
+
+/// The executor whose parallel_for the current thread is executing a chunk
+/// of (worker or caller). Used to detect nested use of the same pool.
+thread_local const Executor* tl_running = nullptr;
+
+struct RunningGuard {
+  const Executor* prev;
+  explicit RunningGuard(const Executor* e) : prev(tl_running) { tl_running = e; }
+  ~RunningGuard() { tl_running = prev; }
+};
+
+}  // namespace
+
+struct Executor::Pool {
+  std::vector<std::thread> workers;
+
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+
+  // Current job. Generation increments per parallel_for; workers idle on
+  // the condition variable between jobs (no busy spin).
+  std::uint64_t generation = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> cursor{0};
+  int running = 0;  ///< workers still inside the current job
+  bool stop = false;
+
+  std::exception_ptr first_error;
+
+  void work(const Executor* owner) {
+    RunningGuard guard(owner);
+    const auto& body = *fn;
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + chunk);
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop(const Executor* owner) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+      }
+      work(owner);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--running == 0) work_done.notify_all();
+      }
+    }
+  }
+};
+
+Executor::Executor(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  thread_count_ = threads;
+  if (thread_count_ == 1) return;  // serial fallback: no pool at all
+  pool_ = new Pool;
+  pool_->workers.reserve(static_cast<std::size_t>(thread_count_) - 1);
+  for (int i = 0; i < thread_count_ - 1; ++i) {
+    pool_->workers.emplace_back([this] { pool_->worker_loop(this); });
+  }
+}
+
+Executor::~Executor() {
+  if (!pool_) return;
+  {
+    std::lock_guard<std::mutex> lock(pool_->mutex);
+    pool_->stop = true;
+  }
+  pool_->work_ready.notify_all();
+  for (auto& w : pool_->workers) w.join();
+  delete pool_;
+}
+
+void Executor::run_serial(std::size_t n, std::size_t chunk,
+                          const std::function<void(std::size_t, std::size_t)>& fn) {
+  RunningGuard guard(this);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    fn(begin, std::min(n, begin + chunk));
+  }
+}
+
+void Executor::parallel_for(std::size_t n, std::size_t chunk,
+                            const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (tl_running == this) {
+    throw std::logic_error(
+        "Executor::parallel_for: nested use of the same executor");
+  }
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  // One chunk (or no pool): nothing to distribute.
+  if (!pool_ || n <= chunk) {
+    run_serial(n, chunk, fn);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(pool_->mutex);
+    pool_->fn = &fn;
+    pool_->n = n;
+    pool_->chunk = chunk;
+    pool_->cursor.store(0, std::memory_order_relaxed);
+    pool_->running = static_cast<int>(pool_->workers.size());
+    pool_->first_error = nullptr;
+    ++pool_->generation;
+  }
+  pool_->work_ready.notify_all();
+
+  pool_->work(this);  // the caller is thread 0
+
+  std::unique_lock<std::mutex> lock(pool_->mutex);
+  pool_->work_done.wait(lock, [&] { return pool_->running == 0; });
+  pool_->fn = nullptr;
+  if (pool_->first_error) {
+    std::exception_ptr err = pool_->first_error;
+    pool_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace nw::util

@@ -1,0 +1,76 @@
+// A small fixed-size thread pool for data-parallel loops.
+//
+// The analyzer's hot phases (per-victim glitch estimation, per-level gate
+// propagation, endpoint checks) are shared-nothing over an index range, so
+// the only primitive needed is a blocking `parallel_for(n, chunk, fn)`:
+// workers claim half-open chunks of [0, n) from an atomic cursor and the
+// calling thread participates, so an Executor with `thread_count() == t`
+// uses exactly t threads (t-1 pooled workers + the caller).
+//
+// Determinism contract: parallel_for itself guarantees nothing about
+// execution order — callers make parallel results reproducible by writing
+// into pre-sized, index-addressed slots and folding them in index order
+// afterwards (`map_reduce_ordered` packages that pattern). Every stage of
+// noise::analyze follows it, which is what makes analysis output
+// bit-identical across thread counts.
+//
+// Error contract: the first exception thrown by any chunk is captured and
+// rethrown on the calling thread after all workers have quiesced; the
+// remaining chunks still run (no cancellation — chunks are short).
+//
+// Nested use of the *same* executor from inside a chunk would deadlock a
+// fixed pool, so it throws std::logic_error instead (the nested-use guard).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace nw::util {
+
+class Executor {
+ public:
+  /// `threads` <= 0 resolves to std::thread::hardware_concurrency();
+  /// 1 is the serial fallback (no pool threads are created at all).
+  explicit Executor(int threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Resolved parallelism (pooled workers + the calling thread).
+  [[nodiscard]] int thread_count() const noexcept { return thread_count_; }
+
+  /// Invoke `fn(begin, end)` over disjoint chunks of at most `chunk`
+  /// indices covering [0, n). Blocks until every chunk has run; rethrows
+  /// the first chunk exception. `chunk == 0` is treated as 1.
+  /// Single-submitter: at most one thread may be inside parallel_for of a
+  /// given Executor at a time (distinct executors may nest).
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Ordered reduction: `map(i)` runs in parallel into index-addressed
+  /// slots, then `fold(i, slot)` runs serially in index order on the
+  /// calling thread — deterministic regardless of thread count.
+  template <typename T, typename MapFn, typename FoldFn>
+  void map_reduce_ordered(std::size_t n, std::size_t chunk, MapFn&& map,
+                          FoldFn&& fold) {
+    std::vector<T> slots(n);
+    parallel_for(n, chunk, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) slots[i] = map(i);
+    });
+    for (std::size_t i = 0; i < n; ++i) fold(i, std::move(slots[i]));
+  }
+
+ private:
+  struct Pool;  // hides <thread>/<condition_variable> from this header
+
+  void run_serial(std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+  int thread_count_ = 1;
+  Pool* pool_ = nullptr;  // null when thread_count_ == 1
+};
+
+}  // namespace nw::util

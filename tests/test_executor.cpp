@@ -1,0 +1,131 @@
+// util::Executor: chunking coverage, exception propagation, nested-use
+// guard, and the ordered map-reduce determinism contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/executor.hpp"
+
+namespace nw::util {
+namespace {
+
+TEST(Executor, ResolvesThreadCounts) {
+  EXPECT_GE(Executor(0).thread_count(), 1);  // 0 = hardware_concurrency
+  EXPECT_EQ(Executor(1).thread_count(), 1);
+  EXPECT_EQ(Executor(4).thread_count(), 4);
+  EXPECT_GE(Executor(-3).thread_count(), 1);
+}
+
+TEST(Executor, EmptyRangeNeverInvokes) {
+  Executor ex(4);
+  std::atomic<int> calls{0};
+  ex.parallel_for(0, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Executor, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+      Executor ex(threads);
+      constexpr std::size_t n = 1000;
+      std::vector<std::atomic<int>> hits(n);
+      ex.parallel_for(n, chunk, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        ASSERT_LE(end - begin, chunk);
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " chunk=" << chunk
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Executor, ChunkLargerThanNStillCovers) {
+  Executor ex(4);
+  std::atomic<std::size_t> sum{0};
+  std::atomic<int> calls{0};
+  ex.parallel_for(5, 1000, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    for (std::size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(calls.load(), 1);  // one chunk covers everything
+  EXPECT_EQ(sum.load(), 0u + 1 + 2 + 3 + 4);
+}
+
+TEST(Executor, ChunkZeroIsTreatedAsOne) {
+  Executor ex(2);
+  std::atomic<std::size_t> covered{0};
+  ex.parallel_for(7, 0, [&](std::size_t begin, std::size_t end) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered.load(), 7u);
+}
+
+TEST(Executor, ExceptionPropagatesToCaller) {
+  for (const int threads : {1, 4}) {
+    Executor ex(threads);
+    EXPECT_THROW(ex.parallel_for(100, 1,
+                                 [&](std::size_t begin, std::size_t) {
+                                   if (begin == 37) throw std::runtime_error("boom");
+                                 }),
+                 std::runtime_error)
+        << "threads=" << threads;
+    // The pool must survive a throwing job and run the next one cleanly.
+    std::atomic<std::size_t> covered{0};
+    ex.parallel_for(50, 4, [&](std::size_t begin, std::size_t end) {
+      covered += end - begin;
+    });
+    EXPECT_EQ(covered.load(), 50u);
+  }
+}
+
+TEST(Executor, NestedUseOfSameExecutorThrows) {
+  for (const int threads : {1, 4}) {
+    Executor ex(threads);
+    EXPECT_THROW(ex.parallel_for(8, 1,
+                                 [&](std::size_t, std::size_t) {
+                                   ex.parallel_for(
+                                       2, 1, [](std::size_t, std::size_t) {});
+                                 }),
+                 std::logic_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(Executor, DistinctExecutorsMayNest) {
+  // A serial outer loop driving a pooled inner executor: only one thread
+  // submits to `inner` at a time (parallel_for is single-submitter).
+  Executor outer(1);
+  Executor inner(2);
+  std::atomic<std::size_t> covered{0};
+  outer.parallel_for(4, 1, [&](std::size_t, std::size_t) {
+    inner.parallel_for(3, 1,
+                       [&](std::size_t begin, std::size_t end) { covered += end - begin; });
+  });
+  EXPECT_EQ(covered.load(), 12u);
+}
+
+TEST(Executor, MapReduceOrderedIsDeterministic) {
+  std::vector<int> serial;
+  std::vector<int> parallel;
+  const auto run = [](Executor& ex, std::vector<int>& out) {
+    ex.map_reduce_ordered<int>(
+        200, 7, [](std::size_t i) { return static_cast<int>(i * i % 97); },
+        [&](std::size_t, int v) { out.push_back(v); });
+  };
+  Executor ex1(1);
+  Executor ex8(8);
+  run(ex1, serial);
+  run(ex8, parallel);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial.size(), 200u);
+}
+
+}  // namespace
+}  // namespace nw::util

@@ -15,6 +15,7 @@
 #include "noise/analyzer.hpp"
 #include "noise/delay_impact.hpp"
 #include "noise/report_writer.hpp"
+#include "noise/telemetry.hpp"
 #include "parasitics/spef.hpp"
 #include "sta/sta.hpp"
 #include "util/strings.hpp"
@@ -33,6 +34,8 @@ struct Args {
   noise::Options noise_opt;
   bool delay_impact = false;
   bool have_mode = false;
+  bool stats = false;
+  bool help = false;
 };
 
 const char kUsage[] =
@@ -44,6 +47,8 @@ const char kUsage[] =
     "  --model <m>         charge-sharing | devgan | two-pi | reduced-mna | mna-exact\n"
     "  --period <s>        clock period in seconds (default 1e-9)\n"
     "  --refine <n>        noise-on-delay refinement passes (default 0)\n"
+    "  --threads <n>       analysis threads: 1 = serial (default), 0 = all cores\n"
+    "  --stats             print per-phase telemetry after the report\n"
     "  --report <file>     write the full report to a file (default: stdout)\n"
     "  --delay-impact      append the crosstalk delay-impact section\n";
 
@@ -125,10 +130,17 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
       const auto v = need_value();
       if (!v) return std::nullopt;
       a.noise_opt.refine_iterations = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--threads") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.noise_opt.threads = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--stats") {
+      a.stats = true;
     } else if (arg == "--delay-impact") {
       a.delay_impact = true;
     } else if (arg == "--help" || arg == "-h") {
-      return std::nullopt;  // caller prints usage with code 1; acceptable
+      a.help = true;
+      return a;  // usage goes to stdout with exit code 0
     } else {
       err << "noisewin: unknown argument '" << arg << "'\n";
       return std::nullopt;
@@ -149,12 +161,22 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
 }  // namespace
 
 int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& err) {
-  const auto parsed = parse_args(args, err);
+  std::optional<Args> parsed;
+  try {
+    parsed = parse_args(args, err);
+  } catch (const std::exception& e) {
+    // parse_double/parse_uint throw on malformed numeric values.
+    err << "noisewin: " << e.what() << "\n";
+  }
   if (!parsed) {
     err << kUsage;
     return 1;
   }
   const Args& a = *parsed;
+  if (a.help) {
+    out << kUsage;
+    return 0;
+  }
 
   try {
     lib::Library library;
@@ -230,6 +252,7 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
       out << "report written to " << a.report_path << " (" << result.violations.size()
           << " violations)\n";
     }
+    if (a.stats) noise::write_stats(out, result.telemetry);
     return result.violations.empty() ? 0 : 2;
   } catch (const std::exception& e) {
     err << "noisewin: " << e.what() << "\n";

@@ -5,10 +5,13 @@
 //   noisewin --lib <file.nlib> --netlist <file.nv> --spef <file.nwspef>
 //            [--arrivals <file>] [--mode no-filtering|switching-windows|noise-windows]
 //            [--model charge-sharing|devgan|two-pi|reduced-mna|mna-exact]
-//            [--period <seconds>] [--report <file>] [--delay-impact]
+//            [--period <seconds>] [--threads <n>] [--stats]
+//            [--report <file>] [--delay-impact]
 //   noisewin --demo bus|logic|pipeline [--mode ...] [...]
 //
 // The arrivals file has lines: `<port> <earliest> <latest>` (seconds).
+// `--threads 0` uses every hardware thread; results are identical for any
+// thread count. `--stats` appends the per-phase telemetry table.
 // Exit code: 0 = clean, 2 = violations found, 1 = usage/input error.
 #pragma once
 
