@@ -6,6 +6,8 @@
 // the unfiltered mode.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench/suite.hpp"
 #include "noise/analyzer.hpp"
 #include "sta/sta.hpp"
@@ -107,4 +109,17 @@ BENCHMARK(BM_StaOnly)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecon
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so a bench run can also leave a
+// machine-readable run record: with NW_STATS_JSON=<path> set, one analysis
+// of the D1 bus is exported in the --stats-json schema after the
+// benchmarks finish.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("NW_STATS_JSON")) {
+    nw::bench::write_run_record(path, library());
+  }
+  return 0;
+}

@@ -6,12 +6,16 @@
 // register pipeline (sequential endpoints for the latch check).
 #pragma once
 
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "gen/bus.hpp"
 #include "gen/pipeline.hpp"
 #include "gen/randlogic.hpp"
+#include "noise/analyzer.hpp"
+#include "obs/metrics.hpp"
+#include "sta/sta.hpp"
 #include "util/units.hpp"
 
 namespace nw::bench {
@@ -64,6 +68,22 @@ inline gen::PipelineConfig pipeline_config(std::size_t paths) {
   cfg.coupling_cap = 28 * FF;
   cfg.seed = paths;
   return cfg;
+}
+
+/// One analysis run record in the --stats-json schema (obs::write_stats_json)
+/// for a suite bus case — the bench harness emits this when NW_STATS_JSON
+/// is set, so a benchmark run leaves the same machine-readable artifact as
+/// a CLI run and lands in the same trajectory comparisons.
+inline void write_run_record(const std::string& path, const lib::Library& library,
+                             std::size_t bus_bits = 64) {
+  const gen::Generated g = gen::make_bus(library, bus_config(bus_bits));
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  noise::Options o;
+  o.mode = noise::AnalysisMode::kNoiseWindows;
+  o.clock_period = g.sta_options.clock_period;
+  const noise::Result r = noise::analyze(g.design, g.para, timing, o);
+  std::ofstream f(path);
+  obs::write_stats_json(f, r.run_meta, r.metrics);
 }
 
 /// The full D1..D6 suite. The library must outlive the returned cases.

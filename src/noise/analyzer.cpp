@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <iomanip>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "noise/context.hpp"
+#include "obs/log.hpp"
+#include "obs/tracer.hpp"
 #include "util/executor.hpp"
 #include "util/scanline.hpp"
 
@@ -30,7 +36,17 @@ constexpr std::size_t kEstimateChunk = 8;
 constexpr std::size_t kPropagateChunk = 16;
 constexpr std::size_t kEndpointChunk = 32;
 
-/// Accumulates wall time into a Telemetry field for the enclosing scope.
+// Fixed histogram bounds. Stable across runs/designs so exported
+// distributions are directly comparable (tools/validate_obs.py checks the
+// bucket layout, not just totals).
+const std::vector<double> kGlitchPeakBounds = {0.05, 0.1, 0.15, 0.2, 0.3,
+                                               0.4,  0.5, 0.7,  1.0};
+const std::vector<double> kAggressorsPerVictimBounds = {0, 1, 2, 4, 8, 16, 32, 64};
+const std::vector<double> kLevelWidthBounds = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+const std::vector<double> kTaskSecondsBounds = {1e-6, 1e-5, 1e-4, 1e-3,
+                                                1e-2, 1e-1, 1.0};
+
+/// Accumulates wall time into a phase accumulator for the enclosing scope.
 class PhaseTimer {
  public:
   explicit PhaseTimer(double& acc)
@@ -126,28 +142,56 @@ class Pipeline {
         sta_(sta_result),
         opt_(opt),
         exec_(opt.threads),
-        start_(std::chrono::steady_clock::now()) {
-    PhaseTimer timer(tel_.context_seconds);
-    ctx_ = AnalysisContext::build(design, para, sta_result, opt);
-    switch_win_ = ctx_.switch_window;
-    tel_.threads = exec_.thread_count();
-    tel_.pairs_filtered_cap = ctx_.pairs_filtered_cap;
-    tel_.levels = ctx_.levels.size();
+        start_(std::chrono::steady_clock::now()),
+        executor_tasks_(reg_.counter(kMetricExecutorTasks, "executor chunks run")),
+        task_seconds_(reg_.histogram(kMetricTaskSeconds, "per-chunk wall time",
+                                     kTaskSecondsBounds, "s",
+                                     /*deterministic=*/false)) {
+    register_metrics();
+    {
+      obs::Span span("build-context", obs::SpanKind::kPhase);
+      PhaseTimer timer(times_.context);
+      ctx_ = AnalysisContext::build(design, para, sta_result, opt);
+      switch_win_ = ctx_.switch_window;
+    }
+    reg_.counter(kMetricPairsFilteredCap, "").add(ctx_.pairs_filtered_cap);
+    auto& level_width = reg_.histogram(kMetricLevelWidth, "", {});
+    for (const auto& level : ctx_.levels) {
+      level_width.observe(static_cast<double>(level.size()));
+    }
+    // Per-chunk instrumentation: both sinks are thread-safe; the chunk
+    // count per region is ceil(n/chunk) regardless of thread count, so
+    // executor_tasks stays deterministic while task wall times are timing.
+    exec_.set_task_observer([tasks = &executor_tasks_,
+                             seconds = &task_seconds_](double s) {
+      tasks->add();
+      seconds->observe(s);
+    });
   }
 
   [[nodiscard]] Result run_full() {
     Result res;
     const int total_iters = 1 + std::max(opt_.refine_iterations, 0);
     for (int iter = 0; iter < total_iters; ++iter) {
+      std::optional<obs::Span> span;
+      if (obs::trace_enabled()) {
+        span.emplace("iteration " + std::to_string(iter + 1),
+                     obs::SpanKind::kIteration);
+      }
       reset(res);
       estimate_injected(res, /*dirty=*/nullptr, /*previous=*/nullptr);
       propagate(res);
       check_endpoints(res);
       res.iteration_violations.push_back(res.violations.size());
       res.iterations = iter + 1;
-      if (iter + 1 < total_iters && !inflate_windows(res)) break;
+      NW_LOG(kDebug) << "pass " << (iter + 1) << "/" << total_iters << ": "
+                     << res.violations.size() << " violations, " << res.noisy_nets
+                     << " noisy nets";
+      if (iter + 1 < total_iters && !inflate_windows(res)) {
+        NW_LOG(kInfo) << "refinement converged after " << (iter + 1) << " passes";
+        break;
+      }
     }
-    tel_.iterations = res.iterations;
     finish(res);
     return res;
   }
@@ -172,26 +216,85 @@ class Pipeline {
     }
 
     Result res;
+    std::optional<obs::Span> span;
+    if (obs::trace_enabled()) span.emplace("iteration 1", obs::SpanKind::kIteration);
     reset(res);
     estimate_injected(res, &dirty, &previous);
     propagate(res);
     check_endpoints(res);
     res.iteration_violations.push_back(res.violations.size());
     res.iterations = 1;
-    tel_.iterations = 1;
+    span.reset();
     finish(res);
     return res;
   }
 
  private:
-  /// Stamps the total wall time (context build included) and attaches the
-  /// telemetry. Must run before returning — PhaseTimer flushes on scope
-  /// exit, which would be too late for a copy made inside the function.
+  /// Registers every metric up front so the snapshot (and the JSON export)
+  /// has one fixed order and zero-valued metrics still appear. Later use
+  /// sites re-look names up and get these same objects back.
+  void register_metrics() {
+    reg_.counter(kMetricVictimsEstimated, "nets whose glitches were computed");
+    reg_.counter(kMetricVictimsReused, "incremental: estimates carried over");
+    reg_.counter(kMetricAggressorPairs, "victim/aggressor pairs evaluated");
+    reg_.counter(kMetricPairsFilteredCap, "pairs dropped below min_coupling_cap");
+    reg_.gauge(kMetricLevels, "propagation levels (last pass)");
+    reg_.gauge(kMetricEndpoints, "endpoints checked (last pass)");
+    reg_.gauge(kMetricViolations, "failing endpoints (last pass)");
+    reg_.gauge(kMetricNoisyNets, "nets exceeding receiver immunity (last pass)");
+    reg_.gauge(kMetricAggressorsConsidered, "aggressors above cap (last pass)");
+    reg_.gauge(kMetricAggressorsFilteredTemporal,
+               "aggressors dropped with empty windows (last pass)");
+    reg_.histogram(kMetricGlitchPeak, "combined glitch peak per noisy net",
+                   kGlitchPeakBounds, "V");
+    reg_.histogram(kMetricAggressorsPerVictim, "aggressors above cap per victim",
+                   kAggressorsPerVictimBounds);
+    reg_.histogram(kMetricLevelWidth, "instances per propagation level",
+                   kLevelWidthBounds);
+    reg_.gauge(kMetricContextSeconds, "AnalysisContext build wall time", "s",
+               /*deterministic=*/false);
+    reg_.gauge(kMetricEstimateSeconds, "estimation wall time (all passes)", "s",
+               /*deterministic=*/false);
+    reg_.gauge(kMetricPropagateSeconds, "propagation wall time (all passes)", "s",
+               /*deterministic=*/false);
+    reg_.gauge(kMetricEndpointsSeconds, "endpoint-check wall time (all passes)", "s",
+               /*deterministic=*/false);
+    reg_.gauge(kMetricTotalSeconds, "whole analyze() wall time", "s",
+               /*deterministic=*/false);
+  }
+
+  /// Publishes the timing gauges and last-pass work gauges, observes the
+  /// final glitch-peak distribution (index order), stamps the run identity,
+  /// and snapshots the registry into the Result. Must run before returning.
   void finish(Result& res) {
-    tel_.total_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-            .count();
-    res.telemetry = tel_;
+    reg_.gauge(kMetricContextSeconds, "", "s", false).set(times_.context);
+    reg_.gauge(kMetricEstimateSeconds, "", "s", false).set(times_.estimate);
+    reg_.gauge(kMetricPropagateSeconds, "", "s", false).set(times_.propagate);
+    reg_.gauge(kMetricEndpointsSeconds, "", "s", false).set(times_.endpoints);
+    reg_.gauge(kMetricTotalSeconds, "", "s", false)
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                 .count());
+    reg_.gauge(kMetricLevels, "").set(static_cast<double>(ctx_.levels.size()));
+    reg_.gauge(kMetricEndpoints, "").set(static_cast<double>(res.endpoints_checked));
+    reg_.gauge(kMetricViolations, "").set(static_cast<double>(res.violations.size()));
+    reg_.gauge(kMetricNoisyNets, "").set(static_cast<double>(res.noisy_nets));
+    reg_.gauge(kMetricAggressorsConsidered, "")
+        .set(static_cast<double>(res.aggressors_considered));
+    reg_.gauge(kMetricAggressorsFilteredTemporal, "")
+        .set(static_cast<double>(res.aggressors_filtered_temporal));
+    auto& glitch_peak = reg_.histogram(kMetricGlitchPeak, "", {});
+    for (const NetNoise& nn : res.nets) {
+      if (nn.total_peak > 0.0) glitch_peak.observe(nn.total_peak);
+    }
+    res.run_meta.design = design_.name();
+    res.run_meta.mode = to_string(opt_.mode);
+    res.run_meta.model = to_string(opt_.model);
+    res.run_meta.options_digest = options_digest(opt_);
+    res.run_meta.build = obs::build_version();
+    res.run_meta.threads = exec_.thread_count();
+    res.run_meta.iterations = res.iterations;
+    res.metrics = reg_.snapshot();
+    res.telemetry = telemetry_from_metrics(res.run_meta, res.metrics);
   }
 
   void reset(Result& res) const {
@@ -209,11 +312,13 @@ class Pipeline {
   // per-victim counter array; counters fold serially afterwards.
   void estimate_injected(Result& res, const std::vector<char>* dirty,
                          const Result* previous) {
-    PhaseTimer timer(tel_.estimate_seconds);
+    obs::Span span("estimate-injected", obs::SpanKind::kPhase);
+    PhaseTimer timer(times_.estimate);
     const std::size_t n = design_.net_count();
     std::size_t estimated = 0;
     std::size_t reused = 0;
-    exec_.parallel_for(n, kEstimateChunk, [&](std::size_t begin, std::size_t end) {
+    exec_.parallel_for("estimate-injected", n, kEstimateChunk,
+                       [&](std::size_t begin, std::size_t end) {
       for (std::size_t vi = begin; vi < end; ++vi) {
         if (dirty == nullptr || (*dirty)[vi]) {
           estimate_for_victim(res.nets[vi], NetId{vi});
@@ -231,16 +336,20 @@ class Pipeline {
         }
       }
     });
-    // Deterministic fold of the per-victim counters.
+    // Deterministic fold of the per-victim counters (index order, serial —
+    // this is what keeps the metrics bit-identical across thread counts).
+    auto& aggressor_pairs = reg_.counter(kMetricAggressorPairs, "");
+    auto& per_victim = reg_.histogram(kMetricAggressorsPerVictim, "", {});
     for (std::size_t vi = 0; vi < n; ++vi) {
       res.aggressors_considered += res.nets[vi].aggressor_count;
       res.aggressors_filtered_temporal += res.nets[vi].filtered_temporal;
+      per_victim.observe(static_cast<double>(res.nets[vi].aggressor_count));
       const bool recomputed = dirty == nullptr || (*dirty)[vi];
-      if (recomputed) tel_.aggressor_pairs += res.nets[vi].aggressor_count;
+      if (recomputed) aggressor_pairs.add(res.nets[vi].aggressor_count);
       (recomputed ? estimated : reused) += 1;
     }
-    tel_.victims_estimated += estimated;
-    tel_.victims_reused += reused;
+    reg_.counter(kMetricVictimsEstimated, "").add(estimated);
+    reg_.counter(kMetricVictimsReused, "").add(reused);
   }
 
   void estimate_for_victim(NetNoise& nn, NetId victim) const {
@@ -371,9 +480,10 @@ class Pipeline {
   }
 
   void propagate(Result& res) {
-    PhaseTimer timer(tel_.propagate_seconds);
+    obs::Span span("propagate", obs::SpanKind::kPhase);
+    PhaseTimer timer(times_.propagate);
     // Port-driven nets first: every gate may read them.
-    exec_.parallel_for(ctx_.port_nets.size(), kPropagateChunk,
+    exec_.parallel_for("propagate-ports", ctx_.port_nets.size(), kPropagateChunk,
                        [&](std::size_t begin, std::size_t end) {
                          for (std::size_t i = begin; i < end; ++i) {
                            finalize_net(res, ctx_.port_nets[i]);
@@ -381,8 +491,13 @@ class Pipeline {
                        });
     // Level 0 (sequential outputs), then each combinational level: a level
     // only reads nets finalized by earlier levels.
-    for (const auto& level : ctx_.levels) {
-      exec_.parallel_for(level.size(), kPropagateChunk,
+    for (std::size_t li = 0; li < ctx_.levels.size(); ++li) {
+      const auto& level = ctx_.levels[li];
+      std::optional<obs::Span> level_span;
+      if (obs::trace_enabled()) {
+        level_span.emplace("level " + std::to_string(li), obs::SpanKind::kLevel);
+      }
+      exec_.parallel_for("propagate-level", level.size(), kPropagateChunk,
                          [&](std::size_t begin, std::size_t end) {
                            for (std::size_t i = begin; i < end; ++i) {
                              propagate_instance(res, level[i]);
@@ -393,10 +508,11 @@ class Pipeline {
 
   // ---- stage 3: endpoint checks, parallel over endpoints -------------------
   void check_endpoints(Result& res) {
-    PhaseTimer timer(tel_.endpoints_seconds);
+    obs::Span span("check-endpoints", obs::SpanKind::kPhase);
+    PhaseTimer timer(times_.endpoints);
     // Sequential data pins: immunity + (mode 3) sensitivity-window overlap.
     exec_.map_reduce_ordered<EndpointOutcome>(
-        ctx_.endpoints.size(), kEndpointChunk,
+        "check-endpoints", ctx_.endpoints.size(), kEndpointChunk,
         [&](std::size_t ei) { return check_sequential(res, ctx_.endpoints[ei]); },
         [&](std::size_t, EndpointOutcome outcome) {
           ++res.endpoints_checked;
@@ -424,12 +540,11 @@ class Pipeline {
         res.violations.push_back(v);
       }
     }
-    tel_.endpoints = res.endpoints_checked;
-
     // Noisy nets: glitch exceeds the weakest receiver immunity.
     const std::size_t n = design_.net_count();
     std::vector<char> noisy(n, 0);
-    exec_.parallel_for(n, kEndpointChunk, [&](std::size_t begin, std::size_t end) {
+    exec_.parallel_for("noisy-scan", n, kEndpointChunk,
+                       [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
         const NetNoise& nn = res.nets[i];
         if (nn.total_peak < opt_.min_peak) continue;
@@ -504,12 +619,53 @@ class Pipeline {
   const Options& opt_;
   util::Executor exec_;
   std::chrono::steady_clock::time_point start_;
+  obs::Registry reg_;
+  /// Hoisted handles for the executor's task observer (runs on workers;
+  /// both sinks are thread-safe).
+  obs::Counter& executor_tasks_;
+  obs::Histogram& task_seconds_;
+  /// Phase wall-time accumulators (summed over passes; published as timing
+  /// gauges by finish()).
+  struct {
+    double context = 0.0;
+    double estimate = 0.0;
+    double propagate = 0.0;
+    double endpoints = 0.0;
+  } times_;
   AnalysisContext ctx_;
   std::vector<Interval> switch_win_;  ///< per-pass inflated windows
-  Telemetry tel_;
 };
 
 }  // namespace
+
+std::string options_digest(const Options& o) {
+  // Canonical rendering: exact doubles (hexfloat), every field in a fixed
+  // order, constraints enumerated deterministically. `threads` is
+  // deliberately excluded — results (and therefore digests) are identical
+  // for every thread count.
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << "mode=" << to_string(o.mode) << ";model=" << to_string(o.model)
+     << ";min_coupling_cap=" << o.min_coupling_cap << ";min_peak=" << o.min_peak
+     << ";clock_period=" << o.clock_period
+     << ";clock_uncertainty=" << o.clock_uncertainty
+     << ";latch_duty=" << o.latch_duty << ";default_slew=" << o.default_slew
+     << ";po_immunity_frac=" << o.po_immunity_frac
+     << ";refine_iterations=" << o.refine_iterations
+     << ";mna_t_stop=" << o.mna_tran.t_stop << ";mna_dt=" << o.mna_tran.dt
+     << ";mna_method=" << static_cast<int>(o.mna_tran.method) << ";constraints=";
+  for (const auto& [net, group] : o.constraints.entries()) {
+    os << net << ":" << group << ",";
+  }
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
+  for (const unsigned char c : os.str()) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  std::ostringstream hex;
+  hex << std::hex << std::setfill('0') << std::setw(16) << h;
+  return hex.str();
+}
 
 Result analyze(const net::Design& design, const para::Parasitics& para,
                const sta::Result& sta_result, const Options& opt) {

@@ -45,6 +45,7 @@
 #include "noise/constraints.hpp"
 #include "noise/glitch_models.hpp"
 #include "noise/telemetry.hpp"
+#include "obs/metrics.hpp"
 #include "parasitics/rcnet.hpp"
 #include "spice/transient.hpp"
 #include "sta/sta.hpp"
@@ -131,12 +132,25 @@ struct Result {
   /// Noise slack (threshold - peak) of every checked endpoint, violating or
   /// not — the input of the slack-histogram experiment.
   std::vector<double> endpoint_slacks;
-  /// Phase wall times and work counters for this run (the only
-  /// nondeterministic fields of a Result).
+  /// Phase wall times and work counters for this run — a typed view over
+  /// `metrics` (see telemetry_from_metrics). Wall times are the only
+  /// nondeterministic fields of a Result.
   Telemetry telemetry;
+  /// Every metric the run registered (counters, gauges, histograms), for
+  /// the --stats-json export and programmatic consumers. Metrics marked
+  /// deterministic are bit-identical across thread counts.
+  obs::MetricsSnapshot metrics;
+  /// Run identity embedded in the stats JSON (design, mode, options hash,
+  /// build id, resolved thread count).
+  obs::RunMeta run_meta;
 
   [[nodiscard]] const NetNoise& net(NetId id) const { return nets.at(id.index()); }
 };
+
+/// Stable hex digest of every analysis option (FNV-1a over a canonical
+/// rendering) — two runs with equal digests analyzed under the same
+/// settings. Embedded in the stats JSON meta for trajectory comparison.
+[[nodiscard]] std::string options_digest(const Options& options);
 
 /// Run the analysis. `sta_result` must come from the same design/parasitics.
 [[nodiscard]] Result analyze(const net::Design& design, const para::Parasitics& para,

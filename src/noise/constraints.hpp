@@ -9,8 +9,10 @@
 // each group contributes (util::scan_max_overlap_grouped).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/ids.hpp"
@@ -21,6 +23,15 @@ class Constraints {
  public:
   [[nodiscard]] bool empty() const noexcept { return group_of_.empty(); }
   [[nodiscard]] int group_count() const noexcept { return next_group_; }
+
+  /// Every (net value, group) assignment, sorted by net — a deterministic
+  /// enumeration for digests and serialization.
+  [[nodiscard]] std::vector<std::pair<NetId::value_type, int>> entries() const {
+    std::vector<std::pair<NetId::value_type, int>> out(group_of_.begin(),
+                                                       group_of_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
   /// Declare a mutual-exclusion group; returns its id. A net may belong to
   /// at most one group (throws std::invalid_argument otherwise).

@@ -86,6 +86,11 @@ void write_report(std::ostream& os, const net::Design& design, const Options& op
   }
   os << "-- worst nets by combined peak --\n";
   worst.print(os);
+
+  if (ropt.telemetry_footer) {
+    os << "\n";
+    write_stats(os, result.telemetry);
+  }
 }
 
 void write_delay_impact(std::ostream& os, const net::Design& design,

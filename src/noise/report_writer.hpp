@@ -14,6 +14,9 @@ struct ReportOptions {
   std::size_t max_violations = 50;   ///< cap on detailed violation rows
   std::size_t max_noisy_nets = 20;   ///< cap on the worst-net table
   bool include_windows = true;       ///< print noise/sensitivity windows
+  /// Append the run's telemetry table (the same rendering as --stats, via
+  /// write_stats) so a report file is a self-contained run record.
+  bool telemetry_footer = false;
 };
 
 /// Write the full report: summary, violation table, worst nets by peak.

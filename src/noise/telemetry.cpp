@@ -5,6 +5,33 @@
 
 namespace nw::noise {
 
+Telemetry telemetry_from_metrics(const obs::RunMeta& meta,
+                                 const obs::MetricsSnapshot& snap) {
+  const auto counter = [&](const char* name) -> std::size_t {
+    const obs::MetricSample* s = snap.find(name);
+    return s ? static_cast<std::size_t>(s->count) : 0;
+  };
+  const auto gauge = [&](const char* name) -> double {
+    const obs::MetricSample* s = snap.find(name);
+    return s ? s->value : 0.0;
+  };
+  Telemetry t;
+  t.threads = meta.threads;
+  t.iterations = meta.iterations;
+  t.context_seconds = gauge(kMetricContextSeconds);
+  t.estimate_seconds = gauge(kMetricEstimateSeconds);
+  t.propagate_seconds = gauge(kMetricPropagateSeconds);
+  t.endpoints_seconds = gauge(kMetricEndpointsSeconds);
+  t.total_seconds = gauge(kMetricTotalSeconds);
+  t.victims_estimated = counter(kMetricVictimsEstimated);
+  t.victims_reused = counter(kMetricVictimsReused);
+  t.aggressor_pairs = counter(kMetricAggressorPairs);
+  t.pairs_filtered_cap = counter(kMetricPairsFilteredCap);
+  t.levels = static_cast<std::size_t>(gauge(kMetricLevels));
+  t.endpoints = static_cast<std::size_t>(gauge(kMetricEndpoints));
+  return t;
+}
+
 void write_stats(std::ostream& os, const Telemetry& t) {
   const auto flags = os.flags();
   const auto precision = os.precision();

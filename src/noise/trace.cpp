@@ -30,14 +30,19 @@ NoiseTrace trace_origin(const Result& result, NetId net) {
         next = c.from_net;
       }
     }
-    if (!next.valid()) {
-      // Injection point: report its worst-set aggressors.
-      for (const auto& c : nn.contributions) {
-        if (c.in_worst && !c.is_propagated()) trace.aggressors.push_back(c.aggressor);
-      }
-      break;
-    }
+    if (!next.valid()) break;
     cur = next;
+  }
+  // The injection point is wherever the walk stopped — the last path entry.
+  // Collecting here (instead of inside the no-propagated-member branch)
+  // guarantees aggressors are reported on every exit: the natural end of
+  // the chain, a single-step query where the asked-about net IS the
+  // injection net, and a walk cut short by the visited guard.
+  if (!trace.path.empty()) {
+    const NetNoise& origin = result.nets[trace.path.back().net.index()];
+    for (const auto& c : origin.contributions) {
+      if (c.in_worst && !c.is_propagated()) trace.aggressors.push_back(c.aggressor);
+    }
   }
   return trace;
 }

@@ -1,0 +1,62 @@
+#include "obs/log.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace nw::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace detail
+
+namespace {
+std::mutex g_sink_mutex;
+std::ostream* g_sink = nullptr;  ///< nullptr = std::cerr
+}  // namespace
+
+const char* to_string(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel l) noexcept {
+  detail::g_log_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(std::ostream* os) noexcept {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = os;
+}
+
+namespace detail {
+
+LogLine::~LogLine() {
+  if (suppressed_ < 0) return;
+  std::string line = "[nw:";
+  line += to_string(level_);
+  line += "] ";
+  line += os_.str();
+  if (suppressed_ > 0) {
+    line += " (";
+    line += std::to_string(suppressed_);
+    line += " similar suppressed)";
+  }
+  line += "\n";
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::ostream& os = g_sink ? *g_sink : std::cerr;
+  os << line;
+  os.flush();
+}
+
+}  // namespace detail
+}  // namespace nw::obs

@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/tracer.hpp"  // json_escape
+
+#ifndef NW_GIT_DESCRIBE
+#define NW_GIT_DESCRIBE "unknown"
+#endif
+
+namespace nw::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::data() const {
+  HistogramData d;
+  d.bounds = bounds_;
+  d.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i < d.counts.size(); ++i) {
+    d.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  return d;
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const noexcept {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+struct Registry::Entry {
+  std::string name;
+  std::string help;
+  std::string unit;
+  MetricSample::Kind kind;
+  bool deterministic = true;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<Histogram> hist;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry::Entry& Registry::find_or_create(std::string_view name, std::string_view help,
+                                          std::string_view unit,
+                                          MetricSample::Kind kind, bool deterministic,
+                                          std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::logic_error("Registry: metric '" + e->name +
+                               "' re-registered with a different kind");
+      }
+      return *e;
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->unit = std::string(unit);
+  e->kind = kind;
+  e->deterministic = deterministic;
+  if (kind == MetricSample::Kind::kHistogram) {
+    e->hist = std::make_unique<Histogram>(std::move(bounds));
+  }
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           bool deterministic) {
+  return find_or_create(name, help, "", MetricSample::Kind::kCounter, deterministic, {})
+      .counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       std::string_view unit, bool deterministic) {
+  return find_or_create(name, help, unit, MetricSample::Kind::kGauge, deterministic, {})
+      .gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds, std::string_view unit,
+                               bool deterministic) {
+  return *find_or_create(name, help, unit, MetricSample::Kind::kHistogram, deterministic,
+                         std::move(bounds))
+              .hist;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.samples.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSample s;
+    s.name = e->name;
+    s.help = e->help;
+    s.unit = e->unit;
+    s.kind = e->kind;
+    s.deterministic = e->deterministic;
+    switch (e->kind) {
+      case MetricSample::Kind::kCounter: s.count = e->counter.value(); break;
+      case MetricSample::Kind::kGauge: s.value = e->gauge.value(); break;
+      case MetricSample::Kind::kHistogram: s.hist = e->hist->data(); break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+const char* build_version() noexcept { return NW_GIT_DESCRIBE; }
+
+namespace {
+
+/// Full-precision double rendering that stays valid JSON (no inf/nan).
+std::string json_number(double v) {
+  if (!(v == v) || v > 1e308 || v < -1e308) return "0";
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+void write_histogram(std::ostream& os, const MetricSample& s) {
+  os << "{\"unit\":\"" << json_escape(s.unit) << "\",\"bounds\":[";
+  for (std::size_t i = 0; i < s.hist.bounds.size(); ++i) {
+    if (i) os << ",";
+    os << json_number(s.hist.bounds[i]);
+  }
+  os << "],\"counts\":[";
+  for (std::size_t i = 0; i < s.hist.counts.size(); ++i) {
+    if (i) os << ",";
+    os << s.hist.counts[i];
+  }
+  os << "],\"count\":" << s.hist.count << ",\"sum\":" << json_number(s.hist.sum) << "}";
+}
+
+}  // namespace
+
+void write_stats_json(std::ostream& os, const RunMeta& meta,
+                      const MetricsSnapshot& snap) {
+  os << "{\n\"meta\":{\"schema_version\":1,\"design\":\"" << json_escape(meta.design)
+     << "\",\"mode\":\"" << json_escape(meta.mode) << "\",\"model\":\""
+     << json_escape(meta.model) << "\",\"options_digest\":\""
+     << json_escape(meta.options_digest) << "\",\"build\":\""
+     << json_escape(meta.build) << "\",\"threads\":" << meta.threads
+     << ",\"iterations\":" << meta.iterations << "},\n";
+
+  const auto section = [&](const char* title, MetricSample::Kind kind,
+                           bool deterministic) {
+    os << "\"" << title << "\":{";
+    bool first = true;
+    for (const auto& s : snap.samples) {
+      if (s.deterministic != deterministic) continue;
+      if (deterministic && s.kind != kind) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\n  \"" << json_escape(s.name) << "\":";
+      switch (s.kind) {
+        case MetricSample::Kind::kCounter: os << s.count; break;
+        case MetricSample::Kind::kGauge: os << json_number(s.value); break;
+        case MetricSample::Kind::kHistogram: write_histogram(os, s); break;
+      }
+    }
+    os << "}";
+  };
+  section("counters", MetricSample::Kind::kCounter, true);
+  os << ",\n";
+  section("gauges", MetricSample::Kind::kGauge, true);
+  os << ",\n";
+  section("histograms", MetricSample::Kind::kHistogram, true);
+  os << ",\n";
+  // Nondeterministic metrics of every kind: the timing section.
+  section("timing", MetricSample::Kind::kGauge, false);
+  os << "\n}\n";
+}
+
+}  // namespace nw::obs

@@ -1,0 +1,107 @@
+// Span-based tracing with Chrome trace-event (chrome://tracing / Perfetto)
+// JSON output.
+//
+// A Span is an RAII scope marker: construction stamps a start time,
+// destruction appends one complete event to a thread-local buffer. Buffers
+// are registered globally (and outlive their threads), so one flush after a
+// run collects every thread's spans into per-thread tracks — which is what
+// makes load imbalance inside parallel regions directly visible.
+//
+// Overhead contract: tracing is off by default and every span site guards
+// itself with `trace_enabled()` — a single inlined relaxed atomic load — so
+// the disabled cost is a test-and-branch per site (DESIGN.md §4.6 budgets
+// the whole subsystem at <= 2% when disabled). When enabled, a span costs
+// two steady_clock reads plus one buffered append under an uncontended
+// per-thread mutex.
+//
+// Threading contract: spans may be opened/closed on any thread; flushing
+// (`events()` / `write_chrome()` / `clear()`) is safe at any time but is
+// meant to run between analyses, when no spans are in flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nw::obs {
+
+/// Event category (the "cat" field of the trace-event JSON).
+enum class SpanKind : std::uint8_t {
+  kPhase,      ///< analyzer pipeline stage (estimate/propagate/endpoints)
+  kLevel,      ///< one propagation level inside the propagate stage
+  kIteration,  ///< one refinement pass of the analysis loop
+  kTask,       ///< one executor chunk (per-thread work item)
+};
+
+[[nodiscard]] const char* to_string(SpanKind k) noexcept;
+
+/// One completed span, in tracer-relative nanoseconds.
+struct TraceEvent {
+  std::string name;
+  SpanKind kind = SpanKind::kPhase;
+  int tid = 0;  ///< tracer-assigned dense thread id (0 = first recording thread)
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+[[nodiscard]] std::int64_t now_ns() noexcept;
+void record(TraceEvent&& ev);
+}  // namespace detail
+
+/// The span sites' fast guard: one relaxed load, inlined.
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide tracer control (static-only interface).
+class Tracer {
+ public:
+  Tracer() = delete;
+
+  static void enable();
+  static void disable();
+  /// Drop every recorded event (thread registrations are kept).
+  static void clear();
+
+  /// Snapshot of all recorded events, ordered by (tid, start).
+  [[nodiscard]] static std::vector<TraceEvent> events();
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]} with complete ("X")
+  /// events in microseconds plus thread_name metadata — loads directly in
+  /// chrome://tracing and Perfetto.
+  static void write_chrome(std::ostream& os);
+
+  /// Label the calling thread's track (e.g. "worker 3").
+  static void set_thread_name(std::string name);
+};
+
+/// RAII span. Does nothing (beyond the enabled check) when tracing is off.
+class Span {
+ public:
+  explicit Span(std::string_view name, SpanKind kind = SpanKind::kPhase) {
+    if (trace_enabled()) arm(name, kind);
+  }
+  ~Span() {
+    if (start_ns_ >= 0) finish();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void arm(std::string_view name, SpanKind kind);
+  void finish();
+
+  std::string name_;
+  SpanKind kind_ = SpanKind::kPhase;
+  std::int64_t start_ns_ = -1;  ///< -1 = not armed (tracing was off)
+};
+
+/// Minimal JSON string escaping (shared by the trace and stats writers).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace nw::obs

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "obs/tracer.hpp"
 
 namespace nw::util {
 
@@ -36,6 +41,7 @@ struct Executor::Pool {
   // the condition variable between jobs (no busy spin).
   std::uint64_t generation = 0;
   const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  const char* label = nullptr;
   std::size_t n = 0;
   std::size_t chunk = 1;
   std::atomic<std::size_t> cursor{0};
@@ -44,7 +50,7 @@ struct Executor::Pool {
 
   std::exception_ptr first_error;
 
-  void work(const Executor* owner) {
+  void work(Executor* owner) {
     RunningGuard guard(owner);
     const auto& body = *fn;
     for (;;) {
@@ -52,7 +58,7 @@ struct Executor::Pool {
       if (begin >= n) break;
       const std::size_t end = std::min(n, begin + chunk);
       try {
-        body(begin, end);
+        owner->run_chunk(label, begin, end, body);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!first_error) first_error = std::current_exception();
@@ -60,7 +66,8 @@ struct Executor::Pool {
     }
   }
 
-  void worker_loop(const Executor* owner) {
+  void worker_loop(Executor* owner, int index) {
+    obs::Tracer::set_thread_name("worker " + std::to_string(index));
     std::uint64_t seen = 0;
     for (;;) {
       {
@@ -88,7 +95,7 @@ Executor::Executor(int threads) {
   pool_ = new Pool;
   pool_->workers.reserve(static_cast<std::size_t>(thread_count_) - 1);
   for (int i = 0; i < thread_count_ - 1; ++i) {
-    pool_->workers.emplace_back([this] { pool_->worker_loop(this); });
+    pool_->workers.emplace_back([this, i] { pool_->worker_loop(this, i + 1); });
   }
 }
 
@@ -103,15 +110,34 @@ Executor::~Executor() {
   delete pool_;
 }
 
-void Executor::run_serial(std::size_t n, std::size_t chunk,
+void Executor::run_chunk(const char* label, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Fast path: no tracing, no observer — just the body.
+  const bool traced = label != nullptr && obs::trace_enabled();
+  if (!traced && !observer_) {
+    fn(begin, end);
+    return;
+  }
+  std::optional<obs::Span> span;
+  if (traced) span.emplace(label, obs::SpanKind::kTask);
+  if (!observer_) {
+    fn(begin, end);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  fn(begin, end);
+  observer_(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+}
+
+void Executor::run_serial(const char* label, std::size_t n, std::size_t chunk,
                           const std::function<void(std::size_t, std::size_t)>& fn) {
   RunningGuard guard(this);
   for (std::size_t begin = 0; begin < n; begin += chunk) {
-    fn(begin, std::min(n, begin + chunk));
+    run_chunk(label, begin, std::min(n, begin + chunk), fn);
   }
 }
 
-void Executor::parallel_for(std::size_t n, std::size_t chunk,
+void Executor::parallel_for(const char* label, std::size_t n, std::size_t chunk,
                             const std::function<void(std::size_t, std::size_t)>& fn) {
   if (tl_running == this) {
     throw std::logic_error(
@@ -121,13 +147,14 @@ void Executor::parallel_for(std::size_t n, std::size_t chunk,
   if (chunk == 0) chunk = 1;
   // One chunk (or no pool): nothing to distribute.
   if (!pool_ || n <= chunk) {
-    run_serial(n, chunk, fn);
+    run_serial(label, n, chunk, fn);
     return;
   }
 
   {
     std::lock_guard<std::mutex> lock(pool_->mutex);
     pool_->fn = &fn;
+    pool_->label = label;
     pool_->n = n;
     pool_->chunk = chunk;
     pool_->cursor.store(0, std::memory_order_relaxed);

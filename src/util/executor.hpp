@@ -14,6 +14,14 @@
 // noise::analyze follows it, which is what makes analysis output
 // bit-identical across thread counts.
 //
+// Observability: the labeled overloads emit one obs::Span per executed
+// chunk (category "task") when tracing is enabled, so load imbalance
+// inside a region shows up as per-thread tracks in the trace; pool workers
+// name their tracks "worker <i>". An optional task observer receives every
+// chunk's wall time (for the per-task wall-time histogram). Both are
+// guarded by compile-time-cheap enabled checks; the unlabeled overloads
+// with no observer installed add nothing to the chunk path.
+//
 // Error contract: the first exception thrown by any chunk is captured and
 // rethrown on the calling thread after all workers have quiesced; the
 // remaining chunks still run (no cancellation — chunks are short).
@@ -31,6 +39,10 @@ namespace nw::util {
 
 class Executor {
  public:
+  /// Called once per executed chunk with its wall time [s].
+  /// Must be thread-safe: chunks run concurrently.
+  using TaskObserver = std::function<void(double seconds)>;
+
   /// `threads` <= 0 resolves to std::thread::hardware_concurrency();
   /// 1 is the serial fallback (no pool threads are created at all).
   explicit Executor(int threads = 0);
@@ -42,12 +54,24 @@ class Executor {
   /// Resolved parallelism (pooled workers + the calling thread).
   [[nodiscard]] int thread_count() const noexcept { return thread_count_; }
 
+  /// Install (or clear, with nullptr) the per-chunk wall-time observer.
+  /// Not thread-safe against a running parallel_for — set it between
+  /// regions.
+  void set_task_observer(TaskObserver observer) { observer_ = std::move(observer); }
+
   /// Invoke `fn(begin, end)` over disjoint chunks of at most `chunk`
   /// indices covering [0, n). Blocks until every chunk has run; rethrows
   /// the first chunk exception. `chunk == 0` is treated as 1.
   /// Single-submitter: at most one thread may be inside parallel_for of a
   /// given Executor at a time (distinct executors may nest).
   void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+    parallel_for(nullptr, n, chunk, fn);
+  }
+
+  /// Same, with a trace label: each chunk records an obs::Span named
+  /// `label` when tracing is enabled. `label` must outlive the call.
+  void parallel_for(const char* label, std::size_t n, std::size_t chunk,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// Ordered reduction: `map(i)` runs in parallel into index-addressed
@@ -56,8 +80,15 @@ class Executor {
   template <typename T, typename MapFn, typename FoldFn>
   void map_reduce_ordered(std::size_t n, std::size_t chunk, MapFn&& map,
                           FoldFn&& fold) {
+    map_reduce_ordered<T>(nullptr, n, chunk, std::forward<MapFn>(map),
+                          std::forward<FoldFn>(fold));
+  }
+
+  template <typename T, typename MapFn, typename FoldFn>
+  void map_reduce_ordered(const char* label, std::size_t n, std::size_t chunk,
+                          MapFn&& map, FoldFn&& fold) {
     std::vector<T> slots(n);
-    parallel_for(n, chunk, [&](std::size_t begin, std::size_t end) {
+    parallel_for(label, n, chunk, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) slots[i] = map(i);
     });
     for (std::size_t i = 0; i < n; ++i) fold(i, std::move(slots[i]));
@@ -66,11 +97,15 @@ class Executor {
  private:
   struct Pool;  // hides <thread>/<condition_variable> from this header
 
-  void run_serial(std::size_t n, std::size_t chunk,
+  void run_serial(const char* label, std::size_t n, std::size_t chunk,
                   const std::function<void(std::size_t, std::size_t)>& fn);
+  /// One chunk, wrapped in span/observer instrumentation when active.
+  void run_chunk(const char* label, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
 
   int thread_count_ = 1;
   Pool* pool_ = nullptr;  // null when thread_count_ == 1
+  TaskObserver observer_;
 };
 
 }  // namespace nw::util

@@ -124,5 +124,70 @@ TEST(Cli, ModelSelection) {
   EXPECT_NE(out.find("model: reduced-mna"), std::string::npos);
 }
 
+TEST(Cli, TraceAndStatsJsonOutputs) {
+  const fs::path dir = fs::temp_directory_path() / "noisewin_cli_obs_test";
+  fs::create_directories(dir);
+  const auto trace_path = (dir / "trace.json").string();
+  const auto stats_path = (dir / "stats.json").string();
+
+  std::string err;
+  const int rc = run({"--demo", "bus", "--threads", "2", "--trace-out", trace_path,
+                      "--stats-json", stats_path},
+                     nullptr, &err);
+  EXPECT_TRUE(rc == 0 || rc == 2) << err;
+
+  std::stringstream trace;
+  {
+    std::ifstream f(trace_path);
+    ASSERT_TRUE(f.good());
+    trace << f.rdbuf();
+  }
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.str().find("\"estimate-injected\""), std::string::npos);
+  EXPECT_NE(trace.str().find("\"thread_name\""), std::string::npos);
+
+  std::stringstream stats;
+  {
+    std::ifstream f(stats_path);
+    ASSERT_TRUE(f.good());
+    stats << f.rdbuf();
+  }
+  EXPECT_NE(stats.str().find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(stats.str().find("\"design\":\"bus64\""), std::string::npos);
+  EXPECT_NE(stats.str().find("\"victims_estimated\""), std::string::npos);
+  EXPECT_NE(stats.str().find("\"glitch_peak_v\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(Cli, VerboseLogsToErrorStream) {
+  std::string err;
+  const int rc = run({"--demo", "bus", "--verbose", "--verbose"}, nullptr, &err);
+  EXPECT_TRUE(rc == 0 || rc == 2);
+  // Debug-level pass summary from the analyzer, routed to the CLI's err.
+  EXPECT_NE(err.find("[nw:debug]"), std::string::npos) << err;
+}
+
+TEST(Cli, StatsFooterLandsInReportFile) {
+  const fs::path dir = fs::temp_directory_path() / "noisewin_cli_footer_test";
+  fs::create_directories(dir);
+  const auto rpt_path = (dir / "out.rpt").string();
+  std::string out;
+  const int rc =
+      run({"--demo", "bus", "--stats", "--report", rpt_path}, &out);
+  EXPECT_TRUE(rc == 0 || rc == 2);
+  // --stats still prints the table on stdout...
+  EXPECT_NE(out.find("analysis stats"), std::string::npos);
+  std::stringstream content;
+  {
+    std::ifstream f(rpt_path);
+    ASSERT_TRUE(f.good());
+    content << f.rdbuf();
+  }
+  // ...and the report file carries the same footer.
+  EXPECT_NE(content.str().find("analysis stats"), std::string::npos);
+  EXPECT_NE(content.str().find("estimate-injected"), std::string::npos);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace nw

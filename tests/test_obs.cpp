@@ -1,0 +1,469 @@
+// The observability subsystem: metrics registry, span tracer, leveled
+// logger, and the analyzer's use of all three — deterministic metrics
+// across thread counts, phase spans once per pass, valid JSON exports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gen/bus.hpp"
+#include "gen/randlogic.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/telemetry.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sta/sta.hpp"
+#include "util/units.hpp"
+
+namespace nw {
+namespace {
+
+// ---- a minimal JSON validity checker (no external deps) --------------------
+// Accepts exactly one JSON value; enough to assert the exports parse.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+  [[nodiscard]] bool parse() {
+    skip();
+    if (!value()) return false;
+    skip();
+    return pos_ == s_.size();
+  }
+
+ private:
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool lit(std::string_view w) {
+    if (s_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+           peek() == 'e' || peek() == 'E' || peek() == '+' || peek() == '-') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool array() {
+    ++pos_;
+    skip();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip();
+      if (!value()) return false;
+      skip();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool object() {
+    ++pos_;
+    skip();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip();
+      if (!string()) return false;
+      skip();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip();
+      if (!value()) return false;
+      skip();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return lit("true");
+      case 'f': return lit("false");
+      case 'n': return lit("null");
+      default: return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramRoundTrip) {
+  obs::Registry reg;
+  reg.counter("c", "a counter").add(3);
+  reg.counter("c", "").add(2);  // same object back
+  reg.gauge("g", "a gauge", "s").set(1.5);
+  auto& h = reg.histogram("h", "a histogram", {1.0, 2.0, 4.0}, "V");
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(2.0);   // bucket 1 (<= 2, inclusive upper bounds)
+  h.observe(100.0); // overflow bucket
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  // Registration order is preserved.
+  EXPECT_EQ(snap.samples[0].name, "c");
+  EXPECT_EQ(snap.samples[1].name, "g");
+  EXPECT_EQ(snap.samples[2].name, "h");
+
+  EXPECT_EQ(snap.find("c")->count, 5u);
+  EXPECT_EQ(snap.find("g")->value, 1.5);
+  const obs::HistogramData& hd = snap.find("h")->hist;
+  ASSERT_EQ(hd.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(hd.counts[0], 1u);
+  EXPECT_EQ(hd.counts[1], 1u);
+  EXPECT_EQ(hd.counts[2], 0u);
+  EXPECT_EQ(hd.counts[3], 1u);
+  EXPECT_EQ(hd.count, 3u);
+  EXPECT_DOUBLE_EQ(hd.sum, 102.5);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  obs::Registry reg;
+  reg.counter("x", "");
+  EXPECT_THROW(reg.gauge("x", ""), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", "", {1.0}), std::logic_error);
+}
+
+TEST(Metrics, HistogramBadBoundsThrow) {
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, StatsJsonParsesAndSeparatesTiming) {
+  obs::Registry reg;
+  reg.counter("work_items", "").add(7);
+  reg.gauge("levels", "").set(3.0);
+  reg.gauge("wall_seconds", "", "s", /*deterministic=*/false).set(0.25);
+  reg.histogram("dist", "", {1.0, 2.0}).observe(1.5);
+
+  obs::RunMeta meta;
+  meta.design = "d\"quoted\"";
+  meta.mode = "noise-windows";
+  meta.model = "two-pi";
+  meta.options_digest = "abc123";
+  meta.build = obs::build_version();
+  meta.threads = 4;
+  meta.iterations = 2;
+
+  std::ostringstream os;
+  obs::write_stats_json(os, meta, reg.snapshot());
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).parse()) << json;
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"d\\\"quoted\\\"\""), std::string::npos);
+  // The nondeterministic gauge lands in "timing", not in "gauges".
+  const auto gauges_at = json.find("\"gauges\"");
+  const auto timing_at = json.find("\"timing\"");
+  const auto wall_at = json.find("\"wall_seconds\"");
+  ASSERT_NE(gauges_at, std::string::npos);
+  ASSERT_NE(timing_at, std::string::npos);
+  ASSERT_NE(wall_at, std::string::npos);
+  EXPECT_GT(wall_at, timing_at);
+}
+
+// ---- analyzer metrics -------------------------------------------------------
+
+[[nodiscard]] std::vector<obs::MetricSample> deterministic_samples(
+    const obs::MetricsSnapshot& snap) {
+  std::vector<obs::MetricSample> out;
+  for (const auto& s : snap.samples) {
+    if (s.deterministic) out.push_back(s);
+  }
+  return out;
+}
+
+void expect_metrics_identical(const obs::MetricsSnapshot& a,
+                              const obs::MetricsSnapshot& b) {
+  const auto da = deterministic_samples(a);
+  const auto db = deterministic_samples(b);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    SCOPED_TRACE("metric " + da[i].name);
+    EXPECT_EQ(da[i].name, db[i].name);
+    EXPECT_EQ(da[i].kind, db[i].kind);
+    EXPECT_EQ(da[i].count, db[i].count);
+    EXPECT_EQ(da[i].value, db[i].value);  // bit-identical, not NEAR
+    EXPECT_EQ(da[i].hist.bounds, db[i].hist.bounds);
+    EXPECT_EQ(da[i].hist.counts, db[i].hist.counts);
+    EXPECT_EQ(da[i].hist.count, db[i].hist.count);
+    EXPECT_EQ(da[i].hist.sum, db[i].hist.sum);
+  }
+}
+
+class MetricsDeterminism
+    : public ::testing::TestWithParam<noise::AnalysisMode> {};
+
+TEST_P(MetricsDeterminism, IdenticalAcrossThreadCounts) {
+  const lib::Library library = lib::default_library();
+  gen::RandLogicConfig cfg;
+  cfg.primary_inputs = 10;
+  cfg.gates = 200;
+  cfg.levels = 5;
+  cfg.coupling_prob = 0.6;
+  cfg.dff_fraction = 0.3;
+  cfg.seed = 23;
+  const gen::Generated g = gen::make_rand_logic(library, cfg);
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+
+  noise::Options o;
+  o.mode = GetParam();
+  o.clock_period = g.sta_options.clock_period;
+  o.threads = 1;
+  const noise::Result serial = noise::analyze(g.design, g.para, timing, o);
+  EXPECT_EQ(serial.run_meta.threads, 1);
+  for (const int threads : {2, 8}) {
+    o.threads = threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const noise::Result parallel = noise::analyze(g.design, g.para, timing, o);
+    EXPECT_EQ(parallel.run_meta.threads, threads);
+    // Same work, same digests — only the threads field may differ.
+    EXPECT_EQ(parallel.run_meta.options_digest, serial.run_meta.options_digest);
+    expect_metrics_identical(serial.metrics, parallel.metrics);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, MetricsDeterminism,
+    ::testing::Values(noise::AnalysisMode::kNoFiltering,
+                      noise::AnalysisMode::kSwitchingWindows,
+                      noise::AnalysisMode::kNoiseWindows),
+    [](const ::testing::TestParamInfo<noise::AnalysisMode>& info) {
+      switch (info.param) {
+        case noise::AnalysisMode::kNoFiltering: return "NoFiltering";
+        case noise::AnalysisMode::kSwitchingWindows: return "SwitchingWindows";
+        case noise::AnalysisMode::kNoiseWindows: return "NoiseWindows";
+      }
+      return "Unknown";
+    });
+
+TEST(AnalyzerMetrics, TelemetryIsAViewOverTheSnapshot) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = gen::make_bus(library, {});
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  noise::Options o;
+  o.clock_period = g.sta_options.clock_period;
+  const noise::Result r = noise::analyze(g.design, g.para, timing, o);
+
+  ASSERT_NE(r.metrics.find(noise::kMetricVictimsEstimated), nullptr);
+  EXPECT_EQ(r.telemetry.victims_estimated,
+            r.metrics.find(noise::kMetricVictimsEstimated)->count);
+  EXPECT_EQ(r.telemetry.levels,
+            static_cast<std::size_t>(r.metrics.find(noise::kMetricLevels)->value));
+  EXPECT_EQ(r.telemetry.endpoints,
+            static_cast<std::size_t>(r.metrics.find(noise::kMetricEndpoints)->value));
+  EXPECT_EQ(r.telemetry.threads, r.run_meta.threads);
+  EXPECT_EQ(static_cast<std::size_t>(
+                r.metrics.find(noise::kMetricViolations)->value),
+            r.violations.size());
+  // The glitch-peak histogram covers exactly the nets with noise.
+  std::size_t noisy = 0;
+  for (const auto& nn : r.nets) noisy += nn.total_peak > 0.0;
+  EXPECT_EQ(r.metrics.find(noise::kMetricGlitchPeak)->hist.count, noisy);
+  // Executor chunks were observed and the meta identifies the run.
+  EXPECT_GT(r.metrics.find(noise::kMetricExecutorTasks)->count, 0u);
+  EXPECT_EQ(r.run_meta.design, "bus64");
+  EXPECT_FALSE(r.run_meta.options_digest.empty());
+  EXPECT_EQ(r.run_meta.build, obs::build_version());
+}
+
+TEST(OptionsDigest, StableSensitiveAndThreadBlind) {
+  const noise::Options a;
+  noise::Options b;
+  EXPECT_EQ(noise::options_digest(a), noise::options_digest(b));
+  EXPECT_EQ(noise::options_digest(a).size(), 16u);  // zero-padded hex64
+  b.min_peak *= 2;
+  EXPECT_NE(noise::options_digest(a), noise::options_digest(b));
+  noise::Options c;
+  c.threads = 8;  // excluded: results are thread-count independent
+  EXPECT_EQ(noise::options_digest(a), noise::options_digest(c));
+  noise::Options d;
+  const NetId group[] = {NetId{1}, NetId{2}};
+  d.constraints.add_mutex_group(group);
+  EXPECT_NE(noise::options_digest(a), noise::options_digest(d));
+}
+
+// ---- tracer -----------------------------------------------------------------
+
+/// Per-tid well-nestedness: sorted by (start, -end), every span must lie
+/// entirely inside or entirely outside the enclosing one.
+void expect_well_nested(const std::vector<obs::TraceEvent>& events) {
+  std::vector<int> tids;
+  for (const auto& e : events) tids.push_back(e.tid);
+  for (const int tid : tids) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> ivals;
+    for (const auto& e : events) {
+      if (e.tid == tid) ivals.emplace_back(e.start_ns, e.start_ns + e.dur_ns);
+    }
+    std::sort(ivals.begin(), ivals.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first : a.second > b.second;
+              });
+    std::vector<std::int64_t> stack;
+    for (const auto& [start, end] : ivals) {
+      while (!stack.empty() && start >= stack.back()) stack.pop_back();
+      EXPECT_TRUE(stack.empty() || end <= stack.back())
+          << "tid " << tid << ": span [" << start << "," << end
+          << "] straddles enclosing span ending at " << stack.back();
+      stack.push_back(end);
+    }
+  }
+}
+
+TEST(TraceEvents, PhasesAppearOncePerPassAndNest) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = gen::make_bus(library, {});
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+
+  obs::Tracer::clear();
+  obs::Tracer::enable();
+  noise::Options o;
+  o.clock_period = g.sta_options.clock_period;
+  o.refine_iterations = 2;
+  o.threads = 2;
+  const noise::Result r = noise::analyze(g.design, g.para, timing, o);
+  obs::Tracer::disable();
+
+  const std::vector<obs::TraceEvent> events = obs::Tracer::events();
+  ASSERT_FALSE(events.empty());
+  const auto count = [&](std::string_view name, obs::SpanKind kind) {
+    std::size_t n = 0;
+    for (const auto& e : events) n += e.name == name && e.kind == kind;
+    return n;
+  };
+  const auto passes = static_cast<std::size_t>(r.iterations);
+  EXPECT_EQ(count("estimate-injected", obs::SpanKind::kPhase), passes);
+  EXPECT_EQ(count("propagate", obs::SpanKind::kPhase), passes);
+  EXPECT_EQ(count("check-endpoints", obs::SpanKind::kPhase), passes);
+  EXPECT_EQ(count("build-context", obs::SpanKind::kPhase), 1u);
+  EXPECT_EQ(count("iteration 1", obs::SpanKind::kIteration), 1u);
+  // Executor chunks were traced too.
+  std::size_t tasks = 0;
+  for (const auto& e : events) tasks += e.kind == obs::SpanKind::kTask;
+  EXPECT_GT(tasks, 0u);
+
+  expect_well_nested(events);
+
+  std::ostringstream os;
+  obs::Tracer::write_chrome(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).parse()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"estimate-injected\""), std::string::npos);
+  obs::Tracer::clear();
+}
+
+TEST(TraceEvents, DisabledTracerRecordsNothing) {
+  obs::Tracer::clear();
+  ASSERT_FALSE(obs::trace_enabled());
+  { const obs::Span s("should-not-appear"); }
+  EXPECT_TRUE(obs::Tracer::events().empty());
+}
+
+// ---- logger -----------------------------------------------------------------
+
+/// Installs a capture sink and restores defaults on scope exit.
+class CaptureLog {
+ public:
+  explicit CaptureLog(obs::LogLevel level) : saved_(obs::log_level()) {
+    obs::set_log_sink(&os_);
+    obs::set_log_level(level);
+  }
+  ~CaptureLog() {
+    obs::set_log_sink(nullptr);
+    obs::set_log_level(saved_);
+  }
+  [[nodiscard]] std::string text() const { return os_.str(); }
+
+ private:
+  obs::LogLevel saved_;
+  std::ostringstream os_;
+};
+
+TEST(Log, LevelFilteringSkipsArgumentEvaluation) {
+  CaptureLog capture(obs::LogLevel::kWarn);
+  int evaluations = 0;
+  const auto touch = [&] {
+    ++evaluations;
+    return 1;
+  };
+  NW_LOG(kDebug) << "hidden " << touch();
+  EXPECT_EQ(evaluations, 0);  // disabled level: stream args never run
+  NW_LOG(kWarn) << "visible " << touch();
+  EXPECT_EQ(evaluations, 1);
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_NE(text.find("[nw:warn] visible 1"), std::string::npos);
+}
+
+TEST(Log, RateLimitsHotSites) {
+  CaptureLog capture(obs::LogLevel::kInfo);
+  for (int i = 0; i < 200; ++i) {
+    NW_LOG(kInfo) << "hot " << i;
+  }
+  const std::string text = capture.text();
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  // First kLogBurst=8 always log; then every kLogEvery=64th hit:
+  // n in {8, 72, 136} => 11 lines total, 2 with a suppression note.
+  EXPECT_EQ(lines, 11u);
+  std::size_t notes = 0;
+  for (std::size_t at = text.find("similar suppressed"); at != std::string::npos;
+       at = text.find("similar suppressed", at + 1)) {
+    ++notes;
+  }
+  EXPECT_EQ(notes, 2u);
+  EXPECT_NE(text.find("(63 similar suppressed)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nw

@@ -74,6 +74,20 @@ TEST(ReportWriter, CleanDesignHasNoViolationSection) {
   EXPECT_NE(text.find("violations: 0"), std::string::npos);
 }
 
+TEST(ReportWriter, TelemetryFooterIsOptional) {
+  const Fixture f;
+  const std::string without = report_string(f.g.design, f.opt, f.result);
+  EXPECT_EQ(without.find("analysis stats"), std::string::npos);
+
+  ReportOptions ropt;
+  ropt.telemetry_footer = true;
+  const std::string with = report_string(f.g.design, f.opt, f.result, ropt);
+  // The footer is the write_stats rendering, appended verbatim.
+  std::ostringstream expected;
+  write_stats(expected, f.result.telemetry);
+  EXPECT_NE(with.find(expected.str()), std::string::npos);
+}
+
 TEST(ReportWriter, DelayImpactSection) {
   const Fixture f;
   const DelayImpactSummary impact =

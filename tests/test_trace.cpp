@@ -91,6 +91,54 @@ TEST(Trace, InjectionNetIsItsOwnOrigin) {
   EXPECT_EQ(t.aggressors.size(), 1u);
 }
 
+// Regression: aggressor collection happens wherever the walk stops — not
+// only in the no-propagated-member branch — so a single-step query of the
+// injection net itself must name its aggressors in every analysis mode.
+TEST(Trace, SingleStepQueryNamesAggressorsInEveryMode) {
+  const ChainFixture f;
+  const auto p = f.make_para();
+  sta::Options sopt;
+  sopt.input_arrivals["ain"] = Interval{100 * PS, 150 * PS};
+  sopt.input_arrivals["vin"] = Interval{0.0, 0.0};
+  const auto timing = sta::run(f.design, p, sopt);
+  for (const AnalysisMode mode :
+       {AnalysisMode::kNoFiltering, AnalysisMode::kSwitchingWindows,
+        AnalysisMode::kNoiseWindows}) {
+    Options o;
+    o.mode = mode;
+    const Result r = analyze(f.design, p, timing, o);
+    ASSERT_GT(r.net(f.victim).total_peak, 0.0) << to_string(mode);
+    const NoiseTrace t = trace_origin(r, f.victim);
+    ASSERT_EQ(t.path.size(), 1u) << to_string(mode);
+    EXPECT_EQ(t.path.back().net, f.victim) << to_string(mode);
+    ASSERT_EQ(t.aggressors.size(), 1u) << to_string(mode);
+    EXPECT_EQ(t.aggressors[0], f.agg) << to_string(mode);
+    EXPECT_NE(trace_string(f.design, t).find("[aggressors: agg]"),
+              std::string::npos)
+        << to_string(mode);
+  }
+}
+
+// Incremental runs restore reused victims' injected contributions; the
+// origin trace must still name aggressors through that path.
+TEST(Trace, AggressorsSurviveIncrementalReuse) {
+  const ChainFixture f;
+  const auto p = f.make_para();
+  sta::Options sopt;
+  sopt.input_arrivals["ain"] = Interval{100 * PS, 150 * PS};
+  sopt.input_arrivals["vin"] = Interval{0.0, 0.0};
+  const auto timing = sta::run(f.design, p, sopt);
+  const Options o;
+  const Result full = analyze(f.design, p, timing, o);
+  // m2 has no couplings, so the victim is reused (not re-estimated).
+  const NetId changed[] = {f.m2};
+  const Result inc = analyze_incremental(f.design, p, timing, o, full, changed);
+  const NoiseTrace t = trace_origin(inc, f.victim);
+  ASSERT_FALSE(t.path.empty());
+  ASSERT_EQ(t.aggressors.size(), 1u);
+  EXPECT_EQ(t.aggressors[0], f.agg);
+}
+
 TEST(Trace, QuietNetGivesEmptyTrace) {
   const ChainFixture f;
   const auto p = f.make_para();

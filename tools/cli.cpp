@@ -16,6 +16,9 @@
 #include "noise/delay_impact.hpp"
 #include "noise/report_writer.hpp"
 #include "noise/telemetry.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "parasitics/spef.hpp"
 #include "sta/sta.hpp"
 #include "util/strings.hpp"
@@ -31,10 +34,13 @@ struct Args {
   std::string arrivals_path;
   std::string report_path;
   std::string demo;
+  std::string trace_path;       ///< --trace-out: Chrome trace-event JSON
+  std::string stats_json_path;  ///< --stats-json: machine-readable run report
   noise::Options noise_opt;
   bool delay_impact = false;
   bool have_mode = false;
   bool stats = false;
+  int verbose = 0;  ///< --verbose count: 1 = info, 2+ = debug
   bool help = false;
 };
 
@@ -49,6 +55,10 @@ const char kUsage[] =
     "  --refine <n>        noise-on-delay refinement passes (default 0)\n"
     "  --threads <n>       analysis threads: 1 = serial (default), 0 = all cores\n"
     "  --stats             print per-phase telemetry after the report\n"
+    "  --stats-json <file> write the machine-readable run report (metrics JSON)\n"
+    "  --trace-out <file>  write a Chrome trace-event JSON (chrome://tracing,\n"
+    "                      Perfetto) with per-thread span tracks\n"
+    "  --verbose           more diagnostics on stderr (repeat for debug)\n"
     "  --report <file>     write the full report to a file (default: stdout)\n"
     "  --delay-impact      append the crosstalk delay-impact section\n";
 
@@ -136,6 +146,16 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
       a.noise_opt.threads = static_cast<int>(nw::parse_uint(*v));
     } else if (arg == "--stats") {
       a.stats = true;
+    } else if (arg == "--stats-json") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.stats_json_path = *v;
+    } else if (arg == "--trace-out") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.trace_path = *v;
+    } else if (arg == "--verbose" || arg == "-v") {
+      ++a.verbose;
     } else if (arg == "--delay-impact") {
       a.delay_impact = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -158,6 +178,30 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
   return a;
 }
 
+/// Points the diagnostic logger at the CLI's error stream (and applies the
+/// --verbose level) for the duration of the run; restores on scope exit so
+/// embedding callers (tests run run_cli repeatedly) see no global drift.
+class LogScope {
+ public:
+  LogScope(std::ostream& err, int verbose) : saved_level_(obs::log_level()) {
+    obs::set_log_sink(&err);
+    if (verbose >= 2) {
+      obs::set_log_level(obs::LogLevel::kDebug);
+    } else if (verbose == 1) {
+      obs::set_log_level(obs::LogLevel::kInfo);
+    }
+  }
+  ~LogScope() {
+    obs::set_log_sink(nullptr);
+    obs::set_log_level(saved_level_);
+  }
+  LogScope(const LogScope&) = delete;
+  LogScope& operator=(const LogScope&) = delete;
+
+ private:
+  obs::LogLevel saved_level_;
+};
+
 }  // namespace
 
 int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& err) {
@@ -176,6 +220,13 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
   if (a.help) {
     out << kUsage;
     return 0;
+  }
+
+  const LogScope log_scope(err, a.verbose);
+  if (!a.trace_path.empty()) {
+    obs::Tracer::clear();
+    obs::Tracer::set_thread_name("main");
+    obs::Tracer::enable();
   }
 
   try {
@@ -228,21 +279,41 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
     }
 
     const auto lint = design->lint();
-    for (const auto& problem : lint) err << "lint: " << problem << "\n";
+    for (const auto& problem : lint) NW_LOG(kWarn) << "lint: " << problem;
 
     const sta::Result timing = sta::run(*design, *parasitics, sta_opt);
     const noise::Result result = noise::analyze(*design, *parasitics, timing, a.noise_opt);
 
+    if (!a.trace_path.empty()) {
+      obs::Tracer::disable();
+      std::ofstream tf(a.trace_path);
+      if (!tf) throw std::runtime_error("cannot write trace '" + a.trace_path + "'");
+      obs::Tracer::write_chrome(tf);
+      NW_LOG(kInfo) << "trace written to " << a.trace_path;
+    }
+    if (!a.stats_json_path.empty()) {
+      std::ofstream sf(a.stats_json_path);
+      if (!sf) {
+        throw std::runtime_error("cannot write stats '" + a.stats_json_path + "'");
+      }
+      obs::write_stats_json(sf, result.run_meta, result.metrics);
+      NW_LOG(kInfo) << "stats written to " << a.stats_json_path;
+    }
+
     std::ofstream report_file;
     std::ostream* report_os = &out;
+    noise::ReportOptions ropt;
     if (!a.report_path.empty()) {
       report_file.open(a.report_path);
       if (!report_file) {
         throw std::runtime_error("cannot write report '" + a.report_path + "'");
       }
       report_os = &report_file;
+      // A report file is a self-contained run record: --stats goes into it
+      // too (and is still printed to stdout below).
+      ropt.telemetry_footer = a.stats;
     }
-    noise::write_report(*report_os, *design, a.noise_opt, result);
+    noise::write_report(*report_os, *design, a.noise_opt, result, ropt);
     if (a.delay_impact) {
       const noise::DelayImpactSummary impact =
           noise::compute_delay_impact(*design, timing, result, a.noise_opt);
@@ -255,6 +326,7 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
     if (a.stats) noise::write_stats(out, result.telemetry);
     return result.violations.empty() ? 0 : 2;
   } catch (const std::exception& e) {
+    if (!a.trace_path.empty()) obs::Tracer::disable();
     err << "noisewin: " << e.what() << "\n";
     return 1;
   }

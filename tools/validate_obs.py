@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate noisewin's observability artifacts (CI gate).
+
+Usage: validate_obs.py --trace trace.json --stats stats.json
+
+Checks the Chrome trace-event JSON (parses, per-thread spans well-nested,
+required keys present) and the stats JSON (schema v1 meta, required
+metrics, histogram bucket counts consistent). Exits non-zero with a
+message on the first failure.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_COUNTERS = ["victims_estimated", "aggressor_pairs", "executor_tasks"]
+REQUIRED_GAUGES = ["propagation_levels", "endpoints_checked", "violations"]
+REQUIRED_HISTOGRAMS = ["glitch_peak_v", "aggressors_per_victim", "level_width"]
+REQUIRED_META = ["schema_version", "design", "mode", "model", "options_digest",
+                 "build", "threads", "iterations"]
+PHASES = ["estimate-injected", "propagate", "check-endpoints"]
+
+
+def fail(msg):
+    print(f"validate_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace: no traceEvents")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail("trace: no complete ('X') events")
+    for e in spans:
+        for key in ("pid", "tid", "name", "cat", "ts", "dur"):
+            if key not in e:
+                fail(f"trace: span missing '{key}': {e}")
+        if e["dur"] < 0:
+            fail(f"trace: negative duration: {e}")
+
+    # Spans on one thread must be well-nested: treated as a scope stack,
+    # each span either contains or is disjoint from every other.
+    eps = 1e-6  # µs slack for the fixed 3-decimal serialization
+    by_tid = {}
+    for e in spans:
+        by_tid.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"]))
+    for tid, ivals in by_tid.items():
+        ivals.sort(key=lambda se: (se[0], -se[1]))
+        stack = []
+        for start, end in ivals:
+            while stack and start >= stack[-1] - eps:
+                stack.pop()
+            if stack and end > stack[-1] + eps:
+                fail(f"trace: tid {tid}: span [{start},{end}] straddles "
+                     f"enclosing span ending at {stack[-1]}")
+            stack.append(end)
+
+    names = {e["name"] for e in spans}
+    missing = [p for p in PHASES if p not in names]
+    if missing:
+        fail(f"trace: missing analyzer phase spans: {missing}")
+
+    meta = [e for e in events if e.get("ph") == "M"]
+    if not any(e.get("name") == "thread_name" for e in meta):
+        fail("trace: no thread_name metadata")
+    print(f"validate_obs: trace OK ({len(spans)} spans, {len(by_tid)} threads)")
+
+
+def validate_stats(path):
+    with open(path) as f:
+        doc = json.load(f)
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        fail("stats: no meta object")
+    for key in REQUIRED_META:
+        if key not in meta:
+            fail(f"stats: meta missing '{key}'")
+    if meta["schema_version"] != 1:
+        fail(f"stats: unexpected schema_version {meta['schema_version']}")
+
+    for section, required in (("counters", REQUIRED_COUNTERS),
+                              ("gauges", REQUIRED_GAUGES),
+                              ("histograms", REQUIRED_HISTOGRAMS)):
+        obj = doc.get(section)
+        if not isinstance(obj, dict):
+            fail(f"stats: no {section} object")
+        for name in required:
+            if name not in obj:
+                fail(f"stats: {section} missing '{name}'")
+
+    for name, h in doc["histograms"].items():
+        if len(h["counts"]) != len(h["bounds"]) + 1:
+            fail(f"stats: histogram '{name}': counts/bounds size mismatch")
+        if sum(h["counts"]) != h["count"]:
+            fail(f"stats: histogram '{name}': bucket counts do not sum to count")
+        if h["bounds"] != sorted(set(h["bounds"])):
+            fail(f"stats: histogram '{name}': bounds not strictly ascending")
+
+    if "timing" not in doc:
+        fail("stats: no timing section")
+    print(f"validate_obs: stats OK (design '{meta['design']}', "
+          f"digest {meta['options_digest']})")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--trace")
+    ap.add_argument("--stats")
+    args = ap.parse_args()
+    if not args.trace and not args.stats:
+        ap.error("give --trace and/or --stats")
+    if args.trace:
+        validate_trace(args.trace)
+    if args.stats:
+        validate_stats(args.stats)
+
+
+if __name__ == "__main__":
+    main()
