@@ -1,0 +1,108 @@
+// Session-server latency: what an interactive client actually feels.
+//
+// Three regimes, all on the D2 bus:
+//   - a repeated query against an unchanged session (cache-key compare, no
+//     analysis work at all),
+//   - an ECO edit burst followed by a query, swept over the dirty-set size
+//     (the incremental path the protocol rides after every edit),
+//   - the same edit->query cycle with refinement enabled, which forces the
+//     session onto the full-analysis path — the baseline the incremental
+//     numbers are a speedup over.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "bench/suite.hpp"
+#include "obs/metrics.hpp"
+#include "session/session.hpp"
+
+namespace {
+
+using namespace nw;
+
+const lib::Library& library() {
+  static const lib::Library lib = lib::default_library();
+  return lib;
+}
+
+session::Session make_session(std::size_t bits, unsigned refine = 0) {
+  gen::Generated g = gen::make_bus(library(), bench::bus_config(bits));
+  session::SessionConfig cfg;
+  cfg.sta = g.sta_options;
+  cfg.noise.clock_period = g.sta_options.clock_period;
+  cfg.noise.mode = noise::AnalysisMode::kNoiseWindows;
+  cfg.noise.refine_iterations = refine;
+  return session::Session(std::move(g.design), std::move(g.para), std::move(cfg));
+}
+
+/// Steady-state query with nothing pending: one string compare.
+void BM_CachedQuery(benchmark::State& state) {
+  session::Session s = make_session(static_cast<std::size_t>(state.range(0)));
+  (void)s.result();  // pay the first full analysis outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.result().violations.size());
+  }
+}
+
+/// Edit k nets, then query: STA + incremental noise over the dirty closure.
+/// Undos run off the clock so every iteration starts from the same state.
+void BM_EditRequery(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  session::Session s = make_session(256);
+  (void)s.result();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < k; ++i) {
+      s.scale_net_parasitics("w" + std::to_string(i * 3), 1.05, 1.0);
+    }
+    benchmark::DoNotOptimize(s.result().violations.size());
+    state.PauseTiming();
+    for (std::size_t i = 0; i < k; ++i) s.undo();
+    state.ResumeTiming();
+  }
+  state.counters["incremental"] = static_cast<double>(s.incremental_analyses());
+  state.counters["full"] = static_cast<double>(s.full_analyses());
+}
+
+/// Same cycle with refinement on: the session must re-run the whole
+/// analysis per query. This is the cost incremental invalidation avoids.
+void BM_EditRequeryFull(benchmark::State& state) {
+  session::Session s = make_session(256, /*refine=*/1);
+  (void)s.result();
+  for (auto _ : state) {
+    s.scale_net_parasitics("w0", 1.05, 1.0);
+    benchmark::DoNotOptimize(s.result().violations.size());
+    state.PauseTiming();
+    s.undo();
+    state.ResumeTiming();
+  }
+  state.counters["full"] = static_cast<double>(s.full_analyses());
+}
+
+BENCHMARK(BM_CachedQuery)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EditRequery)->Arg(1)->Arg(4)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EditRequeryFull)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Custom main (mirrors bench_runtime): with NW_STATS_JSON=<path> set, a
+// short scripted session (query, edit, re-query, undo, re-query) exports
+// its per-session counters in the --stats-json schema.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("NW_STATS_JSON")) {
+    session::Session s = make_session(64);
+    (void)s.result();
+    s.scale_net_parasitics("w1", 1.5, 1.0);
+    (void)s.result();
+    s.undo();
+    (void)s.result();
+    std::ofstream f(path);
+    obs::write_stats_json(f, s.meta(), s.metrics_snapshot());
+  }
+  return 0;
+}

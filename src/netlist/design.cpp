@@ -106,6 +106,32 @@ PinId Design::add_output_port(const std::string& port_name, NetId net, double lo
   return pid;
 }
 
+std::string Design::set_instance_cell(InstId inst, const std::string& cell_name) {
+  Instance& instance = insts_.at(inst.index());
+  const lib::Cell& old_cell = lib_->cell(instance.cell);
+  const auto new_idx = lib_->find(cell_name);
+  if (!new_idx) {
+    throw std::invalid_argument("Design::set_instance_cell: unknown cell '" +
+                                cell_name + "'");
+  }
+  const lib::Cell& new_cell = lib_->cell(*new_idx);
+  const auto mismatch = [&](const std::string& what) {
+    throw std::invalid_argument("Design::set_instance_cell: cell '" + cell_name +
+                                "' is not footprint-compatible with '" +
+                                old_cell.name + "' on '" + instance.name +
+                                "' (" + what + ")");
+  };
+  if (new_cell.kind != old_cell.kind) mismatch("sequential kind differs");
+  if (new_cell.pins.size() != old_cell.pins.size()) mismatch("pin count differs");
+  for (std::size_t i = 0; i < old_cell.pins.size(); ++i) {
+    if (new_cell.pins[i].name != old_cell.pins[i].name) mismatch("pin names differ");
+    if (new_cell.pins[i].dir != old_cell.pins[i].dir) mismatch("pin directions differ");
+    if (new_cell.pins[i].role != old_cell.pins[i].role) mismatch("pin roles differ");
+  }
+  instance.cell = *new_idx;
+  return old_cell.name;
+}
+
 std::optional<NetId> Design::find_net(const std::string& net_name) const {
   const auto it = net_index_.find(net_name);
   if (it == net_index_.end()) return std::nullopt;

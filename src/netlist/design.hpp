@@ -76,6 +76,16 @@ class Design {
   /// Create a primary output port loading `net`.
   PinId add_output_port(const std::string& port_name, NetId net, double load_cap = 5e-15);
 
+  // ---- ECO mutation -------------------------------------------------------
+
+  /// Swap an instance onto another library cell with the same footprint
+  /// (driver up/down-sizing: INV_X1 -> INV_X2). The new cell must have the
+  /// same pin names, directions, and roles, and the same sequential kind;
+  /// connectivity is untouched. Returns the previous cell's name (the
+  /// inverse edit). Throws std::invalid_argument on an unknown cell or a
+  /// footprint mismatch.
+  std::string set_instance_cell(InstId inst, const std::string& cell_name);
+
   // ---- access -------------------------------------------------------------
 
   [[nodiscard]] std::size_t net_count() const noexcept { return nets_.size(); }

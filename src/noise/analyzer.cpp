@@ -199,20 +199,21 @@ class Pipeline {
   [[nodiscard]] Result run_incremental(const Result& previous,
                                        std::span<const NetId> changed_nets) {
     if (previous.nets.size() != design_.net_count()) {
-      throw std::invalid_argument("analyze_incremental: previous result mismatch");
+      throw std::invalid_argument(
+          "analyze_incremental: previous result covers " +
+          std::to_string(previous.nets.size()) + " nets but the design has " +
+          std::to_string(design_.net_count()));
     }
     // Victims to re-estimate: the changed nets and everything coupled to
     // them (their injected noise depends on the changed net's parasitics,
-    // timing, or drive).
+    // timing, or drive). dirty_closure validates every changed id.
     std::vector<char> dirty(design_.net_count(), 0);
-    for (const NetId n : changed_nets) {
-      if (n.index() >= design_.net_count()) {
-        throw std::invalid_argument("analyze_incremental: bad changed net id");
+    try {
+      for (const NetId n : ctx_.dirty_closure(para_, changed_nets)) {
+        dirty[n.index()] = 1;
       }
-      dirty[n.index()] = 1;
-      for (const auto ci : para_.couplings_of(n)) {
-        dirty[para_.coupling(ci).other_net(n).index()] = 1;
-      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("analyze_incremental: ") + e.what());
     }
 
     Result res;

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -143,6 +144,10 @@ struct Result {
   /// Run identity embedded in the stats JSON (design, mode, options hash,
   /// build id, resolved thread count).
   obs::RunMeta run_meta;
+  /// Design-state generation this result was computed against. analyze()
+  /// leaves it 0; a long-lived session (session::Session) stamps its
+  /// edit epoch here so cached results can be matched to design state.
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] const NetNoise& net(NetId id) const { return nets.at(id.index()); }
 };
@@ -165,6 +170,9 @@ struct Result {
 /// kReducedMna/kMnaExact). The result is identical to a full analyze()
 /// provided `changed_nets` covers every net whose parasitics or timing
 /// changed. `options.refine_iterations` is ignored (single pass).
+/// Throws std::invalid_argument (naming the offending id and the valid
+/// range) when a changed net lies outside the design, or when `previous`
+/// does not cover this design's nets — never indexes out of bounds.
 [[nodiscard]] Result analyze_incremental(const net::Design& design,
                                          const para::Parasitics& para,
                                          const sta::Result& sta_result,

@@ -126,4 +126,26 @@ AnalysisContext AnalysisContext::build(const net::Design& design,
   return ctx;
 }
 
+std::vector<NetId> AnalysisContext::dirty_closure(const para::Parasitics& para,
+                                                  std::span<const NetId> changed) const {
+  const std::size_t n = aggressors.size();
+  std::vector<char> dirty(n, 0);
+  for (const NetId net : changed) {
+    if (net.index() >= n) {
+      throw std::invalid_argument(
+          "dirty_closure: changed net id " + std::to_string(net.value()) +
+          " outside the design (" + std::to_string(n) + " nets)");
+    }
+    dirty[net.index()] = 1;
+    for (const auto ci : para.couplings_of(net)) {
+      dirty[para.coupling(ci).other_net(net).index()] = 1;
+    }
+  }
+  std::vector<NetId> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dirty[i]) out.push_back(NetId{i});
+  }
+  return out;
+}
+
 }  // namespace nw::noise

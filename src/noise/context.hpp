@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "netlist/design.hpp"
@@ -71,6 +72,17 @@ struct AnalysisContext {
                                              const para::Parasitics& para,
                                              const sta::Result& sta_result,
                                              const Options& options);
+
+  /// Incremental-invalidation closure: the victims whose injected-noise
+  /// estimates a change to `changed` nets can affect — the changed nets
+  /// themselves plus every net coupled to one through `para` (the raw
+  /// coupling incidence, not the threshold-filtered adjacency, so a cap
+  /// crossing min_coupling_cap in either direction still dirties its
+  /// victim). Returns a sorted, duplicate-free net list. Throws
+  /// std::invalid_argument naming the offending id when a changed net is
+  /// outside this context's design.
+  [[nodiscard]] std::vector<NetId> dirty_closure(const para::Parasitics& para,
+                                                 std::span<const NetId> changed) const;
 };
 
 }  // namespace nw::noise

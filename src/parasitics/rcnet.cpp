@@ -75,6 +75,14 @@ bool RcNet::is_tree() const {
   return visited == nodes_.size();
 }
 
+void RcNet::scale(double cap_factor, double res_factor) {
+  if (cap_factor <= 0.0 || res_factor <= 0.0) {
+    throw std::invalid_argument("RcNet::scale: non-positive factor");
+  }
+  for (auto& n : nodes_) n.cground *= cap_factor;
+  for (auto& e : ress_) e.r *= res_factor;
+}
+
 RcNet RcNet::lumped(double cap) {
   RcNet n;
   n.add_cap(0, cap);
@@ -93,6 +101,34 @@ std::size_t Parasitics::add_coupling(NetId a, std::uint32_t node_a, NetId b,
   incident_.at(a.index()).push_back(idx);
   incident_.at(b.index()).push_back(idx);
   return idx;
+}
+
+void Parasitics::pop_coupling() {
+  if (caps_.empty()) throw std::logic_error("Parasitics::pop_coupling: no couplings");
+  const std::size_t idx = caps_.size() - 1;
+  const CouplingCap& cc = caps_.back();
+  // add_coupling appends the new index to both incidence lists, so the
+  // latest coupling is necessarily at their backs.
+  auto& ia = incident_.at(cc.net_a.index());
+  auto& ib = incident_.at(cc.net_b.index());
+  if (ia.empty() || ia.back() != idx || ib.empty() || ib.back() != idx) {
+    throw std::logic_error("Parasitics::pop_coupling: incidence out of sync");
+  }
+  ia.pop_back();
+  ib.pop_back();
+  caps_.pop_back();
+}
+
+double Parasitics::set_coupling_value(std::size_t index, double c) {
+  if (index >= caps_.size()) {
+    throw std::out_of_range("Parasitics::set_coupling_value: bad index");
+  }
+  if (c <= 0.0) {
+    throw std::invalid_argument("Parasitics::set_coupling_value: non-positive cap");
+  }
+  const double old = caps_[index].c;
+  caps_[index].c = c;
+  return old;
 }
 
 double Parasitics::coupling_cap_of(NetId id) const {

@@ -50,6 +50,12 @@ class RcNet {
   /// Node a pin is attached to, or node_count() if absent.
   [[nodiscard]] std::uint32_t node_of_pin(PinId pin) const noexcept;
 
+  /// ECO: scale every grounded cap by `cap_factor` and every resistance by
+  /// `res_factor` (wire respacing / re-layering what-ifs). Factors must be
+  /// positive (throws std::invalid_argument). Coupling caps live in
+  /// Parasitics and are not touched.
+  void scale(double cap_factor, double res_factor);
+
   [[nodiscard]] double total_ground_cap() const noexcept;
   /// Sum of resistances (diagnostic).
   [[nodiscard]] double total_res() const noexcept;
@@ -95,6 +101,21 @@ class Parasitics {
   /// Register a coupling cap; returns its index.
   std::size_t add_coupling(NetId a, std::uint32_t node_a, NetId b,
                            std::uint32_t node_b, double c);
+
+  /// ECO: change an existing coupling cap's value in place (the incidence
+  /// structure is untouched). Returns the previous value (the inverse
+  /// edit). Throws std::out_of_range on a bad index and
+  /// std::invalid_argument on a non-positive value.
+  double set_coupling_value(std::size_t index, double c);
+
+  /// ECO: replace a net's RC network wholesale (bit-exact undo of scaling
+  /// edits). The replacement must keep every attached pin so design
+  /// lookups stay valid; callers swap in a previously captured copy.
+  void replace_net(NetId id, RcNet rc) { nets_.at(id.index()) = std::move(rc); }
+
+  /// ECO undo: remove the most recently added coupling cap (LIFO only, so
+  /// incidence indices stay dense). Throws std::logic_error when empty.
+  void pop_coupling();
 
   [[nodiscard]] const std::vector<CouplingCap>& couplings() const noexcept {
     return caps_;

@@ -1,0 +1,307 @@
+#include "session/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "noise/trace.hpp"
+
+namespace nw::session {
+
+namespace {
+
+/// Internal control-flow error carrying a protocol error code. Caught at
+/// the handle_line boundary and rendered as a structured response.
+struct ProtoError {
+  std::string code;
+  std::string message;
+};
+
+[[noreturn]] void bad_args(std::string message) {
+  throw ProtoError{"bad_args", std::move(message)};
+}
+
+const Json& require_object(const Json& args) {
+  if (!args.is_object()) throw ProtoError{"bad_args", "args must be an object"};
+  return args;
+}
+
+std::string arg_string(const Json& args, const char* key) {
+  const Json* v = require_object(args).find(key);
+  if (v == nullptr || !v->is_string()) {
+    bad_args(std::string("missing string argument '") + key + "'");
+  }
+  return v->as_string();
+}
+
+double arg_number(const Json& args, const char* key) {
+  const Json* v = require_object(args).find(key);
+  if (v == nullptr || !v->is_number() || !std::isfinite(v->as_number())) {
+    bad_args(std::string("missing numeric argument '") + key + "'");
+  }
+  return v->as_number();
+}
+
+std::size_t arg_limit(const Json& args, std::size_t fallback) {
+  if (!args.is_object()) return fallback;
+  const Json* v = args.find("limit");
+  if (v == nullptr) return fallback;
+  if (!v->is_number() || v->as_number() < 0 ||
+      v->as_number() != std::floor(v->as_number())) {
+    bad_args("'limit' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v->as_number());
+}
+
+Json interval_json(const Interval& iv) {
+  Json a = Json::array();
+  if (!iv.is_empty()) {
+    a.push_back(iv.lo);
+    a.push_back(iv.hi);
+  }
+  return a;
+}
+
+Json window_json(const IntervalSet& set) {
+  Json a = Json::array();
+  for (const Interval& iv : set.intervals()) a.push_back(interval_json(iv));
+  return a;
+}
+
+Json violation_json(const net::Design& design, const noise::Violation& v) {
+  Json o = Json::object();
+  o.set("endpoint", design.pin_name(v.endpoint));
+  o.set("net", design.net(v.net).name);
+  o.set("peak", v.peak);
+  o.set("width", v.width);
+  o.set("threshold", v.threshold);
+  o.set("slack", v.slack());
+  o.set("temporal", v.temporal);
+  return o;
+}
+
+Json metrics_json(const obs::MetricsSnapshot& snap) {
+  Json counters = Json::object();
+  Json gauges = Json::object();
+  for (const obs::MetricSample& s : snap.samples) {
+    if (s.kind == obs::MetricSample::Kind::kCounter) {
+      counters.set(s.name, static_cast<double>(s.count));
+    } else if (s.kind == obs::MetricSample::Kind::kGauge) {
+      gauges.set(s.name, s.value);
+    }
+  }
+  Json o = Json::object();
+  o.set("counters", std::move(counters));
+  o.set("gauges", std::move(gauges));
+  return o;
+}
+
+}  // namespace
+
+Protocol::Protocol(Session& session)
+    : session_(session),
+      requests_(session.registry().counter(kMetricRequests, "protocol requests handled")),
+      errors_(session.registry().counter(kMetricErrors, "protocol error responses")) {}
+
+Json Protocol::dispatch(const std::string& cmd, const Json& args) {
+  // ---- introspection (never triggers analysis) ----------------------------
+  if (cmd == "hello") {
+    Json o = Json::object();
+    o.set("protocol", kProtocolVersion);
+    o.set("design", session_.design().name());
+    o.set("nets", session_.design().net_count());
+    o.set("instances", session_.design().instance_count());
+    o.set("epoch", static_cast<double>(session_.epoch()));
+    o.set("build", obs::build_version());
+    return o;
+  }
+  if (cmd == "stats") {
+    Json o = metrics_json(session_.metrics_snapshot());
+    o.set("epoch", static_cast<double>(session_.epoch()));
+    o.set("undo_depth", session_.undo_depth());
+    return o;
+  }
+
+  // ---- queries ------------------------------------------------------------
+  if (cmd == "violations") {
+    const std::size_t limit = arg_limit(args, 100);
+    const noise::Result& r = session_.result();
+    Json list = Json::array();
+    for (std::size_t i = 0; i < r.violations.size() && i < limit; ++i) {
+      list.push_back(violation_json(session_.design(), r.violations[i]));
+    }
+    Json o = Json::object();
+    o.set("count", r.violations.size());
+    o.set("endpoints_checked", r.endpoints_checked);
+    o.set("noisy_nets", r.noisy_nets);
+    o.set("epoch", static_cast<double>(r.epoch));
+    o.set("violations", std::move(list));
+    return o;
+  }
+  if (cmd == "net_noise") {
+    const NetId id = session_.require_net(arg_string(args, "net"));
+    const noise::NetNoise& nn = session_.result().net(id);
+    Json o = Json::object();
+    o.set("net", session_.design().net(id).name);
+    o.set("injected_peak", nn.injected_peak);
+    o.set("propagated_peak", nn.propagated_peak);
+    o.set("total_peak", nn.total_peak);
+    o.set("width", nn.width);
+    o.set("aggressors", nn.aggressor_count);
+    o.set("window", window_json(nn.window));
+    return o;
+  }
+  if (cmd == "trace_origin") {
+    const NetId id = session_.require_net(arg_string(args, "net"));
+    const noise::NoiseTrace tr = session_.trace(id);
+    Json path = Json::array();
+    for (const noise::TraceStep& step : tr.path) {
+      Json s = Json::object();
+      s.set("net", session_.design().net(step.net).name);
+      s.set("peak", step.peak);
+      s.set("width", step.width);
+      path.push_back(std::move(s));
+    }
+    Json aggs = Json::array();
+    for (const NetId a : tr.aggressors) {
+      aggs.push_back(session_.design().net(a).name);
+    }
+    Json o = Json::object();
+    o.set("path", std::move(path));
+    o.set("aggressors", std::move(aggs));
+    return o;
+  }
+  if (cmd == "slack") {
+    const std::size_t limit = arg_limit(args, 20);
+    const std::vector<EndpointSlack> slacks = session_.endpoint_slacks();
+    Json list = Json::array();
+    for (std::size_t i = 0; i < slacks.size() && i < limit; ++i) {
+      Json s = Json::object();
+      s.set("endpoint", slacks[i].endpoint);
+      s.set("net", slacks[i].net);
+      s.set("slack", slacks[i].slack);
+      list.push_back(std::move(s));
+    }
+    Json o = Json::object();
+    o.set("count", slacks.size());
+    o.set("endpoints", std::move(list));
+    return o;
+  }
+
+  // ---- ECO edits ----------------------------------------------------------
+  const auto edited = [this] {
+    Json o = Json::object();
+    o.set("epoch", static_cast<double>(session_.epoch()));
+    o.set("undo_depth", session_.undo_depth());
+    return o;
+  };
+  if (cmd == "set_driver_cell") {
+    session_.set_driver_cell(arg_string(args, "inst"), arg_string(args, "cell"));
+    return edited();
+  }
+  if (cmd == "scale_net_parasitics") {
+    session_.scale_net_parasitics(arg_string(args, "net"),
+                                  arg_number(args, "cap_factor"),
+                                  arg_number(args, "res_factor"));
+    return edited();
+  }
+  if (cmd == "set_coupling_cap") {
+    session_.set_coupling_cap(arg_string(args, "net_a"), arg_string(args, "net_b"),
+                              arg_number(args, "cap"));
+    return edited();
+  }
+  if (cmd == "set_arrival_window") {
+    session_.set_arrival_window(arg_string(args, "port"),
+                                Interval{arg_number(args, "lo"), arg_number(args, "hi")});
+    return edited();
+  }
+  if (cmd == "set_constraint_group") {
+    const Json* nets = require_object(args).find("nets");
+    if (nets == nullptr || !nets->is_array() || nets->items().empty()) {
+      bad_args("'nets' must be a non-empty array of net names");
+    }
+    std::vector<std::string> names;
+    names.reserve(nets->items().size());
+    for (const Json& n : nets->items()) {
+      if (!n.is_string()) bad_args("'nets' entries must be strings");
+      names.push_back(n.as_string());
+    }
+    const int gid = session_.set_constraint_group(names);
+    Json o = edited();
+    o.set("group", gid);
+    return o;
+  }
+  if (cmd == "set_option") {
+    session_.set_option(arg_string(args, "name"), arg_string(args, "value"));
+    return edited();
+  }
+  if (cmd == "undo") {
+    const bool undone = session_.undo();
+    Json o = edited();
+    o.set("undone", undone);
+    return o;
+  }
+
+  throw ProtoError{"unknown_cmd", "unknown command '" + cmd + "'"};
+}
+
+std::string Protocol::handle_line(std::string_view line) {
+  requests_.add();
+  Json id;  // null until the request supplies one
+  std::string code;
+  std::string message;
+  try {
+    if (line.size() > kMaxLineBytes) {
+      throw ProtoError{"bad_request",
+                       "request line exceeds " + std::to_string(kMaxLineBytes) +
+                           " bytes"};
+    }
+    std::string parse_err;
+    const std::optional<Json> req = json_parse(line, &parse_err);
+    if (!req) throw ProtoError{"parse_error", parse_err};
+    if (!req->is_object()) {
+      throw ProtoError{"bad_request", "request must be a JSON object"};
+    }
+    if (const Json* rid = req->find("id")) {
+      if (!rid->is_number() && !rid->is_string() && !rid->is_null()) {
+        throw ProtoError{"bad_request", "'id' must be a number or string"};
+      }
+      id = *rid;
+    }
+    const Json* cmd = req->find("cmd");
+    if (cmd == nullptr || !cmd->is_string()) {
+      throw ProtoError{"bad_request", "missing string field 'cmd'"};
+    }
+    const Json* args = req->find("args");
+    Json data = dispatch(cmd->as_string(), args != nullptr ? *args : Json{});
+    Json resp = Json::object();
+    resp.set("id", std::move(id));
+    resp.set("ok", true);
+    resp.set("data", std::move(data));
+    return resp.dump();
+  } catch (const ProtoError& e) {
+    code = e.code;
+    message = e.message;
+  } catch (const NotFound& e) {
+    code = "not_found";
+    message = e.what();
+  } catch (const std::invalid_argument& e) {
+    code = "bad_args";
+    message = e.what();
+  } catch (const std::exception& e) {
+    code = "internal";
+    message = e.what();
+  }
+  errors_.add();
+  Json err = Json::object();
+  err.set("code", code);
+  err.set("message", message);
+  Json resp = Json::object();
+  resp.set("id", std::move(id));
+  resp.set("ok", false);
+  resp.set("error", std::move(err));
+  return resp.dump();
+}
+
+}  // namespace nw::session

@@ -1,0 +1,63 @@
+// Versioned JSONL request/response protocol over a Session.
+//
+// One request per line, one response per line, always — the transport
+// invariant clients rely on. Requests are JSON objects:
+//
+//   {"id": 1, "cmd": "violations", "args": {"limit": 10}}
+//
+// Responses echo the id and carry either a result or a structured error:
+//
+//   {"id": 1, "ok": true, "data": {...}}
+//   {"id": 1, "ok": false, "error": {"code": "not_found", "message": "..."}}
+//
+// Malformed input of any shape — truncated JSON, wrong types, oversized
+// lines, unknown commands — produces an error response, never an exception
+// out of handle_line and never a crash. Error codes are a closed set:
+//   parse_error   the line is not valid JSON
+//   bad_request   valid JSON but not a well-formed request envelope
+//   unknown_cmd   no such command
+//   bad_args      command rejected its arguments (validation failed)
+//   not_found     a named net/instance/port does not exist
+//   internal      unexpected failure (the message says what)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "session/json.hpp"
+#include "session/session.hpp"
+
+namespace nw::session {
+
+/// Protocol schema version, reported by `hello` and bumped on any
+/// incompatible change to commands or response layouts.
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on one request line; longer lines are rejected with
+/// bad_request before parsing (a hostile client cannot balloon the heap).
+inline constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+class Protocol {
+ public:
+  /// Registers its request counters into the session's registry, so one
+  /// stats snapshot covers engine and transport.
+  explicit Protocol(Session& session);
+
+  /// Handle one request line; returns exactly one response line (without
+  /// the trailing newline). Never throws on client input.
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  // Metric names (registered in the session's registry).
+  static constexpr const char* kMetricRequests = "protocol_requests";
+  static constexpr const char* kMetricErrors = "protocol_errors";
+
+ private:
+  [[nodiscard]] Json dispatch(const std::string& cmd, const Json& args);
+
+  Session& session_;
+  obs::Counter& requests_;
+  obs::Counter& errors_;
+};
+
+}  // namespace nw::session

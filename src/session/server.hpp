@@ -1,0 +1,27 @@
+// Session transports: the JSONL server loop and the human shell REPL.
+//
+// Both run a Session to exhaustion of an input stream — `serve` speaks the
+// machine protocol (session/protocol.hpp) for clients like
+// tools/nwclient.py; `shell` is a line-oriented REPL for a person poking
+// at a design. Neither owns the session: the caller builds it (and can
+// export its metrics afterwards — per-session counters accumulate across
+// the whole conversation).
+#pragma once
+
+#include <iosfwd>
+
+#include "session/session.hpp"
+
+namespace nw::session {
+
+/// Read JSONL requests from `in` until EOF, writing exactly one JSON
+/// response line per input line to `out` (flushed per line, so a pipe
+/// client can converse synchronously). Returns the number of requests.
+std::size_t serve(Session& session, std::istream& in, std::ostream& out);
+
+/// Interactive REPL: whitespace-tokenized commands, human-readable
+/// answers, `help` for the command list, `quit` (or EOF) to leave.
+/// Returns the number of commands executed.
+std::size_t shell(Session& session, std::istream& in, std::ostream& out);
+
+}  // namespace nw::session

@@ -1,0 +1,213 @@
+// Long-lived analysis session: persistent design state + incremental ECO loop.
+//
+// The CLI is one-shot: read, analyze, print, exit. A Session instead owns
+// the Design + Parasitics + STA results + the last noise Result and
+// answers many queries against them — the paper's actual workflow (run an
+// analyzer once, then inspect violations, patch the design, re-check)
+// served from memory.
+//
+// Edits accumulate a dirty net set; the next query that needs noise
+// results re-runs STA, diffs per-net timing against the last analyzed
+// state, and feeds the union to analyze_incremental — a full analyze()
+// happens only for the first result or when analysis *options* change
+// (mode/model/constraints/...). Results are bit-identical to a fresh full
+// run of the edited design (tested property).
+//
+// State identity: every state-changing edit bumps a monotonically
+// allocated epoch; undo restores the pre-edit epoch along with the exact
+// pre-edit bytes (the journal stores captured state, not recomputed
+// inverses). A bounded LRU cache keyed by options-digest + epoch makes
+// repeated identical queries — including query→edit→undo→query — O(1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/trace.hpp"
+#include "obs/metrics.hpp"
+#include "parasitics/rcnet.hpp"
+#include "sta/sta.hpp"
+#include "util/interval.hpp"
+
+namespace nw::session {
+
+/// Lookup failure on a user-supplied name (net/instance/port). The
+/// protocol layer maps this to a structured "not_found" error; it is an
+/// std::invalid_argument so non-protocol callers need no special casing.
+class NotFound : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+struct SessionConfig {
+  noise::Options noise;          ///< analysis options (mutable via set_option)
+  sta::Options sta;              ///< base STA options (arrivals mutable via edits)
+  std::size_t undo_capacity = 64;   ///< journal depth (oldest edits fall off)
+  std::size_t cache_capacity = 16;  ///< cached (digest, epoch) results
+};
+
+/// Per-endpoint noise slack with its identity (the Result only stores the
+/// slack values; the session re-derives the deterministic endpoint order).
+struct EndpointSlack {
+  std::string endpoint;  ///< "inst/PIN" or port name
+  std::string net;
+  double slack = 0.0;
+};
+
+class Session {
+ public:
+  /// Takes ownership of the design state. The library must outlive the
+  /// session (same contract as Design itself).
+  Session(net::Design design, para::Parasitics para, SessionConfig config = {});
+
+  // ---- queries (analysis runs lazily on first need) -----------------------
+
+  /// Current noise result; triggers STA + (usually incremental) noise
+  /// analysis if edits or option changes are pending.
+  [[nodiscard]] const noise::Result& result();
+
+  /// Trace the worst glitch on a net back to its origin.
+  [[nodiscard]] noise::NoiseTrace trace(NetId net);
+
+  /// All endpoint noise slacks, ascending (worst first).
+  [[nodiscard]] std::vector<EndpointSlack> endpoint_slacks();
+
+  [[nodiscard]] const net::Design& design() const noexcept { return design_; }
+  [[nodiscard]] const para::Parasitics& parasitics() const noexcept { return para_; }
+  [[nodiscard]] const noise::Options& noise_options() const noexcept {
+    return cfg_.noise;
+  }
+  /// Current STA options (arrival-window edits land here). The clock
+  /// period is synced from the noise options at analysis time.
+  [[nodiscard]] const sta::Options& sta_options() const noexcept { return cfg_.sta; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t undo_depth() const noexcept { return journal_.size(); }
+
+  /// Resolve names; throw NotFound with the offending name otherwise.
+  [[nodiscard]] NetId require_net(const std::string& name) const;
+  [[nodiscard]] InstId require_instance(const std::string& name) const;
+
+  // ---- ECO edits ----------------------------------------------------------
+  // Each edit validates its inputs (throwing std::invalid_argument /
+  // NotFound before any mutation), applies, records a bit-exact restore in
+  // the undo journal, and marks the affected nets dirty. No analysis runs
+  // until the next query.
+
+  /// Swap a driver (or any instance) onto a footprint-compatible cell.
+  void set_driver_cell(const std::string& inst, const std::string& cell);
+
+  /// Scale a net's grounded caps and wire resistances (respacing what-if).
+  void scale_net_parasitics(const std::string& net, double cap_factor,
+                            double res_factor);
+
+  /// Set the total coupling capacitance between two nets [F]. Existing
+  /// caps between the pair are scaled to the new total; if none exist a
+  /// single cap is added between the driver roots.
+  void set_coupling_cap(const std::string& net_a, const std::string& net_b, double cap);
+
+  /// Override an input port's arrival window (re-timed input).
+  void set_arrival_window(const std::string& port, Interval window);
+
+  /// Declare a mutual-exclusion constraint group (an *options* edit: the
+  /// next query re-analyzes fully under the new digest). Returns group id.
+  int set_constraint_group(std::span<const std::string> nets);
+
+  /// Change an analysis option: "mode", "model", "threads", "refine",
+  /// "period". Options other than "threads" change the options digest, so
+  /// the next query runs fully (or hits the cache if seen before).
+  void set_option(const std::string& name, const std::string& value);
+
+  /// Revert the most recent edit (bit-exact). False when the journal is
+  /// empty. Restores the pre-edit epoch, so a post-undo query served from
+  /// the cache returns the *same* Result object as before the edit.
+  bool undo();
+
+  // ---- observability ------------------------------------------------------
+
+  /// The session's metrics registry: analysis/cache/edit counters live
+  /// here, and the transport layer registers its request counters into the
+  /// same registry so one snapshot covers the whole server.
+  [[nodiscard]] obs::Registry& registry() noexcept { return reg_; }
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const { return reg_.snapshot(); }
+  /// Identity block for the session stats JSON export.
+  [[nodiscard]] obs::RunMeta meta() const;
+
+  [[nodiscard]] std::uint64_t full_analyses() const noexcept;
+  [[nodiscard]] std::uint64_t incremental_analyses() const noexcept;
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept;
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept;
+
+  // Metric names (shared with tests and tools/validate_obs.py consumers).
+  static constexpr const char* kMetricEdits = "session_edits";
+  static constexpr const char* kMetricUndos = "session_undos";
+  static constexpr const char* kMetricFullAnalyses = "session_full_analyses";
+  static constexpr const char* kMetricIncrementalAnalyses =
+      "session_incremental_analyses";
+  static constexpr const char* kMetricCacheHits = "session_cache_hits";
+  static constexpr const char* kMetricCacheMisses = "session_cache_misses";
+  static constexpr const char* kMetricDirtyNets = "session_dirty_nets";
+  static constexpr const char* kMetricEpoch = "session_epoch";
+  static constexpr const char* kMetricCachedResults = "session_cached_results";
+
+ private:
+  struct UndoEntry {
+    std::string what;                     ///< human-readable edit label
+    std::function<void()> restore;        ///< bit-exact state restore
+    std::vector<NetId> dirty;             ///< nets the edit (and its undo) touch
+    std::uint64_t epoch_before = 0;
+  };
+
+  struct CacheEntry {
+    std::string key;
+    std::shared_ptr<const noise::Result> result;
+    std::shared_ptr<const sta::Result> sta;
+  };
+
+  /// Allocate a fresh epoch, record the journal entry, count the edit.
+  void commit_edit(UndoEntry entry, bool bump_epoch);
+
+  /// Nets whose STA timing differs between two runs (exact compare).
+  [[nodiscard]] std::vector<NetId> sta_diff(const sta::Result& a,
+                                            const sta::Result& b) const;
+
+  /// Re-analyze if the (digest, epoch) key moved; cache-aware.
+  void ensure_current();
+
+  [[nodiscard]] const CacheEntry* cache_find(const std::string& key) const;
+  void cache_insert(CacheEntry entry);
+
+  net::Design design_;
+  para::Parasitics para_;
+  SessionConfig cfg_;
+
+  std::uint64_t epoch_ = 0;       ///< identifies the current design state
+  std::uint64_t next_epoch_ = 1;  ///< never reused (undo restores old values)
+  std::vector<NetId> pending_dirty_;  ///< edits since the base result
+
+  // The last analyzed state: result + the STA it was computed from.
+  std::shared_ptr<const noise::Result> base_result_;
+  std::shared_ptr<const sta::Result> base_sta_;
+  std::string base_key_;     ///< digest#epoch of base_result_
+  std::string base_digest_;
+
+  std::deque<UndoEntry> journal_;
+  std::vector<CacheEntry> cache_;  ///< LRU: back = most recent
+
+  obs::Registry reg_;
+  obs::Counter& edits_;
+  obs::Counter& undos_;
+  obs::Counter& full_analyses_;
+  obs::Counter& incremental_analyses_;
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Histogram& dirty_hist_;
+};
+
+}  // namespace nw::session

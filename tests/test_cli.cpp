@@ -189,5 +189,100 @@ TEST(Cli, StatsFooterLandsInReportFile) {
   fs::remove_all(dir);
 }
 
+TEST(Cli, UnwritableOutputPathsFailFastWithClearErrors) {
+  // A typo'd output directory must fail before analysis, with a message
+  // naming the artifact and the path, and a non-zero exit.
+  const std::string bad = "/nonexistent_dir_for_noisewin_tests/out.file";
+  struct Case {
+    const char* flag;
+    const char* what;
+  };
+  for (const Case& c : {Case{"--report", "report"}, Case{"--stats-json", "stats"},
+                        Case{"--trace-out", "trace"}}) {
+    std::string err;
+    EXPECT_EQ(run({"--demo", "bus", c.flag, bad}, nullptr, &err), 1) << c.flag;
+    EXPECT_NE(err.find(std::string("cannot write ") + c.what), std::string::npos)
+        << c.flag << ": " << err;
+    EXPECT_NE(err.find(bad), std::string::npos) << c.flag << ": " << err;
+  }
+  // serve validates its --stats-json destination up front too.
+  std::string err;
+  std::istringstream in("");
+  std::ostringstream out, serr;
+  EXPECT_EQ(cli::run_cli(std::vector<std::string>{"serve", "--demo", "bus",
+                                                  "--stats-json", bad},
+                         in, out, serr),
+            1);
+  EXPECT_NE(serr.str().find("cannot write stats"), std::string::npos) << serr.str();
+}
+
+TEST(Cli, ServeSubcommandSpeaksJsonl) {
+  std::istringstream in(
+      "{\"id\":1,\"cmd\":\"hello\"}\n"
+      "{\"id\":2,\"cmd\":\"scale_net_parasitics\","
+      "\"args\":{\"net\":\"w1\",\"cap_factor\":2.0,\"res_factor\":1.0}}\n"
+      "{\"id\":3,\"cmd\":\"violations\",\"args\":{\"limit\":3}}\n"
+      "junk line\n"
+      "{\"id\":4,\"cmd\":\"undo\"}\n");
+  std::ostringstream out, err;
+  const fs::path dir = fs::temp_directory_path() / "noisewin_cli_serve_test";
+  fs::create_directories(dir);
+  const auto stats_path = (dir / "session.json").string();
+  const int rc = cli::run_cli(
+      std::vector<std::string>{"serve", "--demo", "bus", "--stats-json", stats_path},
+      in, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+
+  // One response per line, ids echoed in order.
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_NE(responses[0].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(responses[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(responses[0].find("\"design\":\"bus64\""), std::string::npos);
+  EXPECT_NE(responses[3].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(responses[4].find("\"undone\":true"), std::string::npos);
+
+  // The per-session stats artifact carries the session counters.
+  std::stringstream stats;
+  {
+    std::ifstream f(stats_path);
+    ASSERT_TRUE(f.good());
+    stats << f.rdbuf();
+  }
+  EXPECT_NE(stats.str().find("\"session_full_analyses\":1"), std::string::npos)
+      << stats.str();
+  EXPECT_NE(stats.str().find("\"protocol_requests\":5"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(Cli, ShellSubcommandRunsCommands) {
+  std::istringstream in(
+      "violations 3\n"
+      "noise w1\n"
+      "scale w1 2.0 1.0\n"
+      "undo\n"
+      "bogus_command\n"
+      "quit\n");
+  std::ostringstream out, err;
+  const int rc = cli::run_cli(std::vector<std::string>{"shell", "--demo", "bus"}, in,
+                              out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("noisewin>"), std::string::npos);
+  EXPECT_NE(out.str().find("endpoints checked"), std::string::npos);
+  EXPECT_NE(out.str().find("net w1:"), std::string::npos);
+  EXPECT_NE(out.str().find("ok [epoch 1]"), std::string::npos);
+  EXPECT_NE(out.str().find("undone"), std::string::npos);
+  EXPECT_NE(out.str().find("unknown command 'bogus_command'"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails) {
+  std::string err;
+  EXPECT_EQ(run({"listen", "--demo", "bus"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown command 'listen'"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace nw

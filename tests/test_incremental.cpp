@@ -2,9 +2,14 @@
 // set covers the real change.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "gen/bus.hpp"
 #include "gen/randlogic.hpp"
 #include "noise/analyzer.hpp"
+#include "noise/context.hpp"
 #include "sta/sta.hpp"
 #include "util/units.hpp"
 
@@ -111,6 +116,77 @@ TEST(Incremental, BadChangedNetThrows) {
   const std::vector<NetId> none;
   EXPECT_THROW((void)analyze_incremental(g.design, g.para, timing, o, empty, none),
                std::invalid_argument);
+}
+
+TEST(Incremental, ValidationErrorsNameIdAndRange) {
+  // Structured diagnostics: the exception says *which* id is bad and what
+  // the valid range is — a session server forwards these verbatim.
+  const lib::Library library = lib::default_library();
+  gen::BusConfig cfg;
+  cfg.bits = 4;
+  const gen::Generated g = gen::make_bus(library, cfg);
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  Options o;
+  const Result full = analyze(g.design, g.para, timing, o);
+
+  try {
+    (void)analyze_incremental(g.design, g.para, timing, o, full,
+                              std::vector<NetId>{NetId{99999}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("99999"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(g.design.net_count())), std::string::npos)
+        << msg;
+  }
+
+  // Previous-result coverage mismatch names both sizes.
+  Result stale = full;
+  stale.nets.resize(2);
+  try {
+    (void)analyze_incremental(g.design, g.para, timing, o, stale,
+                              std::vector<NetId>{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 nets"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(g.design.net_count())), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(Incremental, DirtyClosureCoversCoupledNeighbours) {
+  // The public closure helper: changed nets plus everything they couple
+  // to, from the *raw* coupling list (not the threshold-filtered adjacency).
+  const lib::Library library = lib::default_library();
+  gen::BusConfig cfg;
+  cfg.bits = 6;
+  cfg.segments = 2;
+  const gen::Generated g = gen::make_bus(library, cfg);
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  const AnalysisContext ctx = AnalysisContext::build(g.design, g.para, timing, Options{});
+
+  const NetId w2 = *g.design.find_net("w2");
+  const std::vector<NetId> changed{w2};
+  const std::vector<NetId> closure = ctx.dirty_closure(g.para, changed);
+
+  // Sorted, unique, includes the seed.
+  EXPECT_TRUE(std::is_sorted(closure.begin(), closure.end(),
+                             [](NetId a, NetId b) { return a.value() < b.value(); }));
+  EXPECT_NE(std::find(closure.begin(), closure.end(), w2), closure.end());
+  // Every net coupled to w2 is in the closure.
+  for (const auto ci : g.para.couplings_of(w2)) {
+    const NetId other = g.para.coupling(ci).other_net(w2);
+    EXPECT_NE(std::find(closure.begin(), closure.end(), other), closure.end())
+        << "missing coupled net " << g.design.net(other).name;
+  }
+  // Out-of-range ids are rejected with the offending value in the message.
+  try {
+    (void)ctx.dirty_closure(g.para, std::vector<NetId>{NetId{777777}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("777777"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

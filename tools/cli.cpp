@@ -20,6 +20,8 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "parasitics/spef.hpp"
+#include "session/server.hpp"
+#include "session/session.hpp"
 #include "sta/sta.hpp"
 #include "util/strings.hpp"
 
@@ -28,6 +30,7 @@ namespace nw::cli {
 namespace {
 
 struct Args {
+  std::string command = "analyze";  ///< analyze | serve | shell
   std::string lib_path;
   std::string netlist_path;
   std::string spef_path;
@@ -47,6 +50,8 @@ struct Args {
 const char kUsage[] =
     "usage: noisewin --lib L.nlib --netlist D.nv --spef P.nwspef [options]\n"
     "       noisewin --demo bus|logic|pipeline [options]\n"
+    "       noisewin serve --demo bus [options]   JSONL session server (stdin/stdout)\n"
+    "       noisewin shell --demo bus [options]   interactive session REPL\n"
     "options:\n"
     "  --arrivals <file>   per-port arrival windows: '<port> <lo> <hi>' lines\n"
     "  --mode <m>          no-filtering | switching-windows | noise-windows\n"
@@ -55,7 +60,8 @@ const char kUsage[] =
     "  --refine <n>        noise-on-delay refinement passes (default 0)\n"
     "  --threads <n>       analysis threads: 1 = serial (default), 0 = all cores\n"
     "  --stats             print per-phase telemetry after the report\n"
-    "  --stats-json <file> write the machine-readable run report (metrics JSON)\n"
+    "  --stats-json <file> write the machine-readable run report (metrics JSON);\n"
+    "                      under serve/shell: the per-session metrics at exit\n"
     "  --trace-out <file>  write a Chrome trace-event JSON (chrome://tracing,\n"
     "                      Perfetto) with per-thread span tracks\n"
     "  --verbose           more diagnostics on stderr (repeat for debug)\n"
@@ -80,7 +86,17 @@ std::optional<noise::GlitchModel> parse_model(std::string_view s) {
 
 std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& err) {
   Args a;
-  for (std::size_t i = 0; i < argv.size(); ++i) {
+  std::size_t start = 0;
+  if (!argv.empty() && !argv[0].empty() && argv[0][0] != '-') {
+    if (argv[0] == "serve" || argv[0] == "shell" || argv[0] == "analyze") {
+      a.command = argv[0];
+      start = 1;
+    } else {
+      err << "noisewin: unknown command '" << argv[0] << "'\n";
+      return std::nullopt;
+    }
+  }
+  for (std::size_t i = start; i < argv.size(); ++i) {
     const std::string& arg = argv[i];
     auto need_value = [&]() -> std::optional<std::string> {
       if (i + 1 >= argv.size()) {
@@ -202,9 +218,112 @@ class LogScope {
   obs::LogLevel saved_level_;
 };
 
+/// Fail fast on an unwritable output destination — before analysis burns
+/// minutes. Probes in append mode so an existing file is not truncated if a
+/// later stage fails anyway.
+void require_writable(const std::string& path, const char* what) {
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw std::runtime_error(std::string("cannot write ") + what + " '" + path + "'");
+  }
+}
+
+/// Flush and verify a finished output stream (disk-full / IO errors
+/// otherwise vanish into a truncated artifact and a success exit code).
+void require_written(std::ostream& os, const char* what, const std::string& path) {
+  os.flush();
+  if (!os) {
+    throw std::runtime_error(std::string("error writing ") + what + " '" + path + "'");
+  }
+}
+
+/// Load the design under analysis from --demo or the --lib/--netlist/--spef
+/// triple. `library` is an out-parameter because the design keeps a pointer
+/// into it — it must outlive (and not move under) everything downstream.
+void load_inputs(const Args& a, lib::Library& library, std::optional<net::Design>& design,
+                 std::optional<para::Parasitics>& parasitics, sta::Options& sta_opt) {
+  sta_opt.clock_period = a.noise_opt.clock_period;
+  if (!a.demo.empty()) {
+    library = lib::default_library();
+    gen::Generated g = [&] {
+      if (a.demo == "bus") return gen::make_bus(library, {});
+      if (a.demo == "logic") return gen::make_rand_logic(library, {});
+      if (a.demo == "pipeline") return gen::make_pipeline(library, {});
+      throw std::runtime_error("unknown demo '" + a.demo + "' (bus|logic|pipeline)");
+    }();
+    sta_opt = g.sta_options;
+    sta_opt.clock_period = a.noise_opt.clock_period;
+    design.emplace(std::move(g.design));
+    parasitics.emplace(std::move(g.para));
+  } else {
+    std::ifstream lf(a.lib_path);
+    if (!lf) throw std::runtime_error("cannot open library '" + a.lib_path + "'");
+    library = lib::read_library(lf);
+    std::ifstream nf(a.netlist_path);
+    if (!nf) throw std::runtime_error("cannot open netlist '" + a.netlist_path + "'");
+    design.emplace(net::read_netlist(nf, library));
+    std::ifstream pf(a.spef_path);
+    if (!pf) throw std::runtime_error("cannot open spef '" + a.spef_path + "'");
+    parasitics.emplace(para::read_spef(pf, *design));
+    if (!a.arrivals_path.empty()) {
+      std::ifstream af(a.arrivals_path);
+      if (!af) throw std::runtime_error("cannot open arrivals '" + a.arrivals_path + "'");
+      std::string line;
+      int lineno = 0;
+      while (std::getline(af, line)) {
+        ++lineno;
+        const auto t = nw::trim(line);
+        if (t.empty() || nw::starts_with(t, "#")) continue;
+        const auto toks = nw::split(t);
+        if (toks.size() < 3) {
+          throw std::runtime_error("arrivals line " + std::to_string(lineno) +
+                                   ": expected '<port> <lo> <hi>'");
+        }
+        sta_opt.input_arrivals[std::string(toks[0])] =
+            Interval{nw::parse_double(toks[1]), nw::parse_double(toks[2])};
+      }
+    }
+  }
+  const auto lint = design->lint();
+  for (const auto& problem : lint) NW_LOG(kWarn) << "lint: " << problem;
+}
+
+/// The `serve` and `shell` subcommands: hold the design in a session and
+/// converse over the streams until EOF.
+int run_session(const Args& a, std::istream& in, std::ostream& out) {
+  lib::Library library;
+  std::optional<net::Design> design;
+  std::optional<para::Parasitics> parasitics;
+  sta::Options sta_opt;
+  load_inputs(a, library, design, parasitics, sta_opt);
+
+  session::SessionConfig cfg;
+  cfg.noise = a.noise_opt;
+  cfg.sta = sta_opt;
+  session::Session session(std::move(*design), std::move(*parasitics), cfg);
+
+  if (a.command == "serve") {
+    session::serve(session, in, out);
+  } else {
+    session::shell(session, in, out);
+  }
+
+  if (!a.stats_json_path.empty()) {
+    std::ofstream sf(a.stats_json_path);
+    if (!sf) {
+      throw std::runtime_error("cannot write stats '" + a.stats_json_path + "'");
+    }
+    obs::write_stats_json(sf, session.meta(), session.metrics_snapshot());
+    require_written(sf, "stats", a.stats_json_path);
+    NW_LOG(kInfo) << "session stats written to " << a.stats_json_path;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& err) {
+int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& out,
+            std::ostream& err) {
   std::optional<Args> parsed;
   try {
     parsed = parse_args(args, err);
@@ -223,6 +342,20 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
   }
 
   const LogScope log_scope(err, a.verbose);
+
+  if (a.command != "analyze") {
+    try {
+      if (!a.trace_path.empty()) {
+        throw std::runtime_error("--trace-out is not supported under serve/shell");
+      }
+      if (!a.stats_json_path.empty()) require_writable(a.stats_json_path, "stats");
+      return run_session(a, in, out);
+    } catch (const std::exception& e) {
+      err << "noisewin: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   if (!a.trace_path.empty()) {
     obs::Tracer::clear();
     obs::Tracer::set_thread_name("main");
@@ -230,56 +363,17 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
   }
 
   try {
+    // Validate output destinations up front: a typo'd --report directory
+    // should fail in milliseconds, not after the analysis.
+    if (!a.trace_path.empty()) require_writable(a.trace_path, "trace");
+    if (!a.stats_json_path.empty()) require_writable(a.stats_json_path, "stats");
+    if (!a.report_path.empty()) require_writable(a.report_path, "report");
+
     lib::Library library;
     std::optional<net::Design> design;
     std::optional<para::Parasitics> parasitics;
     sta::Options sta_opt;
-    sta_opt.clock_period = a.noise_opt.clock_period;
-
-    if (!a.demo.empty()) {
-      library = lib::default_library();
-      gen::Generated g = [&] {
-        if (a.demo == "bus") return gen::make_bus(library, {});
-        if (a.demo == "logic") return gen::make_rand_logic(library, {});
-        if (a.demo == "pipeline") return gen::make_pipeline(library, {});
-        throw std::runtime_error("unknown demo '" + a.demo + "' (bus|logic|pipeline)");
-      }();
-      sta_opt = g.sta_options;
-      sta_opt.clock_period = a.noise_opt.clock_period;
-      design.emplace(std::move(g.design));
-      parasitics.emplace(std::move(g.para));
-    } else {
-      std::ifstream lf(a.lib_path);
-      if (!lf) throw std::runtime_error("cannot open library '" + a.lib_path + "'");
-      library = lib::read_library(lf);
-      std::ifstream nf(a.netlist_path);
-      if (!nf) throw std::runtime_error("cannot open netlist '" + a.netlist_path + "'");
-      design.emplace(net::read_netlist(nf, library));
-      std::ifstream pf(a.spef_path);
-      if (!pf) throw std::runtime_error("cannot open spef '" + a.spef_path + "'");
-      parasitics.emplace(para::read_spef(pf, *design));
-      if (!a.arrivals_path.empty()) {
-        std::ifstream af(a.arrivals_path);
-        if (!af) throw std::runtime_error("cannot open arrivals '" + a.arrivals_path + "'");
-        std::string line;
-        int lineno = 0;
-        while (std::getline(af, line)) {
-          ++lineno;
-          const auto t = nw::trim(line);
-          if (t.empty() || nw::starts_with(t, "#")) continue;
-          const auto toks = nw::split(t);
-          if (toks.size() < 3) {
-            throw std::runtime_error("arrivals line " + std::to_string(lineno) +
-                                     ": expected '<port> <lo> <hi>'");
-          }
-          sta_opt.input_arrivals[std::string(toks[0])] =
-              Interval{nw::parse_double(toks[1]), nw::parse_double(toks[2])};
-        }
-      }
-    }
-
-    const auto lint = design->lint();
-    for (const auto& problem : lint) NW_LOG(kWarn) << "lint: " << problem;
+    load_inputs(a, library, design, parasitics, sta_opt);
 
     const sta::Result timing = sta::run(*design, *parasitics, sta_opt);
     const noise::Result result = noise::analyze(*design, *parasitics, timing, a.noise_opt);
@@ -289,6 +383,7 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
       std::ofstream tf(a.trace_path);
       if (!tf) throw std::runtime_error("cannot write trace '" + a.trace_path + "'");
       obs::Tracer::write_chrome(tf);
+      require_written(tf, "trace", a.trace_path);
       NW_LOG(kInfo) << "trace written to " << a.trace_path;
     }
     if (!a.stats_json_path.empty()) {
@@ -297,6 +392,7 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
         throw std::runtime_error("cannot write stats '" + a.stats_json_path + "'");
       }
       obs::write_stats_json(sf, result.run_meta, result.metrics);
+      require_written(sf, "stats", a.stats_json_path);
       NW_LOG(kInfo) << "stats written to " << a.stats_json_path;
     }
 
@@ -320,6 +416,7 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
       noise::write_delay_impact(*report_os, *design, impact);
     }
     if (!a.report_path.empty()) {
+      require_written(report_file, "report", a.report_path);
       out << "report written to " << a.report_path << " (" << result.violations.size()
           << " violations)\n";
     }
@@ -330,6 +427,11 @@ int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& 
     err << "noisewin: " << e.what() << "\n";
     return 1;
   }
+}
+
+int run_cli(std::span<const std::string> args, std::ostream& out, std::ostream& err) {
+  std::istringstream empty;
+  return run_cli(args, empty, out, err);
 }
 
 }  // namespace nw::cli

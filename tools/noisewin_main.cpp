@@ -8,5 +8,5 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return nw::cli::run_cli(args, std::cout, std::cerr);
+  return nw::cli::run_cli(args, std::cin, std::cout, std::cerr);
 }

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Minimal JSONL client for `noisewin serve` (stdlib only).
+
+Library use:
+
+    with NwClient(["./build/tools/noisewin", "serve", "--demo", "bus"]) as c:
+        print(c.request("violations", limit=5))
+
+Script use (the CI smoke test): drives a full conversation against a demo
+session — query violations, apply an ECO edit, check the noise moved,
+undo, check the restore is bit-identical — and exits non-zero on any
+protocol error or broken invariant.
+
+    python3 tools/nwclient.py --bin ./build/tools/noisewin --demo bus
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+class ProtocolError(RuntimeError):
+    """Server answered ok=false; carries the structured code and message."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class NwClient:
+    """Synchronous request/response client over a noisewin serve pipe."""
+
+    def __init__(self, argv: list[str]):
+        self._proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self._next_id = 0
+
+    def __enter__(self) -> "NwClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def request_raw(self, cmd: str, args: dict | None = None) -> dict:
+        """One request, one response line; returns the whole envelope."""
+        self._next_id += 1
+        req = {"id": self._next_id, "cmd": cmd}
+        if args:
+            req["args"] = args
+        assert self._proc.stdin is not None and self._proc.stdout is not None
+        self._proc.stdin.write(json.dumps(req) + "\n")
+        self._proc.stdin.flush()
+        line = self._proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"server closed the pipe during '{cmd}'")
+        resp = json.loads(line)
+        if resp.get("id") != self._next_id:
+            raise RuntimeError(f"response id {resp.get('id')} != {self._next_id}")
+        return resp
+
+    def request(self, cmd: str, **args) -> dict:
+        """One command; returns the data payload or raises ProtocolError."""
+        resp = self.request_raw(cmd, args or None)
+        if not resp.get("ok"):
+            err = resp.get("error") or {}
+            raise ProtocolError(err.get("code", "?"), err.get("message", "?"))
+        return resp["data"]
+
+    def close(self) -> int:
+        if self._proc.stdin is not None:
+            self._proc.stdin.close()
+        rc = self._proc.wait(timeout=60)
+        return rc
+
+
+def check(cond: bool, what: str) -> None:
+    if not cond:
+        print(f"FAIL: {what}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {what}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin", default="./build/tools/noisewin", help="noisewin binary")
+    ap.add_argument("--demo", default="bus", help="demo design (bus|logic|pipeline)")
+    ap.add_argument("--stats-json", default="", help="per-session stats artifact")
+    ap.add_argument("--net", default="w1", help="net to edit in the scenario")
+    ap.add_argument("--coupled", default="w2", help="net coupled to --net")
+    args = ap.parse_args()
+
+    argv = [args.bin, "serve", "--demo", args.demo]
+    if args.stats_json:
+        argv += ["--stats-json", args.stats_json]
+
+    with NwClient(argv) as c:
+        hello = c.request("hello")
+        check(hello["protocol"] == 1, f"protocol v1, design '{hello['design']}'")
+
+        baseline = c.request("violations", limit=5)
+        noise_before = c.request("net_noise", net=args.net)
+        check("total_peak" in noise_before, f"net_noise({args.net}) answers")
+
+        # ECO: crank the coupling between two neighbouring nets.
+        edit = c.request(
+            "set_coupling_cap", net_a=args.net, net_b=args.coupled, cap=80e-15
+        )
+        check(edit["epoch"] > 0, f"edit accepted (epoch {edit['epoch']})")
+
+        noise_after = c.request("net_noise", net=args.net)
+        check(
+            noise_after["total_peak"] > noise_before["total_peak"],
+            "stronger coupling raised the victim's noise "
+            f"({noise_before['total_peak']:.6g} -> {noise_after['total_peak']:.6g})",
+        )
+
+        # Undo must restore the pre-edit result bit-for-bit (the session
+        # serves it from its result cache keyed by options-digest + epoch).
+        undo = c.request("undo")
+        check(undo["undone"] and undo["epoch"] == 0, "undo restored epoch 0")
+        noise_restored = c.request("net_noise", net=args.net)
+        check(
+            noise_restored == noise_before,
+            "post-undo noise is bit-identical to the pre-edit answer",
+        )
+        restored = c.request("violations", limit=5)
+        check(
+            restored == baseline,
+            "post-undo violations are bit-identical to the baseline",
+        )
+
+        # Structured errors, not crashes.
+        try:
+            c.request("net_noise", net="definitely_not_a_net")
+            check(False, "unknown net must be rejected")
+        except ProtocolError as e:
+            check(e.code == "not_found", f"unknown net -> {e.code}")
+
+        stats = c.request("stats")
+        counters = stats["counters"]
+        check(
+            counters["session_full_analyses"] == 1,
+            f"exactly one full analysis "
+            f"({counters['session_incremental_analyses']} incremental, "
+            f"{counters['session_cache_hits']} cache hits)",
+        )
+        check(counters["session_cache_hits"] >= 1, "undo was served from the cache")
+
+        rc = c.close()
+        check(rc == 0, f"server exited cleanly (rc={rc})")
+
+    print("nwclient smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
