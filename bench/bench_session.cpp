@@ -102,7 +102,9 @@ int main(int argc, char** argv) {
     s.undo();
     (void)s.result();
     std::ofstream f(path);
-    obs::write_stats_json(f, s.meta(), s.metrics_snapshot());
+    const std::pair<std::string, std::string> extra[] = {
+        {"bench", nw::bench::bench_record_json()}};
+    obs::write_stats_json(f, s.meta(), s.metrics_snapshot(), extra);
   }
   return 0;
 }

@@ -6,8 +6,11 @@
 // register pipeline (sequential endpoints for the latch check).
 #pragma once
 
+#include <ctime>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gen/bus.hpp"
@@ -15,6 +18,8 @@
 #include "gen/randlogic.hpp"
 #include "noise/analyzer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/tracer.hpp"
 #include "sta/sta.hpp"
 #include "util/units.hpp"
 
@@ -70,10 +75,31 @@ inline gen::PipelineConfig pipeline_config(std::size_t paths) {
   return cfg;
 }
 
+/// The "bench" section appended to every bench run record: run identity
+/// (full git SHA + describe + build type), wall-clock timestamp, and the
+/// process peak RSS — the fields tools/bench_history.py keys history
+/// entries by and compares against BENCH_baseline.json.
+inline std::string bench_record_json() {
+  const obs::ResourceSample rs = obs::sample_resources();
+  const std::time_t now = std::time(nullptr);
+  char utc[32] = "unknown";
+  if (std::tm tm{}; gmtime_r(&now, &tm) != nullptr) {
+    std::strftime(utc, sizeof utc, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  }
+  std::ostringstream os;
+  os << "{\"record_version\":1,\"git_sha\":\"" << obs::json_escape(obs::git_sha())
+     << "\",\"git_describe\":\"" << obs::json_escape(obs::build_version())
+     << "\",\"build_type\":\"" << obs::build_type() << "\",\"timestamp_utc\":\"" << utc
+     << "\",\"unix_time\":" << static_cast<long long>(now)
+     << ",\"peak_rss_bytes\":" << rs.peak_rss_bytes << "}";
+  return os.str();
+}
+
 /// One analysis run record in the --stats-json schema (obs::write_stats_json)
 /// for a suite bus case — the bench harness emits this when NW_STATS_JSON
 /// is set, so a benchmark run leaves the same machine-readable artifact as
-/// a CLI run and lands in the same trajectory comparisons.
+/// a CLI run and lands in the same trajectory comparisons. The extra
+/// "bench" section carries git SHA, timestamp, build type, and peak RSS.
 inline void write_run_record(const std::string& path, const lib::Library& library,
                              std::size_t bus_bits = 64) {
   const gen::Generated g = gen::make_bus(library, bus_config(bus_bits));
@@ -83,7 +109,8 @@ inline void write_run_record(const std::string& path, const lib::Library& librar
   o.clock_period = g.sta_options.clock_period;
   const noise::Result r = noise::analyze(g.design, g.para, timing, o);
   std::ofstream f(path);
-  obs::write_stats_json(f, r.run_meta, r.metrics);
+  const std::pair<std::string, std::string> extra[] = {{"bench", bench_record_json()}};
+  obs::write_stats_json(f, r.run_meta, r.metrics, extra);
 }
 
 /// The full D1..D6 suite. The library must outlive the returned cases.

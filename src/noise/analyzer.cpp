@@ -12,6 +12,7 @@
 
 #include "noise/context.hpp"
 #include "obs/log.hpp"
+#include "obs/resource.hpp"
 #include "obs/tracer.hpp"
 #include "util/executor.hpp"
 #include "util/scanline.hpp"
@@ -262,6 +263,12 @@ class Pipeline {
                /*deterministic=*/false);
     reg_.gauge(kMetricTotalSeconds, "whole analyze() wall time", "s",
                /*deterministic=*/false);
+    reg_.gauge(kMetricRssBytes, "resident set size at finish", "B",
+               /*deterministic=*/false, /*resource=*/true);
+    reg_.gauge(kMetricPeakRssBytes, "peak resident set size", "B",
+               /*deterministic=*/false, /*resource=*/true);
+    reg_.gauge(kMetricResultBytes, "estimated Result heap footprint", "B",
+               /*deterministic=*/false, /*resource=*/true);
   }
 
   /// Publishes the timing gauges and last-pass work gauges, observes the
@@ -287,6 +294,13 @@ class Pipeline {
     for (const NetNoise& nn : res.nets) {
       if (nn.total_peak > 0.0) glitch_peak.observe(nn.total_peak);
     }
+    const obs::ResourceSample rs = obs::sample_resources();
+    reg_.gauge(kMetricRssBytes, "", "B", false, true)
+        .set(static_cast<double>(rs.rss_bytes));
+    reg_.gauge(kMetricPeakRssBytes, "", "B", false, true)
+        .set(static_cast<double>(rs.peak_rss_bytes));
+    reg_.gauge(kMetricResultBytes, "", "B", false, true)
+        .set(static_cast<double>(memory_bytes(res)));
     res.run_meta.design = design_.name();
     res.run_meta.mode = to_string(opt_.mode);
     res.run_meta.model = to_string(opt_.model);
@@ -666,6 +680,23 @@ std::string options_digest(const Options& o) {
   std::ostringstream hex;
   hex << std::hex << std::setfill('0') << std::setw(16) << h;
   return hex.str();
+}
+
+std::size_t memory_bytes(const Result& r) noexcept {
+  std::size_t bytes = sizeof(Result);
+  bytes += r.nets.capacity() * sizeof(NetNoise);
+  for (const NetNoise& nn : r.nets) {
+    bytes += nn.contributions.capacity() * sizeof(Contribution);
+    bytes += nn.window.intervals().size() * sizeof(Interval);
+    for (const Contribution& c : nn.contributions) {
+      bytes += c.window.intervals().size() * sizeof(Interval);
+    }
+  }
+  bytes += r.violations.capacity() * sizeof(Violation);
+  bytes += r.endpoint_slacks.capacity() * sizeof(double);
+  bytes += r.iteration_violations.capacity() * sizeof(std::size_t);
+  bytes += r.metrics.samples.capacity() * sizeof(obs::MetricSample);
+  return bytes;
 }
 
 Result analyze(const net::Design& design, const para::Parasitics& para,

@@ -157,6 +157,12 @@ struct Result {
 /// settings. Embedded in the stats JSON meta for trajectory comparison.
 [[nodiscard]] std::string options_digest(const Options& options);
 
+/// Estimated heap footprint of a Result in bytes (capacity-based: vector
+/// storage for per-net noise, contributions, windows, violations, and
+/// slacks). Feeds the session's cache byte gauge; an estimate, not an
+/// allocator-exact count.
+[[nodiscard]] std::size_t memory_bytes(const Result& result) noexcept;
+
 /// Run the analysis. `sta_result` must come from the same design/parasitics.
 [[nodiscard]] Result analyze(const net::Design& design, const para::Parasitics& para,
                              const sta::Result& sta_result, const Options& options = {});

@@ -61,6 +61,11 @@ inline constexpr const char* kMetricPropagateSeconds = "phase_propagate_seconds"
 inline constexpr const char* kMetricEndpointsSeconds = "phase_endpoints_seconds";
 inline constexpr const char* kMetricTotalSeconds = "total_seconds";
 inline constexpr const char* kMetricTaskSeconds = "task_seconds";
+// Resource gauges (the "resources" section of the JSON export): sampled,
+// machine-dependent, never deterministic.
+inline constexpr const char* kMetricRssBytes = "rss_bytes";
+inline constexpr const char* kMetricPeakRssBytes = "peak_rss_bytes";
+inline constexpr const char* kMetricResultBytes = "result_bytes";
 
 /// Derive the typed view from a run's exported metrics. Names missing from
 /// the snapshot read as zero; threads/iterations come from the meta.

@@ -12,6 +12,10 @@
 #define NW_GIT_DESCRIBE "unknown"
 #endif
 
+#ifndef NW_GIT_SHA
+#define NW_GIT_SHA "unknown"
+#endif
+
 namespace nw::obs {
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -22,12 +26,30 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
 }
 
+namespace {
+
+/// CAS-loop update of a running extreme. The first observation must win
+/// regardless of value, so "empty" is flagged by count == 0 at the caller
+/// and this only races against other real observations.
+template <typename Better>
+void update_extreme(std::atomic<double>& slot, double v, bool first, Better better) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (first || better(v, cur)) {
+    if (slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) return;
+    first = false;
+  }
+}
+
+}  // namespace
+
 void Histogram::observe(double v) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  const bool first = count_.fetch_add(1, std::memory_order_relaxed) == 0;
   sum_.fetch_add(v, std::memory_order_relaxed);
+  update_extreme(min_, v, first, [](double a, double b) { return a < b; });
+  update_extreme(max_, v, first, [](double a, double b) { return a > b; });
 }
 
 HistogramData Histogram::data() const {
@@ -39,7 +61,34 @@ HistogramData Histogram::data() const {
   }
   d.count = count_.load(std::memory_order_relaxed);
   d.sum = sum_.load(std::memory_order_relaxed);
+  d.min = d.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  d.max = d.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
   return d;
+}
+
+double histogram_quantile(const HistogramData& h, double q) noexcept {
+  if (h.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested observation (1-based, midpoint convention keeps
+  // p50 of a single value at that value).
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::uint64_t in_bucket = h.counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      // Bucket i spans (lo, hi]; pin the outermost edges to the exact
+      // extremes so quantiles never leave the observed range.
+      const double lo = i == 0 ? h.min : std::max(h.min, h.bounds[i - 1]);
+      const double hi = i < h.bounds.size() ? std::min(h.max, h.bounds[i]) : h.max;
+      const double within =
+          std::clamp((rank - static_cast<double>(cum)) / static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      return std::clamp(lo + (hi - lo) * within, h.min, h.max);
+    }
+    cum += in_bucket;
+  }
+  return h.max;
 }
 
 const MetricSample* MetricsSnapshot::find(std::string_view name) const noexcept {
@@ -55,6 +104,7 @@ struct Registry::Entry {
   std::string unit;
   MetricSample::Kind kind;
   bool deterministic = true;
+  bool resource = false;
   Counter counter;
   Gauge gauge;
   std::unique_ptr<Histogram> hist;
@@ -66,7 +116,7 @@ Registry::~Registry() = default;
 Registry::Entry& Registry::find_or_create(std::string_view name, std::string_view help,
                                           std::string_view unit,
                                           MetricSample::Kind kind, bool deterministic,
-                                          std::vector<double> bounds) {
+                                          bool resource, std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& e : entries_) {
     if (e->name == name) {
@@ -82,7 +132,10 @@ Registry::Entry& Registry::find_or_create(std::string_view name, std::string_vie
   e->help = std::string(help);
   e->unit = std::string(unit);
   e->kind = kind;
-  e->deterministic = deterministic;
+  // Resource metrics are environment readings (RSS, live byte counts) and
+  // can never be deterministic across machines or thread counts.
+  e->deterministic = deterministic && !resource;
+  e->resource = resource;
   if (kind == MetricSample::Kind::kHistogram) {
     e->hist = std::make_unique<Histogram>(std::move(bounds));
   }
@@ -91,22 +144,24 @@ Registry::Entry& Registry::find_or_create(std::string_view name, std::string_vie
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view help,
-                           bool deterministic) {
-  return find_or_create(name, help, "", MetricSample::Kind::kCounter, deterministic, {})
+                           bool deterministic, bool resource) {
+  return find_or_create(name, help, "", MetricSample::Kind::kCounter, deterministic,
+                        resource, {})
       .counter;
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view help,
-                       std::string_view unit, bool deterministic) {
-  return find_or_create(name, help, unit, MetricSample::Kind::kGauge, deterministic, {})
+                       std::string_view unit, bool deterministic, bool resource) {
+  return find_or_create(name, help, unit, MetricSample::Kind::kGauge, deterministic,
+                        resource, {})
       .gauge;
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view help,
                                std::vector<double> bounds, std::string_view unit,
-                               bool deterministic) {
+                               bool deterministic, bool resource) {
   return *find_or_create(name, help, unit, MetricSample::Kind::kHistogram, deterministic,
-                         std::move(bounds))
+                         resource, std::move(bounds))
               .hist;
 }
 
@@ -121,6 +176,7 @@ MetricsSnapshot Registry::snapshot() const {
     s.unit = e->unit;
     s.kind = e->kind;
     s.deterministic = e->deterministic;
+    s.resource = e->resource;
     switch (e->kind) {
       case MetricSample::Kind::kCounter: s.count = e->counter.value(); break;
       case MetricSample::Kind::kGauge: s.value = e->gauge.value(); break;
@@ -132,6 +188,16 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 const char* build_version() noexcept { return NW_GIT_DESCRIBE; }
+
+const char* git_sha() noexcept { return NW_GIT_SHA; }
+
+const char* build_type() noexcept {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
 
 namespace {
 
@@ -154,46 +220,67 @@ void write_histogram(std::ostream& os, const MetricSample& s) {
     if (i) os << ",";
     os << s.hist.counts[i];
   }
-  os << "],\"count\":" << s.hist.count << ",\"sum\":" << json_number(s.hist.sum) << "}";
+  os << "],\"count\":" << s.hist.count << ",\"sum\":" << json_number(s.hist.sum)
+     << ",\"min\":" << json_number(s.hist.min) << ",\"max\":" << json_number(s.hist.max)
+     << ",\"p50\":" << json_number(histogram_quantile(s.hist, 0.50))
+     << ",\"p95\":" << json_number(histogram_quantile(s.hist, 0.95))
+     << ",\"p99\":" << json_number(histogram_quantile(s.hist, 0.99)) << "}";
+}
+
+void write_sample_value(std::ostream& os, const MetricSample& s) {
+  switch (s.kind) {
+    case MetricSample::Kind::kCounter: os << s.count; break;
+    case MetricSample::Kind::kGauge: os << json_number(s.value); break;
+    case MetricSample::Kind::kHistogram: write_histogram(os, s); break;
+  }
 }
 
 }  // namespace
 
 void write_stats_json(std::ostream& os, const RunMeta& meta,
-                      const MetricsSnapshot& snap) {
-  os << "{\n\"meta\":{\"schema_version\":1,\"design\":\"" << json_escape(meta.design)
-     << "\",\"mode\":\"" << json_escape(meta.mode) << "\",\"model\":\""
-     << json_escape(meta.model) << "\",\"options_digest\":\""
+                      const MetricsSnapshot& snap,
+                      std::span<const std::pair<std::string, std::string>> extra) {
+  os << "{\n\"meta\":{\"schema_version\":" << kStatsSchemaVersion << ",\"design\":\""
+     << json_escape(meta.design) << "\",\"mode\":\"" << json_escape(meta.mode)
+     << "\",\"model\":\"" << json_escape(meta.model) << "\",\"options_digest\":\""
      << json_escape(meta.options_digest) << "\",\"build\":\""
      << json_escape(meta.build) << "\",\"threads\":" << meta.threads
      << ",\"iterations\":" << meta.iterations << "},\n";
 
-  const auto section = [&](const char* title, MetricSample::Kind kind,
-                           bool deterministic) {
+  // Section membership is a partition: deterministic metrics split by kind,
+  // resource metrics (always nondeterministic) get their own section, and
+  // whatever nondeterminism remains is timing.
+  const auto section = [&](const char* title, auto include) {
     os << "\"" << title << "\":{";
     bool first = true;
     for (const auto& s : snap.samples) {
-      if (s.deterministic != deterministic) continue;
-      if (deterministic && s.kind != kind) continue;
+      if (!include(s)) continue;
       if (!first) os << ",";
       first = false;
       os << "\n  \"" << json_escape(s.name) << "\":";
-      switch (s.kind) {
-        case MetricSample::Kind::kCounter: os << s.count; break;
-        case MetricSample::Kind::kGauge: os << json_number(s.value); break;
-        case MetricSample::Kind::kHistogram: write_histogram(os, s); break;
-      }
+      write_sample_value(os, s);
     }
     os << "}";
   };
-  section("counters", MetricSample::Kind::kCounter, true);
+  section("counters", [](const MetricSample& s) {
+    return s.deterministic && s.kind == MetricSample::Kind::kCounter;
+  });
   os << ",\n";
-  section("gauges", MetricSample::Kind::kGauge, true);
+  section("gauges", [](const MetricSample& s) {
+    return s.deterministic && s.kind == MetricSample::Kind::kGauge;
+  });
   os << ",\n";
-  section("histograms", MetricSample::Kind::kHistogram, true);
+  section("histograms", [](const MetricSample& s) {
+    return s.deterministic && s.kind == MetricSample::Kind::kHistogram;
+  });
   os << ",\n";
-  // Nondeterministic metrics of every kind: the timing section.
-  section("timing", MetricSample::Kind::kGauge, false);
+  section("resources", [](const MetricSample& s) { return s.resource; });
+  os << ",\n";
+  section("timing",
+          [](const MetricSample& s) { return !s.deterministic && !s.resource; });
+  for (const auto& [title, json] : extra) {
+    os << ",\n\"" << json_escape(title) << "\":" << json;
+  }
   os << "\n}\n";
 }
 

@@ -20,11 +20,19 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace nw::obs {
+
+/// Version of the --stats-json layout written by write_stats_json. v2 added
+/// the "resources" section, histogram min/max tracking, and the
+/// p50/p95/p99 quantile summaries. Clients feature-detect it through the
+/// `stats_schema` field of the server's `hello` response.
+inline constexpr int kStatsSchemaVersion = 2;
 
 /// Monotone event count.
 class Counter {
@@ -54,15 +62,26 @@ class Gauge {
 
 /// Value-type histogram contents (also the snapshot representation).
 /// `bounds` are ascending inclusive upper bounds; an implicit overflow
-/// bucket makes counts.size() == bounds.size() + 1.
+/// bucket makes counts.size() == bounds.size() + 1. `min`/`max` are the
+/// exact extremes of every observed value (0 while count == 0).
 struct HistogramData {
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;
   std::uint64_t count = 0;
   double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
 };
 
-/// Fixed-bucket histogram. observe() is wait-free per bucket.
+/// Quantile estimate from bucketed data: linear interpolation inside the
+/// bucket holding the q-th observation, with the first bucket's lower edge
+/// and the overflow bucket's upper edge pinned to the exact min/max. The
+/// result is clamped to [min, max]; an empty histogram yields 0. `q` is
+/// clamped to [0, 1].
+[[nodiscard]] double histogram_quantile(const HistogramData& h, double q) noexcept;
+
+/// Fixed-bucket histogram. observe() is wait-free per bucket; min/max use
+/// a short CAS loop (contended only while the running extreme moves).
 class Histogram {
  public:
   /// `bounds` must be strictly ascending (checked).
@@ -76,6 +95,8 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  ///< valid only while count_ > 0
+  std::atomic<double> max_{0.0};
 };
 
 /// One exported metric value (plain data; what Registry::snapshot yields).
@@ -87,6 +108,7 @@ struct MetricSample {
   std::string unit;  ///< "", "s", "V", ...
   Kind kind = Kind::kCounter;
   bool deterministic = true;  ///< false = wall-time / scheduling dependent
+  bool resource = false;      ///< memory/RSS accounting ("resources" section)
 
   std::uint64_t count = 0;  ///< counter value
   double value = 0.0;       ///< gauge value
@@ -112,12 +134,12 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   Counter& counter(std::string_view name, std::string_view help,
-                   bool deterministic = true);
+                   bool deterministic = true, bool resource = false);
   Gauge& gauge(std::string_view name, std::string_view help, std::string_view unit = "",
-               bool deterministic = true);
+               bool deterministic = true, bool resource = false);
   Histogram& histogram(std::string_view name, std::string_view help,
                        std::vector<double> bounds, std::string_view unit = "",
-                       bool deterministic = true);
+                       bool deterministic = true, bool resource = false);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -125,7 +147,7 @@ class Registry {
   struct Entry;
   Entry& find_or_create(std::string_view name, std::string_view help,
                         std::string_view unit, MetricSample::Kind kind,
-                        bool deterministic, std::vector<double> bounds);
+                        bool deterministic, bool resource, std::vector<double> bounds);
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;
@@ -146,13 +168,26 @@ struct RunMeta {
 /// The compile-time build id (git describe at configure time).
 [[nodiscard]] const char* build_version() noexcept;
 
-/// Machine-readable run report. Layout (schema_version 1):
+/// The full configure-time git commit SHA ("unknown" outside a checkout).
+[[nodiscard]] const char* git_sha() noexcept;
+
+/// "Release" or "Debug" (from NDEBUG), for client feature reports and the
+/// bench run records — a Debug number must never land in a perf baseline.
+[[nodiscard]] const char* build_type() noexcept;
+
+/// Machine-readable run report. Layout (kStatsSchemaVersion = 2):
 ///   {"meta":{...},
 ///    "counters":{name:value,...},            // deterministic only
 ///    "gauges":{name:value,...},              // deterministic only
-///    "histograms":{name:{unit,bounds,counts,count,sum},...},
-///    "timing":{name:<gauge value or histogram object>,...}}  // nondeterministic
-void write_stats_json(std::ostream& os, const RunMeta& meta,
-                      const MetricsSnapshot& snap);
+///    "histograms":{name:{unit,bounds,counts,count,sum,min,max,
+///                        p50,p95,p99},...},
+///    "resources":{name:value,...},           // resource-flagged (RSS, bytes)
+///    "timing":{name:<gauge value or histogram object>,...},  // nondeterministic
+///    <extra sections, pre-rendered>}
+/// `extra` appends caller-rendered sections, e.g. the server's slow log:
+/// each pair is (section name, valid JSON value).
+void write_stats_json(
+    std::ostream& os, const RunMeta& meta, const MetricsSnapshot& snap,
+    std::span<const std::pair<std::string, std::string>> extra = {});
 
 }  // namespace nw::obs

@@ -1,0 +1,54 @@
+#include "obs/resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define NW_HAVE_GETRUSAGE 1
+#endif
+
+namespace nw::obs {
+
+namespace {
+
+/// Parse "VmRSS:     1234 kB" lines. Returns 0 when the key is absent.
+std::size_t proc_status_kb(const char* line, const char* key) noexcept {
+  const std::size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0) return 0;
+  unsigned long long kb = 0;
+  if (std::sscanf(line + key_len, " %llu", &kb) != 1) return 0;
+  return static_cast<std::size_t>(kb);
+}
+
+}  // namespace
+
+ResourceSample sample_resources() noexcept {
+  ResourceSample s;
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f)) {
+      if (const std::size_t kb = proc_status_kb(line, "VmRSS:")) {
+        s.rss_bytes = kb * 1024;
+      } else if (const std::size_t kb2 = proc_status_kb(line, "VmHWM:")) {
+        s.peak_rss_bytes = kb2 * 1024;
+      }
+      if (s.rss_bytes && s.peak_rss_bytes) break;
+    }
+    std::fclose(f);
+  }
+#ifdef NW_HAVE_GETRUSAGE
+  if (s.peak_rss_bytes == 0) {
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+      // Linux reports ru_maxrss in kB (macOS in bytes; kB is the safe floor
+      // for the platforms we build on).
+      s.peak_rss_bytes = static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+    }
+  }
+#endif
+  if (s.peak_rss_bytes < s.rss_bytes) s.peak_rss_bytes = s.rss_bytes;
+  return s;
+}
+
+}  // namespace nw::obs

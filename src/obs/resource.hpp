@@ -1,0 +1,24 @@
+// Process resource sampling for the stats JSON "resources" section.
+//
+// Linux primary path reads /proc/self/status (VmRSS / VmHWM, kB granularity);
+// the portable fallback is getrusage(RUSAGE_SELF).ru_maxrss, which only
+// yields the peak. Values are best-effort: 0 means "could not be sampled",
+// and callers export them through resource-flagged gauges so they never
+// land in a deterministic stats section.
+#pragma once
+
+#include <cstddef>
+
+namespace nw::obs {
+
+/// One sample of the process memory footprint, in bytes. Fields are 0 when
+/// the platform could not provide them.
+struct ResourceSample {
+  std::size_t rss_bytes = 0;       ///< current resident set size
+  std::size_t peak_rss_bytes = 0;  ///< high-water resident set size
+};
+
+/// Sample the current process. Never throws; unobtainable fields stay 0.
+[[nodiscard]] ResourceSample sample_resources() noexcept;
+
+}  // namespace nw::obs

@@ -58,6 +58,7 @@ const char* to_string(SpanKind k) noexcept {
     case SpanKind::kLevel: return "level";
     case SpanKind::kIteration: return "iteration";
     case SpanKind::kTask: return "task";
+    case SpanKind::kRequest: return "request";
   }
   return "?";
 }
@@ -103,6 +104,22 @@ void Tracer::set_thread_name(std::string name) {
   Buffer& buf = local_buffer();
   std::lock_guard<std::mutex> lock(buf.mutex);
   buf.thread_name = std::move(name);
+}
+
+std::size_t Tracer::buffered_bytes() {
+  std::size_t total = 0;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mutex);
+    total += sizeof(Buffer) + buf->thread_name.capacity();
+    total += buf->events.capacity() * sizeof(TraceEvent);
+    for (const TraceEvent& ev : buf->events) {
+      // Count only heap names; SSO storage is already inside sizeof above.
+      if (ev.name.capacity() > sizeof(std::string)) total += ev.name.capacity();
+    }
+  }
+  return total;
 }
 
 std::vector<TraceEvent> Tracer::events() {

@@ -34,6 +34,7 @@ enum class SpanKind : std::uint8_t {
   kLevel,      ///< one propagation level inside the propagate stage
   kIteration,  ///< one refinement pass of the analysis loop
   kTask,       ///< one executor chunk (per-thread work item)
+  kRequest,    ///< one protocol command handled by the session server
 };
 
 [[nodiscard]] const char* to_string(SpanKind k) noexcept;
@@ -78,6 +79,11 @@ class Tracer {
 
   /// Label the calling thread's track (e.g. "worker 3").
   static void set_thread_name(std::string name);
+
+  /// Approximate bytes held by the recorded-event buffers across every
+  /// thread (capacity-based, so it reflects actual allocations). Feeds the
+  /// `trace_buffer_bytes` resource gauge.
+  [[nodiscard]] static std::size_t buffered_bytes();
 };
 
 /// RAII span. Does nothing (beyond the enabled check) when tracing is off.

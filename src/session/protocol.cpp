@@ -1,11 +1,14 @@
 #include "session/protocol.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "noise/trace.hpp"
+#include "obs/tracer.hpp"
 
 namespace nw::session {
 
@@ -99,8 +102,9 @@ Json metrics_json(const obs::MetricsSnapshot& snap) {
 
 }  // namespace
 
-Protocol::Protocol(Session& session)
+Protocol::Protocol(Session& session, RequestContext* reqobs)
     : session_(session),
+      reqobs_(reqobs),
       requests_(session.registry().counter(kMetricRequests, "protocol requests handled")),
       errors_(session.registry().counter(kMetricErrors, "protocol error responses")) {}
 
@@ -113,13 +117,26 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     o.set("nets", session_.design().net_count());
     o.set("instances", session_.design().instance_count());
     o.set("epoch", static_cast<double>(session_.epoch()));
-    o.set("build", obs::build_version());
+    o.set("version", obs::build_version());
+    o.set("build", obs::build_type());
+    o.set("stats_schema", obs::kStatsSchemaVersion);
     return o;
   }
   if (cmd == "stats") {
     Json o = metrics_json(session_.metrics_snapshot());
     o.set("epoch", static_cast<double>(session_.epoch()));
     o.set("undo_depth", session_.undo_depth());
+    return o;
+  }
+  if (cmd == "slowlog") {
+    if (reqobs_ == nullptr) {
+      Json o = Json::object();
+      o.set("enabled", false);
+      o.set("entries", Json::array());
+      return o;
+    }
+    Json o = reqobs_->slowlog_json();
+    o.set("enabled", true);
     return o;
   }
 
@@ -248,9 +265,16 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
 
 std::string Protocol::handle_line(std::string_view line) {
   requests_.add();
+  const std::uint64_t req_id = reqobs_ != nullptr ? reqobs_->next_id() : 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Latency attribution: starts invalid, becomes the command name once the
+  // envelope resolves one. unknown_cmd reverts to invalid below, so metric
+  // cardinality stays bounded by the real command set.
+  std::string cmd_name = RequestContext::kInvalidCommand;
   Json id;  // null until the request supplies one
   std::string code;
   std::string message;
+  std::string response;
   try {
     if (line.size() > kMaxLineBytes) {
       throw ProtoError{"bad_request",
@@ -273,13 +297,21 @@ std::string Protocol::handle_line(std::string_view line) {
     if (cmd == nullptr || !cmd->is_string()) {
       throw ProtoError{"bad_request", "missing string field 'cmd'"};
     }
+    cmd_name = cmd->as_string();
+    // The request span encloses dispatch — and with it any analysis the
+    // command triggers on this thread, so phase spans nest inside it.
+    std::optional<obs::Span> span;
+    if (reqobs_ != nullptr && obs::trace_enabled()) {
+      span.emplace("request " + std::to_string(req_id) + ": " + cmd_name,
+                   obs::SpanKind::kRequest);
+    }
     const Json* args = req->find("args");
-    Json data = dispatch(cmd->as_string(), args != nullptr ? *args : Json{});
+    Json data = dispatch(cmd_name, args != nullptr ? *args : Json{});
     Json resp = Json::object();
     resp.set("id", std::move(id));
     resp.set("ok", true);
     resp.set("data", std::move(data));
-    return resp.dump();
+    response = resp.dump();
   } catch (const ProtoError& e) {
     code = e.code;
     message = e.message;
@@ -293,15 +325,25 @@ std::string Protocol::handle_line(std::string_view line) {
     code = "internal";
     message = e.what();
   }
-  errors_.add();
-  Json err = Json::object();
-  err.set("code", code);
-  err.set("message", message);
-  Json resp = Json::object();
-  resp.set("id", std::move(id));
-  resp.set("ok", false);
-  resp.set("error", std::move(err));
-  return resp.dump();
+  if (response.empty()) {
+    errors_.add();
+    if (code == "unknown_cmd") cmd_name = RequestContext::kInvalidCommand;
+    Json err = Json::object();
+    err.set("code", code);
+    err.set("message", message);
+    Json resp = Json::object();
+    resp.set("id", std::move(id));
+    resp.set("ok", false);
+    resp.set("error", std::move(err));
+    response = resp.dump();
+  }
+  if (reqobs_ != nullptr) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    reqobs_->observe(req_id, cmd_name, ms, code.empty());
+  }
+  return response;
 }
 
 }  // namespace nw::session

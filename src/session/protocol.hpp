@@ -26,6 +26,7 @@
 
 #include "obs/metrics.hpp"
 #include "session/json.hpp"
+#include "session/reqobs.hpp"
 #include "session/session.hpp"
 
 namespace nw::session {
@@ -41,8 +42,11 @@ inline constexpr std::size_t kMaxLineBytes = 1u << 20;
 class Protocol {
  public:
   /// Registers its request counters into the session's registry, so one
-  /// stats snapshot covers engine and transport.
-  explicit Protocol(Session& session);
+  /// stats snapshot covers engine and transport. With a RequestContext the
+  /// protocol additionally assigns request ids, opens request trace spans,
+  /// feeds per-command latency histograms, and maintains the slow log
+  /// (nullptr keeps the bare transport — embedded/test use).
+  explicit Protocol(Session& session, RequestContext* reqobs = nullptr);
 
   /// Handle one request line; returns exactly one response line (without
   /// the trailing newline). Never throws on client input.
@@ -56,6 +60,7 @@ class Protocol {
   [[nodiscard]] Json dispatch(const std::string& cmd, const Json& args);
 
   Session& session_;
+  RequestContext* reqobs_;  ///< not owned; may be nullptr
   obs::Counter& requests_;
   obs::Counter& errors_;
 };

@@ -1,0 +1,72 @@
+#include "session/reqobs.hpp"
+
+#include "obs/log.hpp"
+
+namespace nw::session {
+
+void SlowLog::record(SlowRequest r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (capacity_ == 0) return;
+  if (entries_.size() == capacity_) entries_.pop_front();
+  entries_.push_back(std::move(r));
+}
+
+std::vector<SlowRequest> SlowLog::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+std::uint64_t SlowLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+namespace {
+
+/// Fixed latency buckets [ms]: sub-ms cache hits through multi-second full
+/// analyses. The histogram's exact min/max carry the tails beyond them.
+const std::vector<double> kLatencyBoundsMs = {0.05, 0.1, 0.25, 0.5,  1.0,   2.5,  5.0,
+                                              10.0, 25.0, 50.0, 100.0, 250.0, 1000.0};
+
+}  // namespace
+
+RequestContext::RequestContext(obs::Registry& registry, double slow_ms,
+                               std::size_t slowlog_capacity)
+    : registry_(registry), slow_ms_(slow_ms), slow_log_(slowlog_capacity) {}
+
+std::uint64_t RequestContext::next_id() noexcept {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RequestContext::observe(std::uint64_t id, const std::string& cmd, double ms,
+                             bool ok) {
+  registry_
+      .histogram(std::string(kLatencyPrefix) + cmd, "request latency",
+                 kLatencyBoundsMs, "ms", /*deterministic=*/false)
+      .observe(ms);
+  if (ms < slow_ms_) return;
+  slow_log_.record(SlowRequest{id, cmd, ms, ok});
+  NW_LOG(kWarn) << "slow request " << id << " (" << cmd << "): " << ms
+                << " ms >= " << slow_ms_ << " ms threshold";
+}
+
+Json RequestContext::slowlog_json() const {
+  Json list = Json::array();
+  for (const SlowRequest& r : slow_log_.entries()) {
+    Json e = Json::object();
+    e.set("id", static_cast<double>(r.id));
+    e.set("cmd", r.cmd);
+    e.set("ms", r.ms);
+    e.set("ok", r.ok);
+    list.push_back(std::move(e));
+  }
+  Json o = Json::object();
+  o.set("threshold_ms", slow_ms_);
+  o.set("capacity", slow_log_.capacity());
+  o.set("recorded", static_cast<double>(slow_log_.total_recorded()));
+  o.set("entries", std::move(list));
+  return o;
+}
+
+}  // namespace nw::session

@@ -12,8 +12,9 @@
 
 namespace nw::session {
 
-std::size_t serve(Session& session, std::istream& in, std::ostream& out) {
-  Protocol proto(session);
+std::size_t serve(Session& session, std::istream& in, std::ostream& out,
+                  RequestContext* reqobs) {
+  Protocol proto(session, reqobs);
   std::size_t handled = 0;
   std::string line;
   while (std::getline(in, line)) {

@@ -10,6 +10,7 @@
 
 #include <iosfwd>
 
+#include "session/reqobs.hpp"
 #include "session/session.hpp"
 
 namespace nw::session {
@@ -17,7 +18,10 @@ namespace nw::session {
 /// Read JSONL requests from `in` until EOF, writing exactly one JSON
 /// response line per input line to `out` (flushed per line, so a pipe
 /// client can converse synchronously). Returns the number of requests.
-std::size_t serve(Session& session, std::istream& in, std::ostream& out);
+/// With a RequestContext every command gets a request id, a trace span, a
+/// latency-histogram sample, and slow-log coverage (see session/reqobs.hpp).
+std::size_t serve(Session& session, std::istream& in, std::ostream& out,
+                  RequestContext* reqobs = nullptr);
 
 /// Interactive REPL: whitespace-tokenized commands, human-readable
 /// answers, `help` for the command list, `quit` (or EOF) to leave.

@@ -5,6 +5,9 @@
 #include <optional>
 #include <utility>
 
+#include "obs/resource.hpp"
+#include "obs/tracer.hpp"
+
 namespace nw::session {
 
 namespace {
@@ -67,6 +70,18 @@ Session::Session(net::Design design, para::Parasitics para, SessionConfig config
   if (cfg_.cache_capacity == 0) cfg_.cache_capacity = 1;
   reg_.gauge(kMetricEpoch, "current design-state epoch", kUnit);
   reg_.gauge(kMetricCachedResults, "results held in the cache", kUnit);
+  // Registered up front so the "resources" section has a fixed shape even
+  // before the first snapshot refresh.
+  reg_.gauge(kMetricRssBytes, "current resident set size", "B",
+             /*deterministic=*/false, /*resource=*/true);
+  reg_.gauge(kMetricPeakRssBytes, "peak resident set size", "B",
+             /*deterministic=*/false, /*resource=*/true);
+  reg_.gauge(kMetricCacheBytes, "estimated result-cache footprint", "B",
+             /*deterministic=*/false, /*resource=*/true);
+  reg_.gauge(kMetricJournalBytes, "estimated undo-journal footprint", "B",
+             /*deterministic=*/false, /*resource=*/true);
+  reg_.gauge(kMetricTraceBufferBytes, "trace event buffers across threads", "B",
+             /*deterministic=*/false, /*resource=*/true);
 }
 
 // ---- name resolution ------------------------------------------------------
@@ -410,6 +425,55 @@ void Session::ensure_current() {
 }
 
 // ---- observability --------------------------------------------------------
+
+namespace {
+
+std::size_t sta_bytes(const sta::Result& r) noexcept {
+  return sizeof(sta::Result) + r.pins.capacity() * sizeof(sta::PinTiming) +
+         r.nets.capacity() * sizeof(sta::NetTiming) +
+         r.endpoints.capacity() * sizeof(sta::Endpoint) +
+         r.clock_arrivals.capacity() * sizeof(Interval);
+}
+
+}  // namespace
+
+void Session::refresh_resource_gauges() {
+  const obs::ResourceSample rs = obs::sample_resources();
+  reg_.gauge(kMetricRssBytes, "", "B", false, true)
+      .set(static_cast<double>(rs.rss_bytes));
+  reg_.gauge(kMetricPeakRssBytes, "", "B", false, true)
+      .set(static_cast<double>(rs.peak_rss_bytes));
+
+  // Cache footprint: per-slot retained bytes. Results shared between slots
+  // (or with base_result_) are counted once per holder — an upper-bound
+  // estimate, cheap and stable.
+  std::size_t cache = cache_.capacity() * sizeof(CacheEntry);
+  for (const CacheEntry& e : cache_) {
+    cache += e.key.capacity();
+    if (e.result) cache += noise::memory_bytes(*e.result);
+    if (e.sta) cache += sta_bytes(*e.sta);
+  }
+  reg_.gauge(kMetricCacheBytes, "", "B", false, true)
+      .set(static_cast<double>(cache));
+
+  // Journal footprint: entry storage + captured labels and dirty lists.
+  // std::function capture state is opaque; sizeof(UndoEntry) covers its
+  // inline buffer, so small captures are exact and large ones undercounted.
+  std::size_t journal = journal_.size() * sizeof(UndoEntry);
+  for (const UndoEntry& e : journal_) {
+    journal += e.what.capacity() + e.dirty.capacity() * sizeof(NetId);
+  }
+  reg_.gauge(kMetricJournalBytes, "", "B", false, true)
+      .set(static_cast<double>(journal));
+
+  reg_.gauge(kMetricTraceBufferBytes, "", "B", false, true)
+      .set(static_cast<double>(obs::Tracer::buffered_bytes()));
+}
+
+obs::MetricsSnapshot Session::metrics_snapshot() {
+  refresh_resource_gauges();
+  return reg_.snapshot();
+}
 
 obs::RunMeta Session::meta() const {
   obs::RunMeta m;

@@ -135,7 +135,9 @@ class Session {
   /// here, and the transport layer registers its request counters into the
   /// same registry so one snapshot covers the whole server.
   [[nodiscard]] obs::Registry& registry() noexcept { return reg_; }
-  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const { return reg_.snapshot(); }
+  /// Snapshot with the resource gauges (RSS, cache/journal/trace-buffer
+  /// bytes) refreshed first — they are sampled, not event-driven.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot();
   /// Identity block for the session stats JSON export.
   [[nodiscard]] obs::RunMeta meta() const;
 
@@ -155,6 +157,13 @@ class Session {
   static constexpr const char* kMetricDirtyNets = "session_dirty_nets";
   static constexpr const char* kMetricEpoch = "session_epoch";
   static constexpr const char* kMetricCachedResults = "session_cached_results";
+  // Resource gauges ("resources" section of the stats JSON), refreshed by
+  // metrics_snapshot().
+  static constexpr const char* kMetricRssBytes = "rss_bytes";
+  static constexpr const char* kMetricPeakRssBytes = "peak_rss_bytes";
+  static constexpr const char* kMetricCacheBytes = "session_cache_bytes";
+  static constexpr const char* kMetricJournalBytes = "session_journal_bytes";
+  static constexpr const char* kMetricTraceBufferBytes = "trace_buffer_bytes";
 
  private:
   struct UndoEntry {
@@ -182,6 +191,10 @@ class Session {
 
   [[nodiscard]] const CacheEntry* cache_find(const std::string& key) const;
   void cache_insert(CacheEntry entry);
+
+  /// Re-sample the resource gauges (process RSS + estimated live bytes of
+  /// the result cache, undo journal, and trace buffers).
+  void refresh_resource_gauges();
 
   net::Design design_;
   para::Parasitics para_;

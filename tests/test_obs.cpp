@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "noise/telemetry.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 #include "obs/tracer.hpp"
 #include "sta/sta.hpp"
 #include "util/units.hpp"
@@ -179,6 +181,67 @@ TEST(Metrics, HistogramBadBoundsThrow) {
   EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
 }
 
+TEST(Metrics, HistogramTracksExactExtremes) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  const obs::HistogramData empty = h.data();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min, 0.0);
+  EXPECT_EQ(empty.max, 0.0);
+
+  h.observe(1.5);
+  h.observe(0.5);
+  h.observe(8.0);  // overflow bucket
+  h.observe(3.0);
+  const obs::HistogramData d = h.data();
+  EXPECT_DOUBLE_EQ(d.min, 0.5);
+  EXPECT_DOUBLE_EQ(d.max, 8.0);
+  EXPECT_EQ(d.count, 4u);
+}
+
+TEST(Metrics, HistogramQuantilesMonotoneAndPinned) {
+  obs::HistogramData empty;
+  EXPECT_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(8.0);
+  const obs::HistogramData d = h.data();
+  // Outer edges are pinned to the exact extremes; everything in between
+  // is interpolated within its bucket, monotone, and clamped to [min, max].
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(d, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(d, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(d, -3.0), 0.5);  // q clamps
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(d, 7.0), 8.0);
+  const double p50 = obs::histogram_quantile(d, 0.50);
+  const double p95 = obs::histogram_quantile(d, 0.95);
+  const double p99 = obs::histogram_quantile(d, 0.99);
+  EXPECT_GE(p50, d.min);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, d.max);
+
+  // A single observation collapses the whole summary onto that value.
+  obs::Histogram one({1.0, 2.0});
+  one.observe(1.25);
+  for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(obs::histogram_quantile(one.data(), q), 1.25);
+  }
+}
+
+TEST(Metrics, ResourceMetricsAreForcedNondeterministic) {
+  obs::Registry reg;
+  // resource = true overrides deterministic = true: RSS and byte gauges can
+  // never silently join the bit-identical sections.
+  reg.gauge("rss_bytes", "", "B", /*deterministic=*/true, /*resource=*/true)
+      .set(4096.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_TRUE(snap.samples[0].resource);
+  EXPECT_FALSE(snap.samples[0].deterministic);
+}
+
 TEST(Metrics, StatsJsonParsesAndSeparatesTiming) {
   obs::Registry reg;
   reg.counter("work_items", "").add(7);
@@ -199,7 +262,7 @@ TEST(Metrics, StatsJsonParsesAndSeparatesTiming) {
   obs::write_stats_json(os, meta, reg.snapshot());
   const std::string json = os.str();
   EXPECT_TRUE(JsonChecker(json).parse()) << json;
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(json.find("\"d\\\"quoted\\\"\""), std::string::npos);
   // The nondeterministic gauge lands in "timing", not in "gauges".
   const auto gauges_at = json.find("\"gauges\"");
@@ -209,6 +272,64 @@ TEST(Metrics, StatsJsonParsesAndSeparatesTiming) {
   ASSERT_NE(timing_at, std::string::npos);
   ASSERT_NE(wall_at, std::string::npos);
   EXPECT_GT(wall_at, timing_at);
+  // v2: histograms carry the exact extremes and the quantile summary.
+  for (const char* key : {"\"min\"", "\"max\"", "\"p50\"", "\"p95\"", "\"p99\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Metrics, StatsJsonV2ResourcesAndExtraSections) {
+  obs::Registry reg;
+  reg.counter("work_items", "").add(7);
+  reg.gauge("rss_bytes", "", "B", /*deterministic=*/false, /*resource=*/true)
+      .set(4096.0);
+  reg.gauge("wall_seconds", "", "s", /*deterministic=*/false).set(0.25);
+
+  obs::RunMeta meta;
+  meta.design = "d";
+  meta.mode = "noise-windows";
+  meta.model = "two-pi";
+  meta.options_digest = "abc123";
+  meta.build = obs::build_version();
+
+  const std::pair<std::string, std::string> extra[] = {
+      {"slowlog", R"({"threshold_ms":5,"entries":[]})"},
+      {"bench", R"({"record_version":1})"}};
+  std::ostringstream os;
+  obs::write_stats_json(os, meta, reg.snapshot(), extra);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).parse()) << json;
+
+  // Resource gauges get their own section, after gauges and before timing;
+  // they appear in neither of the other two.
+  const auto resources_at = json.find("\"resources\"");
+  const auto timing_at = json.find("\"timing\"");
+  const auto rss_at = json.find("\"rss_bytes\":4096");
+  ASSERT_NE(resources_at, std::string::npos);
+  ASSERT_NE(rss_at, std::string::npos);
+  EXPECT_GT(rss_at, resources_at);
+  EXPECT_LT(rss_at, timing_at);
+
+  // Caller-rendered extra sections append verbatim, in order, at the end.
+  const auto slowlog_at = json.find("\"slowlog\":{\"threshold_ms\":5");
+  const auto bench_at = json.find("\"bench\":{\"record_version\":1}");
+  ASSERT_NE(slowlog_at, std::string::npos);
+  ASSERT_NE(bench_at, std::string::npos);
+  EXPECT_GT(slowlog_at, timing_at);
+  EXPECT_GT(bench_at, slowlog_at);
+}
+
+// ---- resource sampler -------------------------------------------------------
+
+TEST(Resources, SamplerSeesTheLiveProcess) {
+  const obs::ResourceSample s = obs::sample_resources();
+#if defined(__linux__)
+  // /proc/self/status is authoritative here: a running test binary has
+  // resident pages, and the high-water mark can only be at least that.
+  EXPECT_GT(s.rss_bytes, 0u);
+  EXPECT_GT(s.peak_rss_bytes, 0u);
+#endif
+  EXPECT_GE(s.peak_rss_bytes, s.rss_bytes);
 }
 
 // ---- analyzer metrics -------------------------------------------------------
@@ -237,6 +358,8 @@ void expect_metrics_identical(const obs::MetricsSnapshot& a,
     EXPECT_EQ(da[i].hist.counts, db[i].hist.counts);
     EXPECT_EQ(da[i].hist.count, db[i].hist.count);
     EXPECT_EQ(da[i].hist.sum, db[i].hist.sum);
+    EXPECT_EQ(da[i].hist.min, db[i].hist.min);
+    EXPECT_EQ(da[i].hist.max, db[i].hist.max);
   }
 }
 
@@ -409,6 +532,20 @@ TEST(TraceEvents, DisabledTracerRecordsNothing) {
   EXPECT_TRUE(obs::Tracer::events().empty());
 }
 
+TEST(TraceEvents, BufferedBytesAccountForRecordedSpans) {
+  obs::Tracer::clear();
+  obs::Tracer::enable();
+  for (int i = 0; i < 64; ++i) {
+    const obs::Span s("buffered-bytes-probe", obs::SpanKind::kRequest);
+  }
+  obs::Tracer::disable();
+  // The gauge is an estimate of live buffer memory, so it must at least
+  // cover the recorded events themselves.
+  EXPECT_GE(obs::Tracer::buffered_bytes(), 64 * sizeof(obs::TraceEvent));
+  EXPECT_EQ(obs::Tracer::events().size(), 64u);
+  obs::Tracer::clear();
+}
+
 // ---- logger -----------------------------------------------------------------
 
 /// Installs a capture sink and restores defaults on scope exit.
@@ -463,6 +600,49 @@ TEST(Log, RateLimitsHotSites) {
   }
   EXPECT_EQ(notes, 2u);
   EXPECT_NE(text.find("(63 similar suppressed)"), std::string::npos);
+}
+
+TEST(Log, ConcurrentHotSiteExactAdmissionAndNoInterleaving) {
+  CaptureLog capture(obs::LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    // One lambda expression = one NW_LOG call site = one shared LogSite;
+    // all 400 hits contend on the same atomic admission counter.
+    workers.emplace_back([t] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        NW_LOG(kInfo) << "spin t" << t << " i" << i;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const std::string text = capture.text();
+  std::vector<std::string> lines;
+  for (std::size_t at = 0; at < text.size();) {
+    const std::size_t nl = text.find('\n', at);
+    ASSERT_NE(nl, std::string::npos) << "sink must end every line";
+    lines.push_back(text.substr(at, nl - at));
+    at = nl + 1;
+  }
+  // Admission is a pure function of the hit index n, so the count is exact
+  // no matter how the threads interleave: n < 8 always logs (8 lines), then
+  // n = 8 + 64k for k = 0..6 inside 400 hits (7 more).
+  EXPECT_EQ(lines.size(), 15u);
+  std::size_t notes = 0;
+  for (const std::string& line : lines) {
+    SCOPED_TRACE(line);
+    // Flushed under one mutex: every line is exactly one whole message.
+    EXPECT_EQ(line.rfind("[nw:info] spin t", 0), 0u);
+    EXPECT_EQ(line.find("[nw:info]", 1), std::string::npos);
+    EXPECT_EQ(line.find("spin", line.find("spin") + 1), std::string::npos);
+    notes += line.find("(63 similar suppressed)") != std::string::npos;
+  }
+  // The first periodic admission (n = 8) has nothing suppressed before it;
+  // the other six each report a full 63-hit gap.
+  EXPECT_EQ(notes, 6u);
 }
 
 }  // namespace

@@ -325,6 +325,30 @@ TEST(Session, TraceAndRequireValidation) {
   if (!tr.path.empty()) EXPECT_EQ(tr.path.front().net, w1);
 }
 
+TEST(Session, ResourceGaugesTrackCacheAndJournal) {
+  Session s = make_session();
+  (void)s.result();  // populate the result cache
+  s.scale_net_parasitics("w1", 1.5, 1.0);  // leave one journal entry live
+
+  const obs::MetricsSnapshot snap = s.metrics_snapshot();
+  for (const char* name : {Session::kMetricRssBytes, Session::kMetricPeakRssBytes,
+                           Session::kMetricCacheBytes, Session::kMetricJournalBytes}) {
+    SCOPED_TRACE(name);
+    const obs::MetricSample* g = snap.find(name);
+    ASSERT_NE(g, nullptr);
+    EXPECT_TRUE(g->resource);       // lands in the "resources" section
+    EXPECT_FALSE(g->deterministic); // never in the bit-identical sections
+    EXPECT_GT(g->value, 0.0);
+  }
+  EXPECT_GE(snap.find(Session::kMetricPeakRssBytes)->value,
+            snap.find(Session::kMetricRssBytes)->value);
+
+  // Undoing the edit empties the journal; the gauge follows on re-snapshot.
+  ASSERT_TRUE(s.undo());
+  const obs::MetricsSnapshot after = s.metrics_snapshot();
+  EXPECT_EQ(after.find(Session::kMetricJournalBytes)->value, 0.0);
+}
+
 TEST(Session, MismatchedParasiticsRejected) {
   gen::Generated g = make_demo();
   para::Parasitics wrong(g.design.net_count() + 5);

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Perf-regression bookkeeping over bench run records.
+
+Consumes the stats-JSON run records the benchmarks export via NW_STATS_JSON
+(schema v2 with a "bench" section: git SHA, timestamp, build type, peak RSS),
+appends one history entry per record to BENCH_history.json, and compares the
+records against a committed BENCH_baseline.json with per-metric tolerance.
+
+    # append records to the history and compare against the baseline
+    bench_history.py --history BENCH_history.json --baseline BENCH_baseline.json \
+        runtime_stats.json session_stats.json
+
+    # same, but exit nonzero on any regression beyond tolerance
+    bench_history.py --history ... --baseline ... --enforce records...
+
+    # (re)write the baseline from the given records
+    bench_history.py --write-baseline BENCH_baseline.json records...
+
+Comparison is lower-is-better for every tracked metric (wall seconds and
+bytes). A metric regresses when latest > baseline * (1 + tolerance); the
+default tolerance is deliberately loose (50%) because CI machines are noisy —
+the baseline file can tighten or loosen individual metrics via "tolerances".
+Without --enforce the comparison is advisory: differences are reported and
+the exit code stays 0 (the CI default, so a noisy runner cannot block a PR).
+Debug-build records are refused: a Debug number must never land in a perf
+baseline or history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.50
+HISTORY_LIMIT = 200  # oldest entries beyond this fall off
+
+# Timing metrics tracked when present (plus every request_ms_* p95).
+TIMING_KEYS = (
+    "total_seconds",
+    "phase_estimate_seconds",
+    "phase_propagate_seconds",
+    "phase_endpoints_seconds",
+)
+RESOURCE_KEYS = ("peak_rss_bytes", "result_bytes", "session_cache_bytes")
+
+
+def fail(msg: str) -> None:
+    print(f"bench_history: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
+def is_num(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def key_metrics(record: dict) -> dict:
+    """Extract the lower-is-better scalar metrics tracked across runs."""
+    out = {}
+    timing = record.get("timing", {})
+    for k in TIMING_KEYS:
+        if is_num(timing.get(k)) and timing[k] > 0:
+            out[k] = timing[k]
+    for k, v in sorted(timing.items()):
+        if k.startswith("request_ms_") and isinstance(v, dict) and v.get("count"):
+            if is_num(v.get("p95")):
+                out[f"{k}_p95"] = v["p95"]
+    resources = record.get("resources", {})
+    for k in RESOURCE_KEYS:
+        if is_num(resources.get(k)) and resources[k] > 0:
+            out[k] = resources[k]
+    bench = record.get("bench", {})
+    if is_num(bench.get("peak_rss_bytes")) and bench["peak_rss_bytes"] > 0:
+        out.setdefault("peak_rss_bytes", bench["peak_rss_bytes"])
+    return out
+
+
+def history_entry(record: dict, source: str) -> dict:
+    bench = record.get("bench", {})
+    meta = record.get("meta", {})
+    if bench.get("build_type") == "Debug":
+        fail(f"{source}: refusing a Debug-build record (perf numbers are meaningless)")
+    return {
+        "source": source,
+        "design": meta.get("design", "?"),
+        "git_sha": bench.get("git_sha", "unknown"),
+        "git_describe": bench.get("git_describe", meta.get("build", "unknown")),
+        "build_type": bench.get("build_type", "unknown"),
+        "timestamp_utc": bench.get("timestamp_utc", "unknown"),
+        "unix_time": bench.get("unix_time", 0),
+        "metrics": key_metrics(record),
+    }
+
+
+def append_history(path: str, entries: list) -> None:
+    history = {"version": 1, "entries": []}
+    try:
+        with open(path, encoding="utf-8") as f:
+            history = json.load(f)
+    except FileNotFoundError:
+        pass
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read history {path}: {e}")
+    if not isinstance(history, dict) or not isinstance(history.get("entries"), list):
+        fail(f"history {path} is not a {{version, entries}} object")
+    history["entries"].extend(entries)
+    history["entries"] = history["entries"][-HISTORY_LIMIT:]
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(history, f, indent=1)
+        f.write("\n")
+    print(f"bench_history: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
+          f"appended to {path} ({len(history['entries'])} total)")
+
+
+def compare(entry: dict, baseline: dict, enforce: bool) -> bool:
+    """Report deltas vs the baseline; True when a regression exceeds tolerance."""
+    base_metrics = baseline.get("metrics", {})
+    tolerances = baseline.get("tolerances", {})
+    default_tol = baseline.get("default_tolerance", DEFAULT_TOLERANCE)
+    regressed = False
+    for name, base in sorted(base_metrics.items()):
+        if not is_num(base) or base <= 0:
+            continue
+        latest = entry["metrics"].get(name)
+        if latest is None:
+            print(f"  {name}: missing from latest record (baseline {base:g})")
+            continue
+        tol = tolerances.get(name, default_tol)
+        ratio = latest / base
+        verdict = "ok"
+        if ratio > 1 + tol:
+            verdict = "REGRESSION" if enforce else "regression (advisory)"
+            regressed = True
+        elif ratio < 1 - tol:
+            verdict = "improved"
+        print(f"  {name}: {latest:g} vs baseline {base:g} "
+              f"({(ratio - 1) * 100:+.1f}%, tolerance ±{tol * 100:.0f}%) {verdict}")
+    return regressed
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("records", nargs="+", help="stats-JSON run records to process")
+    ap.add_argument("--history", help="BENCH_history.json to append entries to")
+    ap.add_argument("--baseline", help="BENCH_baseline.json to compare against")
+    ap.add_argument("--write-baseline", metavar="PATH",
+                    help="write a fresh baseline from the given records and exit")
+    ap.add_argument("--enforce", action="store_true",
+                    help="exit nonzero when a metric regresses beyond tolerance "
+                         "(default: advisory)")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help=f"override the default relative tolerance "
+                         f"(default {DEFAULT_TOLERANCE})")
+    args = ap.parse_args()
+
+    entries = [history_entry(load_json(p), p) for p in args.records]
+    for e in entries:
+        if not e["metrics"]:
+            fail(f"{e['source']}: no tracked metrics found "
+                 f"(is this a schema v2 record with timing/resources sections?)")
+
+    if args.write_baseline:
+        merged = {}
+        for e in entries:
+            merged.update(e["metrics"])
+        baseline = {
+            "version": 1,
+            "git_sha": entries[0]["git_sha"],
+            "timestamp_utc": entries[0]["timestamp_utc"],
+            "default_tolerance": args.tolerance or DEFAULT_TOLERANCE,
+            "tolerances": {},
+            "metrics": merged,
+        }
+        with open(args.write_baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=1)
+            f.write("\n")
+        print(f"bench_history: baseline with {len(merged)} metrics "
+              f"written to {args.write_baseline}")
+        return 0
+
+    if args.history:
+        append_history(args.history, entries)
+
+    regressed = False
+    if args.baseline:
+        baseline = load_json(args.baseline)
+        if args.tolerance is not None:
+            baseline["default_tolerance"] = args.tolerance
+        merged = {"metrics": {}}
+        for e in entries:
+            merged["metrics"].update(e["metrics"])
+        print(f"bench_history: comparing against {args.baseline} "
+              f"(baseline sha {baseline.get('git_sha', '?')[:12]})")
+        regressed = compare(merged, baseline, args.enforce)
+        if regressed and not args.enforce:
+            print("bench_history: regressions are advisory (no --enforce); exit 0")
+
+    if regressed and args.enforce:
+        print("bench_history: regression beyond tolerance (enforce mode)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

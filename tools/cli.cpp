@@ -40,6 +40,7 @@ struct Args {
   std::string trace_path;       ///< --trace-out: Chrome trace-event JSON
   std::string stats_json_path;  ///< --stats-json: machine-readable run report
   noise::Options noise_opt;
+  double slow_ms = 100.0;  ///< --slow-ms: serve slow-request threshold
   bool delay_impact = false;
   bool have_mode = false;
   bool stats = false;
@@ -63,7 +64,10 @@ const char kUsage[] =
     "  --stats-json <file> write the machine-readable run report (metrics JSON);\n"
     "                      under serve/shell: the per-session metrics at exit\n"
     "  --trace-out <file>  write a Chrome trace-event JSON (chrome://tracing,\n"
-    "                      Perfetto) with per-thread span tracks\n"
+    "                      Perfetto) with per-thread span tracks; under serve\n"
+    "                      each request gets its own span on the server track\n"
+    "  --slow-ms <ms>      serve: requests slower than this land in the slow\n"
+    "                      log (`slowlog` command, stats JSON; default 100)\n"
     "  --verbose           more diagnostics on stderr (repeat for debug)\n"
     "  --report <file>     write the full report to a file (default: stdout)\n"
     "  --delay-impact      append the crosstalk delay-impact section\n";
@@ -170,6 +174,10 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
       const auto v = need_value();
       if (!v) return std::nullopt;
       a.trace_path = *v;
+    } else if (arg == "--slow-ms") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.slow_ms = nw::parse_double(*v);
     } else if (arg == "--verbose" || arg == "-v") {
       ++a.verbose;
     } else if (arg == "--delay-impact") {
@@ -302,10 +310,26 @@ int run_session(const Args& a, std::istream& in, std::ostream& out) {
   cfg.sta = sta_opt;
   session::Session session(std::move(*design), std::move(*parasitics), cfg);
 
+  if (!a.trace_path.empty()) {
+    obs::Tracer::clear();
+    obs::Tracer::set_thread_name("server");
+    obs::Tracer::enable();
+  }
+
+  session::RequestContext reqobs(session.registry(), a.slow_ms);
   if (a.command == "serve") {
-    session::serve(session, in, out);
+    session::serve(session, in, out, &reqobs);
   } else {
     session::shell(session, in, out);
+  }
+
+  if (!a.trace_path.empty()) {
+    obs::Tracer::disable();
+    std::ofstream tf(a.trace_path);
+    if (!tf) throw std::runtime_error("cannot write trace '" + a.trace_path + "'");
+    obs::Tracer::write_chrome(tf);
+    require_written(tf, "trace", a.trace_path);
+    NW_LOG(kInfo) << "session trace written to " << a.trace_path;
   }
 
   if (!a.stats_json_path.empty()) {
@@ -313,7 +337,9 @@ int run_session(const Args& a, std::istream& in, std::ostream& out) {
     if (!sf) {
       throw std::runtime_error("cannot write stats '" + a.stats_json_path + "'");
     }
-    obs::write_stats_json(sf, session.meta(), session.metrics_snapshot());
+    const std::pair<std::string, std::string> extra[] = {
+        {"slowlog", reqobs.slowlog_json().dump()}};
+    obs::write_stats_json(sf, session.meta(), session.metrics_snapshot(), extra);
     require_written(sf, "stats", a.stats_json_path);
     NW_LOG(kInfo) << "session stats written to " << a.stats_json_path;
   }
@@ -345,12 +371,11 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
 
   if (a.command != "analyze") {
     try {
-      if (!a.trace_path.empty()) {
-        throw std::runtime_error("--trace-out is not supported under serve/shell");
-      }
+      if (!a.trace_path.empty()) require_writable(a.trace_path, "trace");
       if (!a.stats_json_path.empty()) require_writable(a.stats_json_path, "stats");
       return run_session(a, in, out);
     } catch (const std::exception& e) {
+      if (!a.trace_path.empty()) obs::Tracer::disable();
       err << "noisewin: " << e.what() << "\n";
       return 1;
     }

@@ -94,6 +94,8 @@ def main() -> None:
     ap.add_argument("--bin", default="./build/tools/noisewin", help="noisewin binary")
     ap.add_argument("--demo", default="bus", help="demo design (bus|logic|pipeline)")
     ap.add_argument("--stats-json", default="", help="per-session stats artifact")
+    ap.add_argument("--trace-out", default="", help="server-side Chrome trace artifact")
+    ap.add_argument("--slow-ms", default="", help="slow-request threshold passed to serve")
     ap.add_argument("--net", default="w1", help="net to edit in the scenario")
     ap.add_argument("--coupled", default="w2", help="net coupled to --net")
     args = ap.parse_args()
@@ -101,10 +103,19 @@ def main() -> None:
     argv = [args.bin, "serve", "--demo", args.demo]
     if args.stats_json:
         argv += ["--stats-json", args.stats_json]
+    if args.trace_out:
+        argv += ["--trace-out", args.trace_out]
+    if args.slow_ms:
+        argv += ["--slow-ms", args.slow_ms]
 
     with NwClient(argv) as c:
         hello = c.request("hello")
         check(hello["protocol"] == 1, f"protocol v1, design '{hello['design']}'")
+        check(
+            hello.get("stats_schema") == 2,
+            f"server {hello.get('version', '?')} ({hello.get('build', '?')}) "
+            f"speaks stats schema v{hello.get('stats_schema')}",
+        )
 
         baseline = c.request("violations", limit=5)
         noise_before = c.request("net_noise", net=args.net)
@@ -144,6 +155,26 @@ def main() -> None:
             check(False, "unknown net must be rejected")
         except ProtocolError as e:
             check(e.code == "not_found", f"unknown net -> {e.code}")
+
+        # Request-scoped observability: every command above was timed and
+        # id-stamped; with a low --slow-ms threshold they land in the slow log.
+        slow = c.request("slowlog")
+        check(
+            slow["enabled"] and isinstance(slow["entries"], list),
+            f"slowlog answers ({slow.get('recorded', 0)} recorded, "
+            f"threshold {slow.get('threshold_ms', '?')} ms)",
+        )
+        if args.slow_ms and float(args.slow_ms) <= 0.01:
+            check(slow["recorded"] > 0, "low threshold caught slow requests")
+
+        # Leave one edit applied so the exported stats show a live undo
+        # journal (session_journal_bytes > 0 in the resources section).
+        parting = c.request(
+            "set_coupling_cap", net_a=args.net, net_b=args.coupled, cap=60e-15
+        )
+        check(parting["epoch"] > 0, f"parting edit applied (epoch {parting['epoch']})")
+        reanalyzed = c.request("net_noise", net=args.net)
+        check("total_peak" in reanalyzed, "post-edit query re-analyzed incrementally")
 
         stats = c.request("stats")
         counters = stats["counters"]

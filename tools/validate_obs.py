@@ -1,23 +1,36 @@
 #!/usr/bin/env python3
 """Validate noisewin's observability artifacts (CI gate).
 
-Usage: validate_obs.py --trace trace.json --stats stats.json
+Usage:
+    validate_obs.py --trace trace.json --stats stats.json
+    validate_obs.py --server-trace strace.json --server-stats sstats.json
+    validate_obs.py --bench-record record.json
 
 Checks the Chrome trace-event JSON (parses, per-thread spans well-nested,
-required keys present) and the stats JSON (schema v1 meta, required
-metrics, histogram bucket counts consistent). Exits non-zero with a
-message on the first failure.
+required keys present) and the stats JSON (schema v2 meta, required
+metrics, histogram bucket counts + quantile summaries consistent,
+"resources" section present). Server-mode artifacts additionally need the
+request track: request spans on the "server" thread enclosing analyzer
+phase spans, per-command latency histograms, and the slow log. Bench run
+records need the "bench" section (git SHA, timestamp, build type, peak
+RSS). Exits non-zero with a message on the first failure — schema
+violations gate CI; perf comparison (tools/bench_history.py) stays
+advisory.
 """
 
 import argparse
 import json
 import sys
 
+STATS_SCHEMA_VERSION = 2  # obs::kStatsSchemaVersion
+
 REQUIRED_COUNTERS = ["victims_estimated", "aggressor_pairs", "executor_tasks"]
 REQUIRED_GAUGES = ["propagation_levels", "endpoints_checked", "violations"]
 REQUIRED_HISTOGRAMS = ["glitch_peak_v", "aggressors_per_victim", "level_width"]
 REQUIRED_META = ["schema_version", "design", "mode", "model", "options_digest",
                  "build", "threads", "iterations"]
+REQUIRED_BENCH = ["record_version", "git_sha", "git_describe", "build_type",
+                  "timestamp_utc", "unix_time", "peak_rss_bytes"]
 PHASES = ["estimate-injected", "propagate", "check-endpoints"]
 
 
@@ -26,9 +39,38 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate_trace(path):
+def load(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def check_histogram(name, h):
+    if len(h["counts"]) != len(h["bounds"]) + 1:
+        fail(f"stats: histogram '{name}': counts/bounds size mismatch")
+    if sum(h["counts"]) != h["count"]:
+        fail(f"stats: histogram '{name}': bucket counts do not sum to count")
+    if h["bounds"] != sorted(set(h["bounds"])):
+        fail(f"stats: histogram '{name}': bounds not strictly ascending")
+    for key in ("min", "max", "p50", "p95", "p99"):
+        if key not in h:
+            fail(f"stats: histogram '{name}': missing '{key}' (schema v2)")
+    if h["count"] > 0:
+        order = [h["min"], h["p50"], h["p95"], h["p99"], h["max"]]
+        if order != sorted(order):
+            fail(f"stats: histogram '{name}': min/p50/p95/p99/max not "
+                 f"monotone: {order}")
+
+
+def iter_histograms(doc):
+    """Every histogram object in any section (timing mixes kinds)."""
+    for section in ("histograms", "timing", "resources"):
+        for name, v in doc.get(section, {}).items():
+            if isinstance(v, dict) and "bounds" in v:
+                yield name, v
+
+
+def validate_trace(path, server=False):
+    doc = load(path)
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("trace: no traceEvents")
@@ -68,56 +110,152 @@ def validate_trace(path):
     meta = [e for e in events if e.get("ph") == "M"]
     if not any(e.get("name") == "thread_name" for e in meta):
         fail("trace: no thread_name metadata")
+
+    if server:
+        thread_names = {e["args"]["name"]: e["tid"] for e in meta
+                        if e.get("name") == "thread_name"}
+        if "server" not in thread_names:
+            fail("server trace: no 'server' thread track")
+        server_tid = thread_names["server"]
+        requests = [e for e in spans if e.get("cat") == "request"]
+        if not requests:
+            fail("server trace: no request spans (cat 'request')")
+        for e in requests:
+            if e["tid"] != server_tid:
+                fail(f"server trace: request span off the server track: {e}")
+            if not e["name"].startswith("request "):
+                fail(f"server trace: request span misnamed: {e['name']}")
+        # At least one request must enclose a full analyzer phase sequence —
+        # the end-to-end request → analyze → phase nesting the tentpole is for.
+        phases = [e for e in spans if e["name"] in PHASES]
+        enclosing = 0
+        for r in requests:
+            inside = [p["name"] for p in phases
+                      if p["ts"] >= r["ts"] - eps
+                      and p["ts"] + p["dur"] <= r["ts"] + r["dur"] + eps]
+            if all(p in inside for p in PHASES):
+                enclosing += 1
+        if enclosing == 0:
+            fail("server trace: no request span encloses the analyzer phases")
+        print(f"validate_obs: server trace OK ({len(requests)} request spans, "
+              f"{enclosing} enclosing a full analysis)")
     print(f"validate_obs: trace OK ({len(spans)} spans, {len(by_tid)} threads)")
 
 
-def validate_stats(path):
-    with open(path) as f:
-        doc = json.load(f)
+def validate_stats(path, server=False):
+    doc = load(path)
     meta = doc.get("meta")
     if not isinstance(meta, dict):
         fail("stats: no meta object")
     for key in REQUIRED_META:
         if key not in meta:
             fail(f"stats: meta missing '{key}'")
-    if meta["schema_version"] != 1:
-        fail(f"stats: unexpected schema_version {meta['schema_version']}")
+    if meta["schema_version"] != STATS_SCHEMA_VERSION:
+        fail(f"stats: unexpected schema_version {meta['schema_version']} "
+             f"(expected {STATS_SCHEMA_VERSION})")
 
-    for section, required in (("counters", REQUIRED_COUNTERS),
-                              ("gauges", REQUIRED_GAUGES),
-                              ("histograms", REQUIRED_HISTOGRAMS)):
-        obj = doc.get(section)
-        if not isinstance(obj, dict):
+    for section in ("counters", "gauges", "histograms", "resources", "timing"):
+        if not isinstance(doc.get(section), dict):
             fail(f"stats: no {section} object")
-        for name in required:
-            if name not in obj:
+
+    if server:
+        required = (("counters", ["protocol_requests", "session_full_analyses"]),
+                    ("gauges", ["session_epoch", "session_cached_results"]))
+    else:
+        required = (("counters", REQUIRED_COUNTERS),
+                    ("gauges", REQUIRED_GAUGES),
+                    ("histograms", REQUIRED_HISTOGRAMS))
+    for section, names in required:
+        for name in names:
+            if name not in doc[section]:
                 fail(f"stats: {section} missing '{name}'")
 
-    for name, h in doc["histograms"].items():
-        if len(h["counts"]) != len(h["bounds"]) + 1:
-            fail(f"stats: histogram '{name}': counts/bounds size mismatch")
-        if sum(h["counts"]) != h["count"]:
-            fail(f"stats: histogram '{name}': bucket counts do not sum to count")
-        if h["bounds"] != sorted(set(h["bounds"])):
-            fail(f"stats: histogram '{name}': bounds not strictly ascending")
+    for name, h in iter_histograms(doc):
+        check_histogram(name, h)
 
-    if "timing" not in doc:
-        fail("stats: no timing section")
+    resources = doc["resources"]
+    if not any(isinstance(v, (int, float)) and v > 0 for v in resources.values()):
+        fail("stats: resources section has no nonzero gauge")
+    if resources.get("peak_rss_bytes", 0) <= 0:
+        fail("stats: peak_rss_bytes missing or zero")
+
+    if server:
+        latencies = [k for k in doc["timing"] if k.startswith("request_ms_")]
+        if not latencies:
+            fail("server stats: no request_ms_* latency histograms in timing")
+        for k in latencies:
+            if not isinstance(doc["timing"][k], dict):
+                fail(f"server stats: {k} is not a histogram object")
+        for gauge in ("session_cache_bytes", "session_journal_bytes"):
+            if resources.get(gauge, 0) <= 0:
+                fail(f"server stats: resource gauge '{gauge}' missing or zero")
+        slowlog = doc.get("slowlog")
+        if not isinstance(slowlog, dict):
+            fail("server stats: no slowlog section")
+        for key in ("threshold_ms", "capacity", "recorded", "entries"):
+            if key not in slowlog:
+                fail(f"server stats: slowlog missing '{key}'")
+        if not isinstance(slowlog["entries"], list):
+            fail("server stats: slowlog entries is not a list")
+        for e in slowlog["entries"]:
+            for key in ("id", "cmd", "ms", "ok"):
+                if key not in e:
+                    fail(f"server stats: slowlog entry missing '{key}': {e}")
+        print(f"validate_obs: server stats OK ({len(latencies)} latency "
+              f"histograms, {len(slowlog['entries'])} slow requests)")
     print(f"validate_obs: stats OK (design '{meta['design']}', "
           f"digest {meta['options_digest']})")
+
+
+def validate_bench_record(path):
+    doc = load(path)
+    validate_stats_like = doc.get("meta", {})
+    if validate_stats_like.get("schema_version") != STATS_SCHEMA_VERSION:
+        fail(f"bench record: unexpected schema_version in {path}")
+    bench = doc.get("bench")
+    if not isinstance(bench, dict):
+        fail("bench record: no 'bench' section")
+    for key in REQUIRED_BENCH:
+        if key not in bench:
+            fail(f"bench record: bench section missing '{key}'")
+    if bench["record_version"] != 1:
+        fail(f"bench record: unexpected record_version {bench['record_version']}")
+    if not isinstance(bench["git_sha"], str) or not bench["git_sha"]:
+        fail("bench record: empty git_sha")
+    if bench["build_type"] not in ("Release", "Debug"):
+        fail(f"bench record: unexpected build_type '{bench['build_type']}'")
+    if not (isinstance(bench["peak_rss_bytes"], int) and bench["peak_rss_bytes"] > 0):
+        fail("bench record: peak_rss_bytes missing or zero")
+    if not (isinstance(bench["unix_time"], int) and bench["unix_time"] > 0):
+        fail("bench record: unix_time missing or zero")
+    for name, h in iter_histograms(doc):
+        check_histogram(name, h)
+    print(f"validate_obs: bench record OK (sha {bench['git_sha'][:12]}, "
+          f"{bench['build_type']}, peak RSS {bench['peak_rss_bytes']} B)")
 
 
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--trace")
     ap.add_argument("--stats")
+    ap.add_argument("--server-trace")
+    ap.add_argument("--server-stats")
+    ap.add_argument("--bench-record", action="append", default=[])
     args = ap.parse_args()
-    if not args.trace and not args.stats:
-        ap.error("give --trace and/or --stats")
+    if not any([args.trace, args.stats, args.server_trace, args.server_stats,
+                args.bench_record]):
+        ap.error("give --trace, --stats, --server-trace, --server-stats, "
+                 "and/or --bench-record")
     if args.trace:
         validate_trace(args.trace)
     if args.stats:
         validate_stats(args.stats)
+    if args.server_trace:
+        validate_trace(args.server_trace, server=True)
+    if args.server_stats:
+        validate_stats(args.server_stats, server=True)
+    for path in args.bench_record:
+        validate_bench_record(path)
 
 
 if __name__ == "__main__":
