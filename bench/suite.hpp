@@ -6,6 +6,7 @@
 // register pipeline (sequential endpoints for the latch check).
 #pragma once
 
+#include <chrono>
 #include <ctime>
 #include <fstream>
 #include <sstream>
@@ -17,6 +18,8 @@
 #include "gen/pipeline.hpp"
 #include "gen/randlogic.hpp"
 #include "noise/analyzer.hpp"
+#include "noise/html_report.hpp"
+#include "noise/report_writer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/resource.hpp"
 #include "obs/tracer.hpp"
@@ -108,9 +111,45 @@ inline void write_run_record(const std::string& path, const lib::Library& librar
   o.mode = noise::AnalysisMode::kNoiseWindows;
   o.clock_period = g.sta_options.clock_period;
   const noise::Result r = noise::analyze(g.design, g.para, timing, o);
+
+  // Time the derived-artifact renderers too (rendered to discarded streams):
+  // explain of the worst violation's net and the HTML dashboard. Appended to
+  // the snapshot copy as wall-time gauges so bench_history.py can track them
+  // once a baseline containing them is written.
+  const auto timed_ms = [](const auto& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const NetId explain_net =
+      r.violations.empty() ? NetId{0} : r.violations.front().net;
+  const double explain_ms = timed_ms(
+      [&] { (void)noise::explain_string(g.design, o, r, explain_net); });
+  const double html_ms = timed_ms([&] {
+    std::ostringstream discard;
+    noise::write_html_report(discard, g.design, o, r);
+  });
+  obs::MetricsSnapshot snapshot = r.metrics;
+  const auto timing_gauge = [](const char* name, const char* help, double ms) {
+    obs::MetricSample s;
+    s.name = name;
+    s.help = help;
+    s.unit = "ms";
+    s.kind = obs::MetricSample::Kind::kGauge;
+    s.deterministic = false;
+    s.value = ms;
+    return s;
+  };
+  snapshot.samples.push_back(
+      timing_gauge("explain_ms", "explain_string render wall time", explain_ms));
+  snapshot.samples.push_back(timing_gauge(
+      "html_report_ms", "write_html_report render wall time", html_ms));
+
   std::ofstream f(path);
   const std::pair<std::string, std::string> extra[] = {{"bench", bench_record_json()}};
-  obs::write_stats_json(f, r.run_meta, r.metrics, extra);
+  obs::write_stats_json(f, r.run_meta, snapshot, extra);
 }
 
 /// The full D1..D6 suite. The library must outlive the returned cases.

@@ -28,6 +28,25 @@ const char* to_string(AnalysisMode m) noexcept {
   return "?";
 }
 
+const char* to_string(FilterStage s) noexcept {
+  switch (s) {
+    case FilterStage::kNone: return "none";
+    case FilterStage::kSwitchingWindow: return "switching-window";
+    case FilterStage::kNoiseWindow: return "noise-window";
+    case FilterStage::kSensitivityWindow: return "sensitivity-window";
+  }
+  return "?";
+}
+
+const char* to_string(WindowVerdict v) noexcept {
+  switch (v) {
+    case WindowVerdict::kInWorst: return "in-worst";
+    case WindowVerdict::kWindowDisjoint: return "window-disjoint";
+    case WindowVerdict::kConstraintExcluded: return "constraint-excluded";
+  }
+  return "?";
+}
+
 namespace {
 
 // Work-distribution granularity. Any value is determinism-safe (results
@@ -36,6 +55,16 @@ namespace {
 constexpr std::size_t kEstimateChunk = 8;
 constexpr std::size_t kPropagateChunk = 16;
 constexpr std::size_t kEndpointChunk = 32;
+
+// Progress-checkpoint batch sizes. With a ProgressSink installed the
+// estimate/endpoint loops run as a sequence of parallel_for batches with a
+// checkpoint between each; batch sizes are exact multiples of the stage
+// chunk sizes so the total chunk count — and with it the deterministic
+// executor_tasks counter — is identical with and without a sink.
+static_assert(512 % kEstimateChunk == 0);
+static_assert(1024 % kEndpointChunk == 0);
+constexpr std::size_t kEstimateBatch = 512;
+constexpr std::size_t kEndpointBatch = 1024;
 
 // Fixed histogram bounds. Stable across runs/designs so exported
 // distributions are directly comparable (tools/validate_obs.py checks the
@@ -126,6 +155,7 @@ Combined combine(const std::vector<Contribution>& contributions, AnalysisMode mo
 struct EndpointOutcome {
   double slack = 0.0;
   std::optional<Violation> violation;
+  std::optional<Provenance> provenance;  ///< engaged iff `violation` is
 };
 
 /// The staged pipeline: one analysis over a fixed design/parasitics/timing.
@@ -137,13 +167,15 @@ struct EndpointOutcome {
 class Pipeline {
  public:
   Pipeline(const net::Design& design, const para::Parasitics& para,
-           const sta::Result& sta_result, const Options& opt)
+           const sta::Result& sta_result, const Options& opt, ProgressSink* progress)
       : design_(design),
         para_(para),
         sta_(sta_result),
         opt_(opt),
+        progress_(progress),
         exec_(opt.threads),
         start_(std::chrono::steady_clock::now()),
+        phase_start_(start_),
         executor_tasks_(reg_.counter(kMetricExecutorTasks, "executor chunks run")),
         task_seconds_(reg_.histogram(kMetricTaskSeconds, "per-chunk wall time",
                                      kTaskSecondsBounds, "s",
@@ -168,6 +200,7 @@ class Pipeline {
       tasks->add();
       seconds->observe(s);
     });
+    checkpoint("build-context", 1, 1);
   }
 
   [[nodiscard]] Result run_full() {
@@ -179,6 +212,7 @@ class Pipeline {
         span.emplace("iteration " + std::to_string(iter + 1),
                      obs::SpanKind::kIteration);
       }
+      iteration_ = iter + 1;
       reset(res);
       estimate_injected(res, /*dirty=*/nullptr, /*previous=*/nullptr);
       propagate(res);
@@ -232,6 +266,37 @@ class Pipeline {
   }
 
  private:
+  /// Opens a progress phase: restarts the phase clock and emits the
+  /// zero-completed checkpoint (which also polls for cancellation before
+  /// any of the phase's work runs).
+  void begin_phase(const char* phase, std::size_t total) {
+    phase_start_ = std::chrono::steady_clock::now();
+    checkpoint(phase, 0, total);
+  }
+
+  /// One checkpoint: polls cancellation (throws Cancelled) then reports.
+  /// Called only from the coordinating thread, never inside a parallel
+  /// region — the ProgressSink contract (noise/progress.hpp).
+  void checkpoint(const char* phase, std::size_t completed, std::size_t total,
+                  std::size_t level = 0) {
+    if (progress_ == nullptr) return;
+    if (progress_->cancel_requested()) throw Cancelled();
+    Progress p;
+    p.phase = phase;
+    p.iteration = iteration_;
+    p.completed = completed;
+    p.total = total;
+    p.level = level;
+    p.phase_elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - phase_start_)
+            .count();
+    if (completed > 0 && completed < total) {
+      p.eta_s = p.phase_elapsed_s * static_cast<double>(total - completed) /
+                static_cast<double>(completed);
+    }
+    progress_->on_progress(p);
+  }
+
   /// Registers every metric up front so the snapshot (and the JSON export)
   /// has one fixed order and zero-valued metrics still appear. Later use
   /// sites re-look names up and get these same objects back.
@@ -315,6 +380,7 @@ class Pipeline {
   void reset(Result& res) const {
     res.nets.assign(design_.net_count(), NetNoise{});
     res.violations.clear();
+    res.provenance.clear();
     res.endpoint_slacks.clear();
     res.endpoints_checked = 0;
     res.noisy_nets = 0;
@@ -332,25 +398,35 @@ class Pipeline {
     const std::size_t n = design_.net_count();
     std::size_t estimated = 0;
     std::size_t reused = 0;
-    exec_.parallel_for("estimate-injected", n, kEstimateChunk,
-                       [&](std::size_t begin, std::size_t end) {
-      for (std::size_t vi = begin; vi < end; ++vi) {
-        if (dirty == nullptr || (*dirty)[vi]) {
-          estimate_for_victim(res.nets[vi], NetId{vi});
-        } else {
-          // Reuse the previous injected contributions (propagated ones are
-          // rebuilt below); aggressor bookkeeping is restored with them.
-          for (const auto& c : previous->nets[vi].contributions) {
-            if (c.is_propagated()) continue;
-            Contribution copy = c;
-            copy.in_worst = false;
-            res.nets[vi].contributions.push_back(std::move(copy));
+    // With a ProgressSink the range runs as checkpointed batches; batch
+    // sizes are chunk multiples, so the chunk decomposition (and the
+    // executor_tasks counter) is identical to the single-call layout.
+    const std::size_t batch =
+        progress_ != nullptr ? kEstimateBatch : std::max<std::size_t>(n, 1);
+    begin_phase("estimate-injected", n);
+    for (std::size_t base = 0; base < n; base += batch) {
+      const std::size_t limit = std::min(n, base + batch);
+      exec_.parallel_for("estimate-injected", limit - base, kEstimateChunk,
+                         [&](std::size_t begin, std::size_t end) {
+        for (std::size_t vi = base + begin; vi < base + end; ++vi) {
+          if (dirty == nullptr || (*dirty)[vi]) {
+            estimate_for_victim(res.nets[vi], NetId{vi});
+          } else {
+            // Reuse the previous injected contributions (propagated ones are
+            // rebuilt below); aggressor bookkeeping is restored with them.
+            for (const auto& c : previous->nets[vi].contributions) {
+              if (c.is_propagated()) continue;
+              Contribution copy = c;
+              copy.in_worst = false;
+              res.nets[vi].contributions.push_back(std::move(copy));
+            }
+            res.nets[vi].aggressor_count = previous->nets[vi].aggressor_count;
+            res.nets[vi].filtered_temporal = previous->nets[vi].filtered_temporal;
           }
-          res.nets[vi].aggressor_count = previous->nets[vi].aggressor_count;
-          res.nets[vi].filtered_temporal = previous->nets[vi].filtered_temporal;
         }
-      }
-    });
+      });
+      checkpoint("estimate-injected", limit, n);
+    }
     // Deterministic fold of the per-victim counters (index order, serial —
     // this is what keeps the metrics bit-identical across thread counts).
     auto& aggressor_pairs = reg_.counter(kMetricAggressorPairs, "");
@@ -497,6 +573,9 @@ class Pipeline {
   void propagate(Result& res) {
     obs::Span span("propagate", obs::SpanKind::kPhase);
     PhaseTimer timer(times_.propagate);
+    std::size_t total = ctx_.port_nets.size();
+    for (const auto& level : ctx_.levels) total += level.size();
+    begin_phase("propagate", total);
     // Port-driven nets first: every gate may read them.
     exec_.parallel_for("propagate-ports", ctx_.port_nets.size(), kPropagateChunk,
                        [&](std::size_t begin, std::size_t end) {
@@ -504,8 +583,11 @@ class Pipeline {
                            finalize_net(res, ctx_.port_nets[i]);
                          }
                        });
+    std::size_t done = ctx_.port_nets.size();
+    checkpoint("propagate", done, total);
     // Level 0 (sequential outputs), then each combinational level: a level
-    // only reads nets finalized by earlier levels.
+    // only reads nets finalized by earlier levels. Each level boundary is
+    // a progress checkpoint — the granularity at which `cancel` lands.
     for (std::size_t li = 0; li < ctx_.levels.size(); ++li) {
       const auto& level = ctx_.levels[li];
       std::optional<obs::Span> level_span;
@@ -518,6 +600,8 @@ class Pipeline {
                              propagate_instance(res, level[i]);
                            }
                          });
+      done += level.size();
+      checkpoint("propagate", done, total, li);
     }
   }
 
@@ -526,14 +610,28 @@ class Pipeline {
     obs::Span span("check-endpoints", obs::SpanKind::kPhase);
     PhaseTimer timer(times_.endpoints);
     // Sequential data pins: immunity + (mode 3) sensitivity-window overlap.
-    exec_.map_reduce_ordered<EndpointOutcome>(
-        "check-endpoints", ctx_.endpoints.size(), kEndpointChunk,
-        [&](std::size_t ei) { return check_sequential(res, ctx_.endpoints[ei]); },
-        [&](std::size_t, EndpointOutcome outcome) {
-          ++res.endpoints_checked;
-          res.endpoint_slacks.push_back(outcome.slack);
-          if (outcome.violation) res.violations.push_back(*outcome.violation);
-        });
+    // Batched like the estimate stage (batch % chunk == 0) so progress
+    // checkpoints never perturb the chunk decomposition; fold order is
+    // batch-major index order, i.e. plain endpoint order.
+    const std::size_t n_ep = ctx_.endpoints.size();
+    const std::size_t ep_batch =
+        progress_ != nullptr ? kEndpointBatch : std::max<std::size_t>(n_ep, 1);
+    begin_phase("check-endpoints", n_ep);
+    for (std::size_t base = 0; base < n_ep; base += ep_batch) {
+      const std::size_t limit = std::min(n_ep, base + ep_batch);
+      exec_.map_reduce_ordered<EndpointOutcome>(
+          "check-endpoints", limit - base, kEndpointChunk,
+          [&](std::size_t ei) { return check_sequential(res, ctx_.endpoints[base + ei]); },
+          [&](std::size_t, EndpointOutcome outcome) {
+            ++res.endpoints_checked;
+            res.endpoint_slacks.push_back(outcome.slack);
+            if (outcome.violation) {
+              res.violations.push_back(*outcome.violation);
+              res.provenance.push_back(std::move(*outcome.provenance));
+            }
+          });
+      checkpoint("check-endpoints", limit, n_ep);
+    }
 
     // Primary outputs: always-sensitive receivers with a flat immunity.
     for (const PinId p : design_.output_ports()) {
@@ -553,6 +651,9 @@ class Pipeline {
         v.sensitivity = Interval::everything();
         v.temporal = true;
         res.violations.push_back(v);
+        res.provenance.push_back(build_provenance(res, p, pp.net,
+                                                  Interval::everything(),
+                                                  /*cell=*/nullptr, threshold));
       }
     }
     // Noisy nets: glitch exceeds the weakest receiver immunity.
@@ -604,8 +705,140 @@ class Pipeline {
       v.sensitivity = ep.sensitivity;
       v.temporal = temporal;
       outcome.violation = v;
+      outcome.provenance =
+          build_provenance(res, ep.pin, ep.net, ep.sensitivity, &cell, 0.0);
     }
     return outcome;
+  }
+
+  /// Explains one violation from the net's final contribution set: the
+  /// combined peak under each progressively stronger filtering regime, the
+  /// per-aggressor verdicts/overlaps against the worst alignment, and the
+  /// propagation path back to the injection net. Pure function of Result
+  /// state that propagate() already finalized, so it is safe from the
+  /// parallel endpoint map and deterministic for every thread count.
+  [[nodiscard]] Provenance build_provenance(const Result& res, PinId endpoint,
+                                            NetId net, const Interval& sensitivity,
+                                            const lib::Cell* cell,
+                                            double po_threshold) const {
+    const NetNoise& nn = res.nets[net.index()];
+    Provenance p;
+    p.endpoint = endpoint;
+    p.net = net;
+
+    // Stage peaks: same contributions, stronger regimes. Windows only ever
+    // shrink left to right, so the peaks are monotone non-increasing. Under
+    // weaker analysis modes the distinctions collapse (e.g. kNoFiltering
+    // built every window as `everything`), which is exactly the diagnostic:
+    // the stages show what the stronger regime would have concluded from
+    // the evidence this run collected.
+    const Combined unfiltered = combine(nn.contributions, AnalysisMode::kNoFiltering,
+                                        Interval::everything(), opt_.constraints);
+    std::vector<Contribution> switching_only = nn.contributions;
+    for (auto& c : switching_only) {
+      if (c.is_propagated()) c.window = IntervalSet::everything();
+    }
+    const Combined switching = combine(switching_only, AnalysisMode::kNoiseWindows,
+                                       Interval::everything(), opt_.constraints);
+    const Combined noise_win = combine(nn.contributions, AnalysisMode::kNoiseWindows,
+                                       Interval::everything(), opt_.constraints);
+    const Combined in_sens =
+        combine(nn.contributions, AnalysisMode::kNoiseWindows, sensitivity,
+                opt_.constraints);
+    p.peak_unfiltered = unfiltered.peak;
+    p.peak_switching = switching.peak;
+    p.peak_noise_window = noise_win.peak;
+    p.peak_in_sensitivity = in_sens.peak;
+
+    const auto threshold_for = [&](double width) {
+      return cell != nullptr ? cell->immunity.threshold(width) : po_threshold;
+    };
+    if (switching.peak < threshold_for(switching.width)) {
+      p.culled_by = FilterStage::kSwitchingWindow;
+    } else if (noise_win.peak < threshold_for(noise_win.width)) {
+      p.culled_by = FilterStage::kNoiseWindow;
+    } else if (in_sens.peak < threshold_for(in_sens.width)) {
+      p.culled_by = FilterStage::kSensitivityWindow;
+    }
+
+    // The combination that actually produced this violation: the
+    // sensitivity-restricted one for sequential endpoints under full noise
+    // windows, the net's mode-level combination everywhere else.
+    const bool sens_check =
+        cell != nullptr && opt_.mode == AnalysisMode::kNoiseWindows;
+    const Combined total = combine(nn.contributions, opt_.mode,
+                                   Interval::everything(), opt_.constraints);
+    const Combined& worst = sens_check ? in_sens : total;
+    p.alignment = worst.alignment;
+
+    std::vector<char> active(nn.contributions.size(), 0);
+    for (const std::size_t i : worst.active) active[i] = 1;
+    p.shares.reserve(nn.contributions.size());
+    for (std::size_t i = 0; i < nn.contributions.size(); ++i) {
+      const Contribution& c = nn.contributions[i];
+      AggressorShare s;
+      s.aggressor = c.aggressor;
+      s.from_net = c.from_net;
+      s.peak = c.peak;
+      if (c.aggressor.valid()) {
+        for (const AggressorEdge& edge : ctx_.aggressors[net.index()]) {
+          if (edge.net == c.aggressor) s.coupling_cap += edge.coupling;
+        }
+      }
+      const IntervalSet& win = opt_.mode == AnalysisMode::kNoFiltering
+                                   ? IntervalSet::everything()
+                                   : c.window;
+      // Widest piece of the window inside the worst alignment (for an
+      // in-worst share this is the alignment itself). The intersection must
+      // be a named local: intervals() is a span into it, and the range-for
+      // would not keep a temporary set alive past the first iteration.
+      const IntervalSet cut = win.intersect(p.alignment);
+      for (const Interval& iv : cut.intervals()) {
+        if (s.overlap.is_empty() || iv.length() > s.overlap.length()) s.overlap = iv;
+      }
+      if (active[i]) {
+        s.verdict = WindowVerdict::kInWorst;
+      } else if (!s.overlap.is_empty() && c.aggressor.valid() &&
+                 opt_.constraints.group_of(c.aggressor) >= 0) {
+        s.verdict = WindowVerdict::kConstraintExcluded;
+      } else {
+        s.verdict = WindowVerdict::kWindowDisjoint;
+      }
+      p.shares.push_back(std::move(s));
+    }
+    std::sort(p.shares.begin(), p.shares.end(),
+              [](const AggressorShare& a, const AggressorShare& b) {
+                const bool aw = a.verdict == WindowVerdict::kInWorst;
+                const bool bw = b.verdict == WindowVerdict::kInWorst;
+                if (aw != bw) return aw;
+                if (a.peak != b.peak) return a.peak > b.peak;
+                if (a.aggressor != b.aggressor) return a.aggressor < b.aggressor;
+                return a.from_net < b.from_net;
+              });
+
+    // Propagation path: follow the strongest in-worst propagated member of
+    // each net's combination — the trace_origin walk, reimplemented here
+    // because noise/trace.hpp includes this header.
+    std::vector<char> visited(res.nets.size(), 0);
+    NetId cur = net;
+    while (cur.valid() && !visited[cur.index()]) {
+      visited[cur.index()] = 1;
+      const NetNoise& node = res.nets[cur.index()];
+      if (node.total_peak <= 0.0) break;
+      p.path.push_back({cur, node.total_peak, node.width});
+      NetId next;
+      double best = 0.0;
+      for (const auto& c : node.contributions) {
+        if (!c.in_worst || !c.is_propagated()) continue;
+        if (c.peak > best) {
+          best = c.peak;
+          next = c.from_net;
+        }
+      }
+      if (!next.valid()) break;
+      cur = next;
+    }
+    return p;
   }
 
   // ---- refinement: noise-on-delay window inflation --------------------------
@@ -632,8 +865,11 @@ class Pipeline {
   const para::Parasitics& para_;
   const sta::Result& sta_;
   const Options& opt_;
+  ProgressSink* progress_;  ///< not owned; may be nullptr
   util::Executor exec_;
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point phase_start_;
+  int iteration_ = 1;  ///< current refinement pass (for Progress records)
   obs::Registry reg_;
   /// Hoisted handles for the executor's task observer (runs on workers;
   /// both sinks are thread-safe).
@@ -693,6 +929,11 @@ std::size_t memory_bytes(const Result& r) noexcept {
     }
   }
   bytes += r.violations.capacity() * sizeof(Violation);
+  bytes += r.provenance.capacity() * sizeof(Provenance);
+  for (const Provenance& p : r.provenance) {
+    bytes += p.shares.capacity() * sizeof(AggressorShare);
+    bytes += p.path.capacity() * sizeof(ProvenanceStep);
+  }
   bytes += r.endpoint_slacks.capacity() * sizeof(double);
   bytes += r.iteration_violations.capacity() * sizeof(std::size_t);
   bytes += r.metrics.samples.capacity() * sizeof(obs::MetricSample);
@@ -700,16 +941,17 @@ std::size_t memory_bytes(const Result& r) noexcept {
 }
 
 Result analyze(const net::Design& design, const para::Parasitics& para,
-               const sta::Result& sta_result, const Options& opt) {
-  Pipeline pipeline(design, para, sta_result, opt);
+               const sta::Result& sta_result, const Options& opt,
+               ProgressSink* progress) {
+  Pipeline pipeline(design, para, sta_result, opt, progress);
   return pipeline.run_full();
 }
 
 Result analyze_incremental(const net::Design& design, const para::Parasitics& para,
                            const sta::Result& sta_result, const Options& opt,
-                           const Result& previous,
-                           std::span<const NetId> changed_nets) {
-  Pipeline pipeline(design, para, sta_result, opt);
+                           const Result& previous, std::span<const NetId> changed_nets,
+                           ProgressSink* progress) {
+  Pipeline pipeline(design, para, sta_result, opt, progress);
   return pipeline.run_incremental(previous, changed_nets);
 }
 

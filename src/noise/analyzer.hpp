@@ -45,6 +45,7 @@
 #include "netlist/design.hpp"
 #include "noise/constraints.hpp"
 #include "noise/glitch_models.hpp"
+#include "noise/progress.hpp"
 #include "noise/telemetry.hpp"
 #include "obs/metrics.hpp"
 #include "parasitics/rcnet.hpp"
@@ -108,6 +109,76 @@ struct NetNoise {
   std::size_t filtered_temporal = 0;
 };
 
+/// The first filtering regime that would have culled a violation's noise
+/// below its immunity threshold, had the analysis been run under it.
+/// Diagnostic only: a violation surviving the current mode has kNone when
+/// even the strongest regime (sensitivity-window intersection) keeps the
+/// noise above threshold, i.e. the violation is not a filtering artifact.
+enum class FilterStage {
+  kNone,                ///< survives every regime
+  kSwitchingWindow,     ///< culled once injected windows are honoured
+  kNoiseWindow,         ///< culled once propagated windows are honoured too
+  kSensitivityWindow,   ///< culled once restricted to the sampling window
+};
+
+[[nodiscard]] const char* to_string(FilterStage s) noexcept;
+
+/// The timing-window filter's verdict on one aggressor at the endpoint.
+enum class WindowVerdict {
+  kInWorst,             ///< participates in the worst combination
+  kWindowDisjoint,      ///< its window misses the worst alignment
+  kConstraintExcluded,  ///< overlaps, but its mutex group is represented
+};
+
+[[nodiscard]] const char* to_string(WindowVerdict v) noexcept;
+
+/// One aggressor's share of a violation, ranked (see Provenance::shares).
+struct AggressorShare {
+  NetId aggressor;            ///< invalid = noise propagated through the driver
+  NetId from_net;             ///< propagated shares: the fanin net it arrived on
+  double peak = 0.0;          ///< injected (or arriving) glitch peak [V]
+  double coupling_cap = 0.0;  ///< total coupling to the victim [F] (0 = propagated)
+  /// Widest overlap of the share's noise window with the worst alignment
+  /// (empty when disjoint). For in-worst shares this IS the alignment.
+  Interval overlap;
+  WindowVerdict verdict = WindowVerdict::kWindowDisjoint;
+
+  [[nodiscard]] bool is_propagated() const noexcept { return !aggressor.valid(); }
+};
+
+/// One hop of the propagation path from the endpoint back to injection.
+struct ProvenanceStep {
+  NetId net;
+  double peak = 0.0;   ///< combined glitch on the net [V]
+  double width = 0.0;  ///< [s]
+};
+
+/// Why one violation fired: the aggressor shares of the worst combination,
+/// the combined peak under each progressively stronger filtering regime
+/// (recomputed from this run's contribution set — aggressors that never
+/// switch are absent, their count is in NetNoise::filtered_temporal), and
+/// the propagation path to the injection net. Built per violation during
+/// check_endpoints; deterministic and bit-identical across thread counts.
+struct Provenance {
+  PinId endpoint;
+  NetId net;
+  /// Combined peak when every contribution coincides (no filtering) [V].
+  double peak_unfiltered = 0.0;
+  /// Injected windows honoured, propagated noise unconstrained [V].
+  double peak_switching = 0.0;
+  /// All noise windows honoured (the paper's combination) [V].
+  double peak_noise_window = 0.0;
+  /// Additionally restricted to the endpoint's sensitivity window [V].
+  double peak_in_sensitivity = 0.0;
+  FilterStage culled_by = FilterStage::kNone;
+  Interval alignment;  ///< worst-alignment interval of the endpoint check
+  /// Ranked: in-worst shares first, then peak descending, then net id.
+  std::vector<AggressorShare> shares;
+  /// Endpoint net first, injection net last (strongest propagated member
+  /// followed at each hop — the same walk as trace_origin).
+  std::vector<ProvenanceStep> path;
+};
+
 /// A failing endpoint.
 struct Violation {
   PinId endpoint;
@@ -124,6 +195,8 @@ struct Violation {
 struct Result {
   std::vector<NetNoise> nets;        ///< indexed by NetId
   std::vector<Violation> violations;
+  /// Parallel to `violations`: provenance[i] explains violations[i].
+  std::vector<Provenance> provenance;
   std::size_t endpoints_checked = 0;
   std::size_t noisy_nets = 0;        ///< nets whose glitch exceeds receiver immunity
   std::size_t aggressors_considered = 0;
@@ -164,8 +237,12 @@ struct Result {
 [[nodiscard]] std::size_t memory_bytes(const Result& result) noexcept;
 
 /// Run the analysis. `sta_result` must come from the same design/parasitics.
+/// An optional ProgressSink (noise/progress.hpp) receives checkpoint
+/// notifications and may cancel the run (throws Cancelled); installing one
+/// never changes the computed Result.
 [[nodiscard]] Result analyze(const net::Design& design, const para::Parasitics& para,
-                             const sta::Result& sta_result, const Options& options = {});
+                             const sta::Result& sta_result, const Options& options = {},
+                             ProgressSink* progress = nullptr);
 
 /// Incremental re-analysis (ECO mode) after a change localized to
 /// `changed_nets` (coupling edits, resized drivers, re-timed inputs):
@@ -183,6 +260,7 @@ struct Result {
                                          const para::Parasitics& para,
                                          const sta::Result& sta_result,
                                          const Options& options, const Result& previous,
-                                         std::span<const NetId> changed_nets);
+                                         std::span<const NetId> changed_nets,
+                                         ProgressSink* progress = nullptr);
 
 }  // namespace nw::noise

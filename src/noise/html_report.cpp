@@ -1,0 +1,266 @@
+#include "noise/html_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/svg.hpp"
+#include "report/table.hpp"
+
+namespace nw::noise {
+
+namespace {
+
+using report::html_escape;
+
+/// everything() bounds are sentinels (±1e30), not data — skip them when
+/// sizing a time axis and let the renderer clamp the span instead.
+bool finite_time(double t) { return std::abs(t) < 1e29; }
+
+void meta_row(std::ostream& os, const char* key, const std::string& value) {
+  os << "  <tr><th>" << key << "</th><td>" << html_escape(value) << "</td></tr>\n";
+}
+
+void summary_tile(std::ostream& os, const std::string& value, const char* label) {
+  os << "  <div class=\"tile\"><div class=\"num\">" << html_escape(value)
+     << "</div><div class=\"cap\">" << label << "</div></div>\n";
+}
+
+/// Violation indices sorted worst slack first (ties: violation order).
+std::vector<std::size_t> worst_first(const Result& r) {
+  std::vector<std::size_t> order(r.violations.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return r.violations[a].slack() < r.violations[b].slack();
+  });
+  return order;
+}
+
+void write_timelines(std::ostream& os, const net::Design& design, const Result& r,
+                     const Options& opt, const std::vector<std::size_t>& order,
+                     std::size_t top_k) {
+  std::vector<report::TimelineRow> rows;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool any = false;
+  const auto note = [&](double t) {
+    if (!finite_time(t)) return;
+    lo = any ? std::min(lo, t) : t;
+    hi = any ? std::max(hi, t) : t;
+    any = true;
+  };
+  for (std::size_t k = 0; k < order.size() && k < top_k; ++k) {
+    const Violation& v = r.violations[order[k]];
+    const Provenance& p = r.provenance[order[k]];
+    report::TimelineRow row;
+    row.label = design.pin_name(v.endpoint) + " (" + design.net(v.net).name + ")";
+    for (const Interval& iv : r.net(v.net).window.intervals()) {
+      row.spans.push_back({iv.lo, iv.hi, "win"});
+      note(iv.lo);
+      note(iv.hi);
+    }
+    if (!v.sensitivity.is_empty()) {
+      row.spans.push_back({v.sensitivity.lo, v.sensitivity.hi, "sens"});
+      note(v.sensitivity.lo);
+      note(v.sensitivity.hi);
+    }
+    if (!p.alignment.is_empty()) {
+      row.spans.push_back({p.alignment.lo, p.alignment.hi, "align"});
+      note(p.alignment.lo);
+      note(p.alignment.hi);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!any) {
+    // All spans unbounded (kNoFiltering) or no violations: show one clock
+    // period so clamped always-spans still render.
+    lo = 0.0;
+    hi = opt.clock_period > 0.0 ? opt.clock_period : 1e-9;
+  }
+  if (!(hi > lo)) hi = lo + 1e-12;
+  os << "<section id=\"timelines\">\n<h2>Noise windows vs sensitivity windows"
+     << " (top " << rows.size() << " violations)</h2>\n"
+     << "<p class=\"legend\"><span class=\"sw win\"></span> noise window "
+     << "<span class=\"sw sens\"></span> sensitivity window "
+     << "<span class=\"sw align\"></span> worst alignment</p>\n";
+  if (rows.empty()) {
+    os << "<p>No violations.</p>\n";
+  } else {
+    report::ChartGeom geom;
+    geom.label_width = 240.0;
+    report::write_timeline(os, rows, lo, hi, geom, 1e9, "ns");
+  }
+  os << "</section>\n";
+}
+
+void write_pareto(std::ostream& os, const net::Design& design, const Result& r,
+                  std::size_t top_k) {
+  // Total in-worst injected noise per aggressor net across every violation
+  // (map keyed by net id => deterministic iteration order).
+  std::map<NetId::value_type, double> totals;
+  for (const Provenance& p : r.provenance) {
+    for (const AggressorShare& s : p.shares) {
+      if (s.verdict != WindowVerdict::kInWorst || s.is_propagated()) continue;
+      totals[s.aggressor.value()] += s.peak;
+    }
+  }
+  std::vector<std::pair<NetId::value_type, double>> ranked(totals.begin(),
+                                                           totals.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  os << "<section id=\"pareto\">\n<h2>Aggressor Pareto (in-worst noise summed over "
+     << "violations)</h2>\n";
+  if (ranked.empty()) {
+    os << "<p>No aggressor shares (no violations, or all noise is propagated)."
+       << "</p>\n";
+  } else {
+    std::vector<report::Bar> bars;
+    for (std::size_t i = 0; i < ranked.size() && i < top_k; ++i) {
+      report::Bar b;
+      b.label = design.net(NetId{ranked[i].first}).name;
+      b.value = ranked[i].second;
+      b.value_text = report::fmt_mv(ranked[i].second);
+      bars.push_back(std::move(b));
+    }
+    report::write_bar_chart(os, bars, report::ChartGeom{}, /*cumulative_line=*/true);
+    if (ranked.size() > top_k) {
+      os << "<p>" << (ranked.size() - top_k) << " weaker aggressors not shown.</p>\n";
+    }
+  }
+  os << "</section>\n";
+}
+
+void write_slack_hist(std::ostream& os, const Result& r, std::size_t bins) {
+  os << "<section id=\"slack\">\n<h2>Endpoint noise-slack distribution</h2>\n";
+  if (r.endpoint_slacks.empty() || bins == 0) {
+    os << "<p>No endpoints checked.</p>\n</section>\n";
+    return;
+  }
+  double lo = r.endpoint_slacks.front();
+  double hi = lo;
+  for (const double s : r.endpoint_slacks) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  if (!(hi > lo)) hi = lo + 1e-6;
+  std::vector<report::HistogramBin> hist(bins);
+  const double step = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    hist[i].lo = lo + step * static_cast<double>(i);
+    hist[i].hi = hist[i].lo + step;
+    hist[i].cls = hist[i].hi <= 0.0 ? "binbad" : "bin";
+  }
+  for (const double s : r.endpoint_slacks) {
+    auto idx = static_cast<std::size_t>((s - lo) / step);
+    if (idx >= bins) idx = bins - 1;
+    ++hist[idx].count;
+  }
+  os << "<p class=\"legend\"><span class=\"sw binbad\"></span> violating "
+     << "(slack &lt; 0) <span class=\"sw bin\"></span> passing</p>\n";
+  report::write_histogram(os, hist, report::ChartGeom{}, 1e3, "mV");
+  os << "</section>\n";
+}
+
+void write_phases(std::ostream& os, const Result& r) {
+  os << "<section id=\"phases\">\n<h2>Phases &amp; request latency</h2>\n";
+  os << "<table>\n<tr><th>metric</th><th>kind</th><th>value</th>"
+     << "<th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n";
+  for (const auto& s : r.metrics.samples) {
+    os << "<tr><td>" << html_escape(s.name) << "</td>";
+    switch (s.kind) {
+      case obs::MetricSample::Kind::kCounter:
+        os << "<td>counter</td><td>" << s.count
+           << "</td><td>-</td><td>-</td><td>-</td><td>-</td>";
+        break;
+      case obs::MetricSample::Kind::kGauge:
+        os << "<td>gauge</td><td>" << report::fmt_sci(s.value);
+        if (!s.unit.empty()) os << ' ' << html_escape(s.unit);
+        os << "</td><td>-</td><td>-</td><td>-</td><td>-</td>";
+        break;
+      case obs::MetricSample::Kind::kHistogram:
+        os << "<td>histogram</td><td>n=" << s.hist.count << "</td><td>"
+           << report::fmt_sci(obs::histogram_quantile(s.hist, 0.50)) << "</td><td>"
+           << report::fmt_sci(obs::histogram_quantile(s.hist, 0.95)) << "</td><td>"
+           << report::fmt_sci(obs::histogram_quantile(s.hist, 0.99)) << "</td><td>"
+           << report::fmt_sci(s.hist.max) << "</td>";
+        break;
+    }
+    os << "</tr>\n";
+  }
+  os << "</table>\n</section>\n";
+}
+
+constexpr const char* kStyle = R"css(
+body { font: 14px/1.45 system-ui, sans-serif; margin: 24px auto; max-width: 900px;
+       color: #222; }
+h1 { font-size: 20px; } h2 { font-size: 15px; margin: 18px 0 6px; }
+section { margin-bottom: 20px; }
+table { border-collapse: collapse; font-size: 12px; }
+th, td { border: 1px solid #ddd; padding: 3px 8px; text-align: left; }
+th { background: #f4f6f8; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; }
+.tile { border: 1px solid #ddd; border-radius: 6px; padding: 8px 14px;
+        min-width: 110px; }
+.tile .num { font-size: 20px; font-weight: 600; }
+.tile .cap { font-size: 11px; color: #666; }
+.legend { font-size: 11px; color: #555; }
+.sw { display: inline-block; width: 12px; height: 10px; margin: 0 4px 0 10px; }
+svg { display: block; }
+svg .grid { stroke: #e3e6ea; stroke-width: 1; }
+svg .tick { font: 10px system-ui, sans-serif; fill: #667; }
+svg .label { font: 11px system-ui, sans-serif; fill: #333; }
+svg .value { font: 10px system-ui, sans-serif; fill: #555; }
+.bar, svg .bar { fill: #4878a8; }
+.bin, svg .bin { fill: #4878a8; }
+.binbad, svg .binbad { fill: #c0504d; }
+svg .cumline { stroke: #e0a030; stroke-width: 2; }
+.win, svg .win { fill: #9dc3e6; fill-opacity: 0.8; }
+.sens, svg .sens { fill: #70ad47; fill-opacity: 0.45; }
+.align, svg .align { fill: #c0504d; fill-opacity: 0.9; }
+)css";
+
+}  // namespace
+
+void write_html_report(std::ostream& os, const net::Design& design,
+                       const Options& opt, const Result& r,
+                       const HtmlReportOptions& hopt) {
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<title>noisewin dashboard — " << html_escape(design.name())
+     << "</title>\n<style>" << kStyle << "</style>\n</head>\n<body>\n"
+     << "<h1>noisewin dashboard — " << html_escape(design.name()) << "</h1>\n";
+
+  os << "<section id=\"meta\">\n<h2>Run</h2>\n<table>\n";
+  meta_row(os, "design", r.run_meta.design);
+  meta_row(os, "mode", r.run_meta.mode);
+  meta_row(os, "model", r.run_meta.model);
+  meta_row(os, "options digest", r.run_meta.options_digest);
+  meta_row(os, "build", r.run_meta.build);
+  meta_row(os, "threads", std::to_string(r.run_meta.threads));
+  meta_row(os, "iterations", std::to_string(r.iterations));
+  meta_row(os, "epoch", std::to_string(r.epoch));
+  os << "</table>\n</section>\n";
+
+  os << "<section id=\"summary\">\n<h2>Summary</h2>\n<div class=\"tiles\">\n";
+  summary_tile(os, std::to_string(r.violations.size()), "violations");
+  summary_tile(os, std::to_string(r.endpoints_checked), "endpoints checked");
+  summary_tile(os, std::to_string(r.noisy_nets), "noisy nets");
+  summary_tile(os, std::to_string(r.aggressors_considered), "aggressor pairs");
+  summary_tile(os, std::to_string(r.aggressors_filtered_temporal),
+               "temporally filtered");
+  summary_tile(os, std::to_string(design.net_count()), "nets");
+  os << "</div>\n</section>\n";
+
+  const std::vector<std::size_t> order = worst_first(r);
+  write_timelines(os, design, r, opt, order, hopt.top_violations);
+  write_pareto(os, design, r, hopt.top_aggressors);
+  write_slack_hist(os, r, hopt.slack_bins);
+  write_phases(os, r);
+
+  os << "</body>\n</html>\n";
+}
+
+}  // namespace nw::noise

@@ -1,0 +1,35 @@
+// Self-contained HTML noise dashboard (the --html-report artifact).
+//
+// One file, no external references: a single <style> block, inline SVG
+// charts (report/svg.hpp), no scripts. Sections, each with a fixed id
+// that tools/validate_obs.py --html-report requires:
+//   #meta       run identity (design, mode, model, options digest, build)
+//   #summary    headline counts (violations, endpoints, noisy nets, ...)
+//   #timelines  noise-window vs sensitivity-window spans, top-K violations
+//   #pareto     aggressor Pareto over the in-worst provenance shares
+//   #slack      endpoint noise-slack histogram (violations left of zero)
+//   #phases     stats-v2 phase/latency tables from the metrics snapshot
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "netlist/design.hpp"
+#include "noise/analyzer.hpp"
+
+namespace nw::noise {
+
+struct HtmlReportOptions {
+  std::size_t top_violations = 12;  ///< timeline rows (worst slack first)
+  std::size_t top_aggressors = 12;  ///< Pareto bars
+  std::size_t slack_bins = 24;      ///< slack histogram resolution
+};
+
+/// Render the dashboard for one analysis run. Chart content is derived
+/// from the Result's deterministic fields (violations, provenance,
+/// slacks); only the #phases tables carry wall-time values.
+void write_html_report(std::ostream& os, const net::Design& design,
+                       const Options& options, const Result& result,
+                       const HtmlReportOptions& hopt = {});
+
+}  // namespace nw::noise

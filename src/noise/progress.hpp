@@ -1,0 +1,61 @@
+// Streaming progress and cooperative cancellation for long analyses.
+//
+// The staged pipeline (analyzer.cpp) reports checkpoints through an
+// optional ProgressSink: once after the analysis context is built, then
+// between batches of the estimation stage, after every propagation level,
+// and between batches of the endpoint checks. Checkpoints fire only on
+// the coordinating thread, between (never inside) parallel regions, so a
+// sink needs no synchronization against the pipeline and — because batch
+// sizes are multiples of the stage chunk sizes — installing a sink
+// changes neither the results nor the deterministic executor-task counts.
+//
+// Cancellation is polled at the same checkpoints: when
+// `cancel_requested()` returns true the pipeline throws Cancelled out of
+// analyze()/analyze_incremental() without producing a Result. A
+// session::Session only commits analysis output after analyze returns,
+// so a cancelled analysis leaves the session bit-identical to its
+// pre-analyze state (epoch unchanged, journal intact) — see DESIGN.md
+// §4.9.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace nw::noise {
+
+/// One pipeline checkpoint. `completed`/`total` count phase-local work
+/// units (victims, instances, endpoints); `eta_s` extrapolates the
+/// remaining phase time from the elapsed rate (0 until measurable).
+struct Progress {
+  const char* phase = "";  ///< "build-context" | "estimate-injected" |
+                           ///< "propagate" | "check-endpoints"
+  int iteration = 1;           ///< refinement pass (1-based)
+  std::size_t completed = 0;   ///< work units finished within the phase
+  std::size_t total = 0;       ///< work units in the phase
+  std::size_t level = 0;       ///< propagate only: last completed level index
+  double phase_elapsed_s = 0;  ///< wall time since the phase began [s]
+  double eta_s = 0;            ///< projected remaining phase time [s]
+};
+
+/// Thrown out of analyze()/analyze_incremental() when the sink requests
+/// cancellation; no Result is produced and no caller state is mutated.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("analysis cancelled") {}
+};
+
+/// Observer threaded through the pipeline. Both methods are invoked from
+/// the coordinating thread only, between parallel regions.
+class ProgressSink {
+ public:
+  virtual ~ProgressSink() = default;
+
+  /// Called at every checkpoint. Must not re-enter the analyzer.
+  virtual void on_progress(const Progress& progress) = 0;
+
+  /// Polled at every checkpoint; return true to abort the analysis (the
+  /// pipeline throws Cancelled at that checkpoint).
+  virtual bool cancel_requested() { return false; }
+};
+
+}  // namespace nw::noise

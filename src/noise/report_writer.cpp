@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "noise/trace.hpp"
 #include "report/table.hpp"
@@ -119,6 +120,79 @@ std::string report_string(const net::Design& design, const Options& options,
                           const Result& result, const ReportOptions& ropt) {
   std::ostringstream os;
   write_report(os, design, options, result, ropt);
+  return os.str();
+}
+
+namespace {
+
+std::string interval_str(const Interval& iv) {
+  if (iv == Interval::everything()) return "(always)";
+  if (iv.is_empty()) return "(never)";
+  return iv.str();
+}
+
+}  // namespace
+
+bool write_explain(std::ostream& os, const net::Design& design, const Options& opt,
+                   const Result& result, NetId net) {
+  if (net.index() >= result.nets.size()) {
+    throw std::invalid_argument("explain: bad net id");
+  }
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < result.violations.size(); ++i) {
+    if (result.violations[i].net == net) hits.push_back(i);
+  }
+  const std::string& name = design.net(net).name;
+  if (hits.empty()) {
+    os << "net '" << name << "': no violations (mode " << to_string(opt.mode)
+       << ", combined peak " << report::fmt_mv(result.net(net).total_peak) << ")\n";
+    return false;
+  }
+  os << "=== explain: net '" << name << "' — " << hits.size() << " violation"
+     << (hits.size() == 1 ? "" : "s") << " (mode " << to_string(opt.mode) << ") ===\n";
+  for (const std::size_t vi : hits) {
+    const Violation& v = result.violations[vi];
+    const Provenance& p = result.provenance.at(vi);
+    os << "\nendpoint " << design.pin_name(v.endpoint) << ": peak "
+       << report::fmt_mv(v.peak) << " / threshold " << report::fmt_mv(v.threshold)
+       << " (slack " << report::fmt_mv(v.slack()) << "), width "
+       << report::fmt_ps(v.width) << "\n";
+    os << "  worst alignment: " << interval_str(p.alignment)
+       << "   sensitivity: " << interval_str(v.sensitivity) << "\n";
+    os << "  filtering stages: unfiltered " << report::fmt_mv(p.peak_unfiltered)
+       << " -> switching-windows " << report::fmt_mv(p.peak_switching)
+       << " -> noise-windows " << report::fmt_mv(p.peak_noise_window)
+       << " -> in-sensitivity " << report::fmt_mv(p.peak_in_sensitivity)
+       << "   culled by: " << to_string(p.culled_by) << "\n";
+    report::TextTable shares({"rank", "source", "peak", "coupling", "overlap",
+                              "verdict"});
+    for (std::size_t si = 0; si < p.shares.size(); ++si) {
+      const AggressorShare& s = p.shares[si];
+      const std::string source = s.is_propagated()
+                                     ? "via " + design.net(s.from_net).name
+                                     : design.net(s.aggressor).name;
+      shares.add_row({std::to_string(si + 1), source, report::fmt_mv(s.peak),
+                      s.is_propagated() ? "-" : report::fmt_ff(s.coupling_cap),
+                      interval_str(s.overlap), to_string(s.verdict)});
+    }
+    shares.print(os);
+    if (p.path.size() > 1) {
+      os << "  path:";
+      for (std::size_t i = 0; i < p.path.size(); ++i) {
+        if (i > 0) os << " <-";
+        os << ' ' << design.net(p.path[i].net).name << " ("
+           << report::fmt_mv(p.path[i].peak) << ")";
+      }
+      os << "\n";
+    }
+  }
+  return true;
+}
+
+std::string explain_string(const net::Design& design, const Options& options,
+                           const Result& result, NetId net) {
+  std::ostringstream os;
+  write_explain(os, design, options, result, net);
   return os.str();
 }
 

@@ -31,4 +31,16 @@ void write_delay_impact(std::ostream& os, const net::Design& design,
                                         const Result& result,
                                         const ReportOptions& ropt = {});
 
+/// Explain every violation on `net` from its Provenance record: ranked
+/// aggressor shares (peak, coupling, window overlap, filter verdict), the
+/// filtering-stage peaks with the culling stage, and the propagation path.
+/// Deterministic — the rendering is bit-identical across thread counts.
+/// Prints a "no violations" note (and returns false) when the net is clean.
+bool write_explain(std::ostream& os, const net::Design& design, const Options& options,
+                   const Result& result, NetId net);
+
+[[nodiscard]] std::string explain_string(const net::Design& design,
+                                         const Options& options, const Result& result,
+                                         NetId net);
+
 }  // namespace nw::noise

@@ -1,0 +1,171 @@
+#include "report/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace nw::report {
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+LinearScale::LinearScale(double data_lo, double data_hi, double px_lo, double px_hi)
+    : d0_(data_lo), d1_(data_hi), p0_(px_lo), p1_(px_hi) {}
+
+double LinearScale::operator()(double v) const noexcept {
+  if (!(d1_ > d0_)) return (p0_ + p1_) / 2.0;
+  const double t = (v - d0_) / (d1_ - d0_);
+  return p0_ + t * (p1_ - p0_);
+}
+
+namespace {
+
+/// Fixed-point pixel coordinate (avoids locale/exponent surprises).
+std::string px(double v) { return fmt_fixed(v, 1); }
+
+std::string tick_text(double v, double scale, std::string_view unit) {
+  std::ostringstream os;
+  os << fmt_fixed(v * scale, 2);
+  if (!unit.empty()) os << ' ' << unit;
+  return os.str();
+}
+
+// Inline SVG inside an HTML document needs no xmlns (the HTML parser
+// assigns the namespace) — and the dashboard must carry no URL at all to
+// stay verifiably self-contained (validate_obs.py rejects "http").
+void open_svg(std::ostream& os, double width, double height) {
+  os << "<svg viewBox=\"0 0 " << px(width) << ' ' << px(height) << "\" width=\""
+     << px(width) << "\" height=\"" << px(height) << "\" role=\"img\">\n";
+}
+
+void axis_ticks(std::ostream& os, double lo, double hi, const LinearScale& x,
+                double y_top, double y_bottom, double axis_scale,
+                std::string_view axis_unit) {
+  constexpr int kTicks = 5;
+  for (int i = 0; i <= kTicks; ++i) {
+    const double v = lo + (hi - lo) * i / kTicks;
+    const double xx = x(v);
+    os << "  <line class=\"grid\" x1=\"" << px(xx) << "\" y1=\"" << px(y_top)
+       << "\" x2=\"" << px(xx) << "\" y2=\"" << px(y_bottom) << "\"/>\n";
+    os << "  <text class=\"tick\" x=\"" << px(xx) << "\" y=\"" << px(y_bottom + 14)
+       << "\" text-anchor=\"middle\">" << html_escape(tick_text(v, axis_scale, axis_unit))
+       << "</text>\n";
+  }
+}
+
+}  // namespace
+
+void write_bar_chart(std::ostream& os, const std::vector<Bar>& bars,
+                     const ChartGeom& geom, bool cumulative_line) {
+  const double height = geom.row_height * static_cast<double>(bars.size()) + 8.0;
+  open_svg(os, geom.width, height);
+  double max_value = 0.0;
+  double total = 0.0;
+  for (const Bar& b : bars) {
+    max_value = std::max(max_value, b.value);
+    total += b.value;
+  }
+  const LinearScale x(0.0, max_value > 0.0 ? max_value : 1.0, geom.label_width,
+                      geom.width - 70.0);
+  double cumulative = 0.0;
+  std::ostringstream line;
+  for (std::size_t i = 0; i < bars.size(); ++i) {
+    const Bar& b = bars[i];
+    const double y = 4.0 + geom.row_height * static_cast<double>(i);
+    const double bar_h = geom.row_height - 6.0;
+    os << "  <text class=\"label\" x=\"" << px(geom.label_width - 8.0) << "\" y=\""
+       << px(y + bar_h - 4.0) << "\" text-anchor=\"end\">" << html_escape(b.label)
+       << "</text>\n";
+    os << "  <rect class=\"" << html_escape(b.cls) << "\" x=\"" << px(geom.label_width)
+       << "\" y=\"" << px(y) << "\" width=\""
+       << px(std::max(x(b.value) - geom.label_width, 1.0)) << "\" height=\""
+       << px(bar_h) << "\"/>\n";
+    os << "  <text class=\"value\" x=\"" << px(x(b.value) + 6.0) << "\" y=\""
+       << px(y + bar_h - 4.0) << "\">" << html_escape(b.value_text) << "</text>\n";
+    if (cumulative_line && total > 0.0) {
+      cumulative += b.value;
+      const double cx = geom.label_width +
+                        (cumulative / total) * (geom.width - 70.0 - geom.label_width);
+      line << px(cx) << ',' << px(y + bar_h / 2.0) << ' ';
+    }
+  }
+  if (cumulative_line && !bars.empty() && total > 0.0) {
+    os << "  <polyline class=\"cumline\" fill=\"none\" points=\"" << line.str()
+       << "\"/>\n";
+  }
+  os << "</svg>\n";
+}
+
+void write_histogram(std::ostream& os, const std::vector<HistogramBin>& bins,
+                     const ChartGeom& geom, double axis_scale,
+                     std::string_view axis_unit) {
+  const double height = geom.plot_height + geom.axis_height + 8.0;
+  open_svg(os, geom.width, height);
+  if (!bins.empty()) {
+    std::size_t max_count = 1;
+    for (const HistogramBin& b : bins) max_count = std::max(max_count, b.count);
+    const double lo = bins.front().lo;
+    const double hi = bins.back().hi;
+    const LinearScale x(lo, hi, 40.0, geom.width - 16.0);
+    const LinearScale y(0.0, static_cast<double>(max_count), geom.plot_height + 4.0,
+                        4.0);
+    axis_ticks(os, lo, hi, x, 4.0, geom.plot_height + 4.0, axis_scale, axis_unit);
+    for (const HistogramBin& b : bins) {
+      if (b.count == 0) continue;
+      const double x0 = x(b.lo);
+      const double x1 = x(b.hi);
+      const double yy = y(static_cast<double>(b.count));
+      os << "  <rect class=\"" << html_escape(b.cls) << "\" x=\"" << px(x0 + 1.0)
+         << "\" y=\"" << px(yy) << "\" width=\"" << px(std::max(x1 - x0 - 2.0, 1.0))
+         << "\" height=\"" << px(geom.plot_height + 4.0 - yy) << "\"><title>"
+         << b.count << "</title></rect>\n";
+    }
+  }
+  os << "</svg>\n";
+}
+
+void write_timeline(std::ostream& os, const std::vector<TimelineRow>& rows,
+                    double axis_lo, double axis_hi, const ChartGeom& geom,
+                    double axis_scale, std::string_view axis_unit) {
+  const double height =
+      geom.row_height * static_cast<double>(rows.size()) + geom.axis_height + 8.0;
+  open_svg(os, geom.width, height);
+  const LinearScale x(axis_lo, axis_hi, geom.label_width, geom.width - 16.0);
+  const double plot_bottom = 4.0 + geom.row_height * static_cast<double>(rows.size());
+  axis_ticks(os, axis_lo, axis_hi, x, 4.0, plot_bottom, axis_scale, axis_unit);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TimelineRow& row = rows[i];
+    const double y = 4.0 + geom.row_height * static_cast<double>(i);
+    const double row_h = geom.row_height - 8.0;
+    os << "  <text class=\"label\" x=\"" << px(geom.label_width - 8.0) << "\" y=\""
+       << px(y + row_h - 2.0) << "\" text-anchor=\"end\">" << html_escape(row.label)
+       << "</text>\n";
+    for (const TimelineSpan& s : row.spans) {
+      const double lo = std::max(s.lo, axis_lo);
+      const double hi = std::min(s.hi, axis_hi);
+      if (!(hi > lo)) continue;
+      os << "  <rect class=\"" << html_escape(s.cls) << "\" x=\"" << px(x(lo))
+         << "\" y=\"" << px(y) << "\" width=\"" << px(std::max(x(hi) - x(lo), 1.5))
+         << "\" height=\"" << px(row_h) << "\"/>\n";
+    }
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace nw::report

@@ -1,0 +1,90 @@
+// Minimal inline-SVG chart primitives for self-contained HTML reports.
+//
+// Everything renders into an open stream as a single `<svg>` element with
+// no external references — styling comes from CSS classes the embedding
+// page defines in its one `<style>` block, so the produced HTML stays a
+// single self-contained file (tools/validate_obs.py --html-report checks
+// exactly that). The helpers are generic over labels/values; the noise
+// dashboard (noise/html_report.cpp) supplies the domain content.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nw::report {
+
+/// Escape `&<>"'` for safe embedding in HTML text and attribute values.
+[[nodiscard]] std::string html_escape(std::string_view s);
+
+/// Linear data→pixel mapping; a degenerate data range maps to the pixel
+/// midpoint instead of dividing by zero.
+class LinearScale {
+ public:
+  LinearScale(double data_lo, double data_hi, double px_lo, double px_hi);
+  [[nodiscard]] double operator()(double v) const noexcept;
+
+ private:
+  double d0_, d1_, p0_, p1_;
+};
+
+/// Shared chart geometry (pixels).
+struct ChartGeom {
+  double width = 840.0;       ///< total svg width
+  double label_width = 200.0; ///< left gutter for row labels
+  double row_height = 24.0;   ///< per-row height (bar charts, timelines)
+  double plot_height = 160.0; ///< plot area height (histograms)
+  double axis_height = 24.0;  ///< bottom gutter for tick labels
+};
+
+/// One horizontal bar; `value_text` is pre-formatted by the caller and
+/// `cls` selects the CSS class of the bar rect.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+  std::string value_text;
+  std::string cls = "bar";
+};
+
+/// Horizontal bar chart, one row per Bar, drawn in the given order.
+/// With `cumulative_line` a polyline of the running value share (0..100%
+/// of the total) is overlaid — the Pareto rendering.
+void write_bar_chart(std::ostream& os, const std::vector<Bar>& bars,
+                     const ChartGeom& geom, bool cumulative_line = false);
+
+/// One vertical histogram bin covering [lo, hi) with `count` observations.
+struct HistogramBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::size_t count = 0;
+  std::string cls = "bin";
+};
+
+/// Vertical histogram over contiguous bins; tick labels are the bin edges
+/// scaled by `axis_scale` with `axis_unit` appended (e.g. 1e3, "mV").
+void write_histogram(std::ostream& os, const std::vector<HistogramBin>& bins,
+                     const ChartGeom& geom, double axis_scale,
+                     std::string_view axis_unit);
+
+/// One span on a timeline row; `cls` selects the CSS class of the rect.
+struct TimelineSpan {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::string cls = "span";
+};
+
+struct TimelineRow {
+  std::string label;
+  std::vector<TimelineSpan> spans;
+};
+
+/// Rows of labeled horizontal spans over one shared time axis
+/// [axis_lo, axis_hi]; spans are clamped to the axis. Tick labels are
+/// scaled by `axis_scale` with `axis_unit` appended (e.g. 1e9, "ns").
+void write_timeline(std::ostream& os, const std::vector<TimelineRow>& rows,
+                    double axis_lo, double axis_hi, const ChartGeom& geom,
+                    double axis_scale, std::string_view axis_unit);
+
+}  // namespace nw::report

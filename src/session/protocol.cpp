@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "noise/progress.hpp"
 #include "noise/trace.hpp"
 #include "obs/tracer.hpp"
 
@@ -81,6 +82,50 @@ Json violation_json(const net::Design& design, const noise::Violation& v) {
   o.set("threshold", v.threshold);
   o.set("slack", v.slack());
   o.set("temporal", v.temporal);
+  return o;
+}
+
+Json share_json(const net::Design& design, const noise::AggressorShare& s) {
+  Json o = Json::object();
+  if (s.is_propagated()) {
+    o.set("source", "propagated");
+  } else {
+    o.set("source", design.net(s.aggressor).name);
+    o.set("coupling_cap", s.coupling_cap);
+  }
+  if (s.from_net.valid()) o.set("from_net", design.net(s.from_net).name);
+  o.set("peak", s.peak);
+  o.set("overlap", interval_json(s.overlap));
+  o.set("verdict", noise::to_string(s.verdict));
+  return o;
+}
+
+Json provenance_json(const net::Design& design, const noise::Violation& v,
+                     const noise::Provenance& p) {
+  Json o = violation_json(design, v);
+  o.set("sensitivity", interval_json(v.sensitivity));
+  o.set("alignment", interval_json(p.alignment));
+  Json stages = Json::object();
+  stages.set("unfiltered", p.peak_unfiltered);
+  stages.set("switching_windows", p.peak_switching);
+  stages.set("noise_windows", p.peak_noise_window);
+  stages.set("in_sensitivity", p.peak_in_sensitivity);
+  o.set("stages", std::move(stages));
+  o.set("culled_by", noise::to_string(p.culled_by));
+  Json shares = Json::array();
+  for (const noise::AggressorShare& s : p.shares) {
+    shares.push_back(share_json(design, s));
+  }
+  o.set("aggressors", std::move(shares));
+  Json path = Json::array();
+  for (const noise::ProvenanceStep& step : p.path) {
+    Json sj = Json::object();
+    sj.set("net", design.net(step.net).name);
+    sj.set("peak", step.peak);
+    sj.set("width", step.width);
+    path.push_back(std::move(sj));
+  }
+  o.set("path", std::move(path));
   return o;
 }
 
@@ -189,6 +234,22 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     o.set("aggressors", std::move(aggs));
     return o;
   }
+  if (cmd == "explain") {
+    const NetId id = session_.require_net(arg_string(args, "net"));
+    const noise::Result& r = session_.result();
+    Json list = Json::array();
+    for (std::size_t i = 0; i < r.violations.size(); ++i) {
+      if (r.violations[i].net != id) continue;
+      list.push_back(
+          provenance_json(session_.design(), r.violations[i], r.provenance[i]));
+    }
+    Json o = Json::object();
+    o.set("net", session_.design().net(id).name);
+    o.set("count", list.items().size());
+    o.set("epoch", static_cast<double>(r.epoch));
+    o.set("violations", std::move(list));
+    return o;
+  }
   if (cmd == "slack") {
     const std::size_t limit = arg_limit(args, 20);
     const std::vector<EndpointSlack> slacks = session_.endpoint_slacks();
@@ -260,6 +321,15 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     return o;
   }
 
+  // A `cancel` that reaches dispatch found no analysis in flight (the
+  // server intercepts mid-analyze cancels out-of-band from the progress
+  // sink and answers them there, with "cancelled": true).
+  if (cmd == "cancel") {
+    Json o = Json::object();
+    o.set("cancelled", false);
+    return o;
+  }
+
   throw ProtoError{"unknown_cmd", "unknown command '" + cmd + "'"};
 }
 
@@ -267,6 +337,9 @@ std::string Protocol::handle_line(std::string_view line) {
   requests_.add();
   const std::uint64_t req_id = reqobs_ != nullptr ? reqobs_->next_id() : 0;
   const auto t0 = std::chrono::steady_clock::now();
+  // Analysis-count delta tells whether this request triggered an analysis;
+  // if so its phase breakdown is attached to any slow-log entry.
+  const std::uint64_t analyses_before = session_.analyses();
   // Latency attribution: starts invalid, becomes the command name once the
   // envelope resolves one. unknown_cmd reverts to invalid below, so metric
   // cardinality stays bounded by the real command set.
@@ -318,6 +391,9 @@ std::string Protocol::handle_line(std::string_view line) {
   } catch (const NotFound& e) {
     code = "not_found";
     message = e.what();
+  } catch (const noise::Cancelled& e) {
+    code = "cancelled";
+    message = e.what();
   } catch (const std::invalid_argument& e) {
     code = "bad_args";
     message = e.what();
@@ -341,7 +417,17 @@ std::string Protocol::handle_line(std::string_view line) {
     const double ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
             .count();
-    reqobs_->observe(req_id, cmd_name, ms, code.empty());
+    RequestPhases phases;
+    const bool ran_analysis = session_.analyses() != analyses_before;
+    if (ran_analysis) {
+      const Session::AnalysisPhases& p = session_.last_phases();
+      phases.context_ms = p.context_s * 1e3;
+      phases.estimate_ms = p.estimate_s * 1e3;
+      phases.propagate_ms = p.propagate_s * 1e3;
+      phases.endpoints_ms = p.endpoints_s * 1e3;
+    }
+    reqobs_->observe(req_id, cmd_name, ms, code.empty(),
+                     ran_analysis ? &phases : nullptr);
   }
   return response;
 }

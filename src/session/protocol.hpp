@@ -18,6 +18,8 @@
 //   unknown_cmd   no such command
 //   bad_args      command rejected its arguments (validation failed)
 //   not_found     a named net/instance/port does not exist
+//   cancelled     an in-flight analysis was cooperatively cancelled; the
+//                 session keeps its pre-analyze state (epoch unchanged)
 //   internal      unexpected failure (the message says what)
 #pragma once
 

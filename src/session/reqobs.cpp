@@ -40,13 +40,22 @@ std::uint64_t RequestContext::next_id() noexcept {
 }
 
 void RequestContext::observe(std::uint64_t id, const std::string& cmd, double ms,
-                             bool ok) {
+                             bool ok, const RequestPhases* phases) {
   registry_
       .histogram(std::string(kLatencyPrefix) + cmd, "request latency",
                  kLatencyBoundsMs, "ms", /*deterministic=*/false)
       .observe(ms);
   if (ms < slow_ms_) return;
-  slow_log_.record(SlowRequest{id, cmd, ms, ok});
+  SlowRequest slow;
+  slow.id = id;
+  slow.cmd = cmd;
+  slow.ms = ms;
+  slow.ok = ok;
+  if (phases != nullptr) {
+    slow.has_phases = true;
+    slow.phases = *phases;
+  }
+  slow_log_.record(std::move(slow));
   NW_LOG(kWarn) << "slow request " << id << " (" << cmd << "): " << ms
                 << " ms >= " << slow_ms_ << " ms threshold";
 }
@@ -59,6 +68,14 @@ Json RequestContext::slowlog_json() const {
     e.set("cmd", r.cmd);
     e.set("ms", r.ms);
     e.set("ok", r.ok);
+    if (r.has_phases) {
+      Json ph = Json::object();
+      ph.set("context_ms", r.phases.context_ms);
+      ph.set("estimate_ms", r.phases.estimate_ms);
+      ph.set("propagate_ms", r.phases.propagate_ms);
+      ph.set("endpoints_ms", r.phases.endpoints_ms);
+      e.set("phases", std::move(ph));
+    }
     list.push_back(std::move(e));
   }
   Json o = Json::object();

@@ -32,12 +32,23 @@
 
 namespace nw::session {
 
+/// Phase wall-time breakdown of a request that triggered an analysis —
+/// *where* a slow request was slow, not just how long it took.
+struct RequestPhases {
+  double context_ms = 0.0;
+  double estimate_ms = 0.0;
+  double propagate_ms = 0.0;
+  double endpoints_ms = 0.0;
+};
+
 /// One remembered over-threshold request.
 struct SlowRequest {
   std::uint64_t id = 0;   ///< request id (monotonic per context)
   std::string cmd;        ///< resolved command ("_invalid" pre-resolution)
   double ms = 0.0;        ///< wall time of handle_line
   bool ok = true;         ///< false when the response was an error
+  bool has_phases = false;  ///< the request ran an analysis
+  RequestPhases phases;     ///< meaningful only when has_phases
 };
 
 /// Bounded FIFO of slow requests: capacity-oldest are evicted, total
@@ -72,8 +83,11 @@ class RequestContext {
 
   /// Record one handled request: feeds the command's latency histogram and,
   /// when over threshold, the slow log + a rate-limited warning. `cmd` must
-  /// already be cardinality-bounded (see header comment).
-  void observe(std::uint64_t id, const std::string& cmd, double ms, bool ok);
+  /// already be cardinality-bounded (see header comment). `phases` is
+  /// non-null when the request triggered an analysis; slow entries then
+  /// remember the per-phase wall-time breakdown.
+  void observe(std::uint64_t id, const std::string& cmd, double ms, bool ok,
+               const RequestPhases* phases = nullptr);
 
   [[nodiscard]] const SlowLog& slow_log() const noexcept { return slow_log_; }
 

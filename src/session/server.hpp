@@ -15,13 +15,26 @@
 
 namespace nw::session {
 
+struct ServeOptions {
+  /// Stream {"event":"progress",...} notification lines interleaved with
+  /// responses while an analysis runs, and accept a mid-analyze `cancel`
+  /// request (answered out-of-band with {"cancelled":true}; the in-flight
+  /// analyzing request then fails with error code "cancelled" and the
+  /// session keeps its pre-analyze state). Off by default: responses stay
+  /// strictly one-per-request-line and input is read synchronously.
+  bool progress = false;
+};
+
 /// Read JSONL requests from `in` until EOF, writing exactly one JSON
 /// response line per input line to `out` (flushed per line, so a pipe
 /// client can converse synchronously). Returns the number of requests.
 /// With a RequestContext every command gets a request id, a trace span, a
 /// latency-histogram sample, and slow-log coverage (see session/reqobs.hpp).
+/// With options.progress, a reader thread decouples input from request
+/// handling so `cancel` can be seen while an analysis is in flight;
+/// clients must then skip "event" lines when matching responses.
 std::size_t serve(Session& session, std::istream& in, std::ostream& out,
-                  RequestContext* reqobs = nullptr);
+                  RequestContext* reqobs = nullptr, ServeOptions options = {});
 
 /// Interactive REPL: whitespace-tokenized commands, human-readable
 /// answers, `help` for the command list, `quit` (or EOF) to leave.

@@ -406,15 +406,22 @@ void Session::ensure_current() {
     std::sort(changed.begin(), changed.end(),
               [](NetId a, NetId b) { return a.value() < b.value(); });
     changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+    // A cancelled analysis throws noise::Cancelled here; everything below
+    // — counters, base state, cache, dirty set — is only reached when the
+    // analysis ran to completion, so cancellation leaves the session
+    // bit-identical to its pre-analyze state.
     r = noise::analyze_incremental(design_, para_, *sta_now, cfg_.noise, *base_result_,
-                                   changed);
+                                   changed, progress_);
     incremental_analyses_.add();
     dirty_hist_.observe(static_cast<double>(changed.size()));
   } else {
-    r = noise::analyze(design_, para_, *sta_now, cfg_.noise);
+    r = noise::analyze(design_, para_, *sta_now, cfg_.noise, progress_);
     full_analyses_.add();
   }
   r.epoch = epoch_;
+  last_phases_ = AnalysisPhases{r.telemetry.context_seconds, r.telemetry.estimate_seconds,
+                                r.telemetry.propagate_seconds,
+                                r.telemetry.endpoints_seconds};
 
   base_result_ = std::make_shared<const noise::Result>(std::move(r));
   base_sta_ = std::move(sta_now);

@@ -131,6 +131,31 @@ class Session {
 
   // ---- observability ------------------------------------------------------
 
+  /// Install (or clear, with nullptr) a ProgressSink passed to every
+  /// analyze/analyze_incremental this session runs. The sink may cancel:
+  /// noise::Cancelled then propagates out of the querying call and the
+  /// session keeps its pre-analyze state bit-exactly — ensure_current()
+  /// only commits results after analyze returns (epoch, journal, cache
+  /// and base result are untouched by a cancelled run).
+  void set_progress_sink(noise::ProgressSink* sink) noexcept { progress_ = sink; }
+
+  /// Wall-time phase breakdown of the most recent analysis this session
+  /// ran (from its Telemetry). All zeros until the first analysis.
+  struct AnalysisPhases {
+    double context_s = 0.0;
+    double estimate_s = 0.0;
+    double propagate_s = 0.0;
+    double endpoints_s = 0.0;
+  };
+  [[nodiscard]] const AnalysisPhases& last_phases() const noexcept {
+    return last_phases_;
+  }
+  /// Total analyses run (full + incremental); lets a caller detect whether
+  /// a given request triggered an analysis (the slowlog phase breakdown).
+  [[nodiscard]] std::uint64_t analyses() const noexcept {
+    return full_analyses() + incremental_analyses();
+  }
+
   /// The session's metrics registry: analysis/cache/edit counters live
   /// here, and the transport layer registers its request counters into the
   /// same registry so one snapshot covers the whole server.
@@ -203,6 +228,8 @@ class Session {
   std::uint64_t epoch_ = 0;       ///< identifies the current design state
   std::uint64_t next_epoch_ = 1;  ///< never reused (undo restores old values)
   std::vector<NetId> pending_dirty_;  ///< edits since the base result
+  noise::ProgressSink* progress_ = nullptr;  ///< not owned; may be nullptr
+  AnalysisPhases last_phases_;  ///< phase wall times of the latest analysis
 
   // The last analyzed state: result + the STA it was computed from.
   std::shared_ptr<const noise::Result> base_result_;

@@ -191,19 +191,15 @@ TEST(Cli, StatsFooterLandsInReportFile) {
 
 TEST(Cli, UnwritableOutputPathsFailFastWithClearErrors) {
   // A typo'd output directory must fail before analysis, with a message
-  // naming the artifact and the path, and a non-zero exit.
+  // naming the flag that supplied the path, and a non-zero exit.
   const std::string bad = "/nonexistent_dir_for_noisewin_tests/out.file";
-  struct Case {
-    const char* flag;
-    const char* what;
-  };
-  for (const Case& c : {Case{"--report", "report"}, Case{"--stats-json", "stats"},
-                        Case{"--trace-out", "trace"}}) {
+  for (const char* flag :
+       {"--report", "--stats-json", "--trace-out", "--html-report"}) {
     std::string err;
-    EXPECT_EQ(run({"--demo", "bus", c.flag, bad}, nullptr, &err), 1) << c.flag;
-    EXPECT_NE(err.find(std::string("cannot write ") + c.what), std::string::npos)
-        << c.flag << ": " << err;
-    EXPECT_NE(err.find(bad), std::string::npos) << c.flag << ": " << err;
+    EXPECT_EQ(run({"--demo", "bus", flag, bad}, nullptr, &err), 1) << flag;
+    EXPECT_NE(err.find(std::string("cannot write ") + flag), std::string::npos)
+        << flag << ": " << err;
+    EXPECT_NE(err.find(bad), std::string::npos) << flag << ": " << err;
   }
   // serve validates its --stats-json destination up front too.
   std::string err;
@@ -213,7 +209,82 @@ TEST(Cli, UnwritableOutputPathsFailFastWithClearErrors) {
                                                   "--stats-json", bad},
                          in, out, serr),
             1);
-  EXPECT_NE(serr.str().find("cannot write stats"), std::string::npos) << serr.str();
+  EXPECT_NE(serr.str().find("cannot write --stats-json"), std::string::npos)
+      << serr.str();
+}
+
+TEST(Cli, ExplainCommandPrintsProvenance) {
+  // A clean net still explains (with a "no violations" note) and exits 0.
+  std::string out;
+  EXPECT_EQ(run({"explain", "w1", "--demo", "bus"}, &out), 0);
+  EXPECT_NE(out.find("net 'w1'"), std::string::npos) << out;
+
+  std::string err;
+  EXPECT_EQ(run({"explain", "definitely_not_a_net", "--demo", "bus"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown net"), std::string::npos) << err;
+
+  EXPECT_EQ(run({"explain", "--demo", "bus"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("explain needs a net name"), std::string::npos) << err;
+}
+
+TEST(Cli, HtmlReportArtifactIsSelfContained) {
+  const fs::path dir = fs::temp_directory_path() / "noisewin_cli_html_test";
+  fs::create_directories(dir);
+  const auto html_path = (dir / "report.html").string();
+  std::string err;
+  const int rc = run({"--demo", "bus", "--html-report", html_path}, nullptr, &err);
+  EXPECT_TRUE(rc == 0 || rc == 2) << err;
+
+  std::stringstream html;
+  {
+    std::ifstream f(html_path);
+    ASSERT_TRUE(f.good());
+    html << f.rdbuf();
+  }
+  EXPECT_EQ(html.str().rfind("<!DOCTYPE html", 0), 0u);
+  EXPECT_NE(html.str().find("<svg"), std::string::npos);
+  for (const char* id : {"id=\"meta\"", "id=\"summary\"", "id=\"timelines\"",
+                         "id=\"pareto\"", "id=\"slack\"", "id=\"phases\""}) {
+    EXPECT_NE(html.str().find(id), std::string::npos) << id;
+  }
+  for (const char* banned : {"http", "<script", "<link", "url("}) {
+    EXPECT_EQ(html.str().find(banned), std::string::npos) << banned;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Cli, ProgressFlagDrawsStderrMeter) {
+  std::string err;
+  const int rc = run({"--demo", "bus", "--progress"}, nullptr, &err);
+  EXPECT_TRUE(rc == 0 || rc == 2);
+  EXPECT_NE(err.find("[check-endpoints]"), std::string::npos) << err;
+  // The meter redraws in place and ends with a newline, not a dangling line.
+  EXPECT_NE(err.find('\r'), std::string::npos);
+}
+
+TEST(Cli, ServeProgressStreamsEventsWithTheResponse) {
+  std::istringstream in("{\"id\":1,\"cmd\":\"violations\"}\n");
+  std::ostringstream out, err;
+  const int rc = cli::run_cli(
+      std::vector<std::string>{"serve", "--demo", "bus", "--progress"}, in, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  // The analyzing request streams progress events before its response.
+  EXPECT_NE(out.str().find("\"event\":\"progress\""), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("\"phase\":"), std::string::npos);
+  EXPECT_NE(out.str().find("\"id\":1"), std::string::npos);
+}
+
+TEST(Cli, ServeProgressAnswersIdleCancel) {
+  // No analysis in flight: the cancel reaches the dispatcher and reports
+  // there was nothing to cancel. (Mid-analyze cancellation is exercised at
+  // the session layer in test_progress.cpp and end-to-end by nwclient.py.)
+  std::istringstream in("{\"id\":2,\"cmd\":\"cancel\"}\n");
+  std::ostringstream out, err;
+  const int rc = cli::run_cli(
+      std::vector<std::string>{"serve", "--demo", "bus", "--progress"}, in, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("\"cancelled\":false"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("\"id\":2"), std::string::npos);
 }
 
 TEST(Cli, ServeSubcommandSpeaksJsonl) {

@@ -1,0 +1,70 @@
+// The --html-report artifact: one self-contained file — inline SVG and a
+// single style block, no scripts or external references — with every
+// section id tools/validate_obs.py --html-report requires.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "gen/bus.hpp"
+#include "gen/randlogic.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/html_report.hpp"
+#include "sta/sta.hpp"
+#include "util/units.hpp"
+
+namespace nw::noise {
+namespace {
+
+std::string render(const gen::Generated& g) {
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  Options o;
+  o.clock_period = g.sta_options.clock_period;
+  const Result r = analyze(g.design, g.para, timing, o);
+  std::ostringstream os;
+  write_html_report(os, g.design, o, r);
+  return os.str();
+}
+
+void expect_self_contained(const std::string& html) {
+  EXPECT_EQ(html.rfind("<!DOCTYPE html", 0), 0u);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  for (const char* id : {"id=\"meta\"", "id=\"summary\"", "id=\"timelines\"",
+                         "id=\"pareto\"", "id=\"slack\"", "id=\"phases\""}) {
+    EXPECT_NE(html.find(id), std::string::npos) << id;
+  }
+  // No external references of any kind.
+  for (const char* banned : {"http://", "https://", "<script", "<link", "url("}) {
+    EXPECT_EQ(html.find(banned), std::string::npos) << banned;
+  }
+  // Exactly one style block keeps the artifact a single coherent document.
+  EXPECT_EQ(html.find("<style"), html.rfind("<style"));
+}
+
+TEST(HtmlReport, ViolatingDesignRendersAllSections) {
+  const lib::Library library = lib::default_library();
+  gen::RandLogicConfig cfg;
+  cfg.primary_inputs = 12;
+  cfg.gates = 300;
+  cfg.levels = 6;
+  cfg.coupling_prob = 0.6;
+  cfg.dff_fraction = 0.3;
+  cfg.seed = 11;
+  const gen::Generated g = gen::make_rand_logic(library, cfg);
+  const std::string html = render(g);
+  expect_self_contained(html);
+  // Chart sections actually carry chart content for a violating design.
+  EXPECT_NE(html.find("aggressor"), std::string::npos);
+}
+
+TEST(HtmlReport, CleanDesignStillRendersEverySection) {
+  const lib::Library library = lib::default_library();
+  gen::BusConfig cfg;
+  cfg.bits = 4;
+  cfg.segments = 2;
+  const gen::Generated g = gen::make_bus(library, cfg);
+  expect_self_contained(render(g));
+}
+
+}  // namespace
+}  // namespace nw::noise

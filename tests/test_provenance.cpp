@@ -1,0 +1,264 @@
+// Violation provenance: every violation carries a ranked explanation
+// (aggressor shares, filtering-stage peaks, propagation path) that is
+// bit-identical across thread counts and across incremental re-analysis,
+// and is exposed through explain_string and the protocol `explain` command.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/randlogic.hpp"
+#include "library/library.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/report_writer.hpp"
+#include "session/json.hpp"
+#include "session/protocol.hpp"
+#include "session/session.hpp"
+#include "sta/sta.hpp"
+
+namespace nw::noise {
+namespace {
+
+/// Random-logic case with dense coupling — known to violate.
+gen::Generated logic_case(const lib::Library& library) {
+  gen::RandLogicConfig cfg;
+  cfg.primary_inputs = 12;
+  cfg.gates = 300;
+  cfg.levels = 6;
+  cfg.coupling_prob = 0.6;
+  cfg.dff_fraction = 0.3;
+  cfg.seed = 11;
+  return gen::make_rand_logic(library, cfg);
+}
+
+Options options_for(const gen::Generated& g, int threads = 1) {
+  Options o;
+  o.clock_period = g.sta_options.clock_period;
+  o.threads = threads;
+  return o;
+}
+
+Result analyze_case(const gen::Generated& g, int threads = 1) {
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  return analyze(g.design, g.para, timing, options_for(g, threads));
+}
+
+TEST(Provenance, EveryViolationHasARankedExplanation) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = logic_case(library);
+  const Result r = analyze_case(g);
+  ASSERT_FALSE(r.violations.empty());
+  ASSERT_EQ(r.provenance.size(), r.violations.size());
+
+  for (std::size_t i = 0; i < r.violations.size(); ++i) {
+    SCOPED_TRACE("violation " + std::to_string(i));
+    const Violation& v = r.violations[i];
+    const Provenance& p = r.provenance[i];
+    EXPECT_EQ(p.net, v.net);
+    EXPECT_EQ(p.endpoint, v.endpoint);
+
+    // The stage peaks are monotone: each stronger filtering regime can only
+    // remove noise from the combination, never add it. The stages are
+    // separate combine passes, so allow last-ulp float differences.
+    const double tol = 1e-9;
+    EXPECT_GE(p.peak_unfiltered + tol, p.peak_switching);
+    EXPECT_GE(p.peak_switching + tol, p.peak_noise_window);
+    EXPECT_GE(p.peak_noise_window + tol, p.peak_in_sensitivity);
+
+    // A violation that fired in this run cannot have been culled by the
+    // mode it fired under (noise windows = the default analysis mode).
+    EXPECT_NE(p.culled_by, FilterStage::kSwitchingWindow);
+    EXPECT_NE(p.culled_by, FilterStage::kNoiseWindow);
+
+    ASSERT_FALSE(p.shares.empty());
+    // Ranked: every in-worst share precedes every filtered one, and peaks
+    // are descending within the in-worst prefix.
+    bool in_worst_region = true;
+    double prev_peak = 0.0;
+    bool any_in_worst = false;
+    for (std::size_t s = 0; s < p.shares.size(); ++s) {
+      const AggressorShare& sh = p.shares[s];
+      const bool in_worst = sh.verdict == WindowVerdict::kInWorst;
+      any_in_worst = any_in_worst || in_worst;
+      if (!in_worst) in_worst_region = false;
+      EXPECT_TRUE(!in_worst || in_worst_region) << "in-worst share after filtered one";
+      if (in_worst) {
+        if (s > 0) {
+          EXPECT_LE(sh.peak, prev_peak);
+        }
+        prev_peak = sh.peak;
+        // For in-worst shares the window overlap IS the worst alignment.
+        EXPECT_FALSE(sh.overlap.is_empty());
+        EXPECT_DOUBLE_EQ(sh.overlap.lo, p.alignment.lo);
+        EXPECT_DOUBLE_EQ(sh.overlap.hi, p.alignment.hi);
+      } else if (sh.verdict == WindowVerdict::kWindowDisjoint) {
+        EXPECT_TRUE(sh.overlap.is_empty());
+      }
+    }
+    EXPECT_TRUE(any_in_worst);
+
+    // The path starts at the violating net; every hop carries a peak.
+    ASSERT_FALSE(p.path.empty());
+    EXPECT_EQ(p.path.front().net, v.net);
+    for (const ProvenanceStep& step : p.path) EXPECT_GT(step.peak, 0.0);
+  }
+}
+
+TEST(Provenance, ExplainIsBitIdenticalAcrossThreadCounts) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = logic_case(library);
+  const Result serial = analyze_case(g, 1);
+  const Result parallel = analyze_case(g, 4);
+  ASSERT_FALSE(serial.violations.empty());
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size());
+
+  std::set<NetId> nets;
+  for (const Violation& v : serial.violations) nets.insert(v.net);
+  const Options o = options_for(g);
+  for (const NetId net : nets) {
+    SCOPED_TRACE("net " + g.design.net(net).name);
+    EXPECT_EQ(explain_string(g.design, o, serial, net),
+              explain_string(g.design, o, parallel, net));
+  }
+}
+
+TEST(Provenance, ExplainRendersSharesStagesAndPath) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = logic_case(library);
+  const Result r = analyze_case(g);
+  ASSERT_FALSE(r.violations.empty());
+  const NetId worst = r.violations.front().net;
+  const std::string text = explain_string(g.design, options_for(g), r, worst);
+  EXPECT_NE(text.find("=== explain: net '" + g.design.net(worst).name + "'"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("culled by:"), std::string::npos) << text;
+  EXPECT_NE(text.find("in-worst"), std::string::npos) << text;
+}
+
+TEST(Provenance, CleanNetExplainSaysNoViolations) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = logic_case(library);
+  const Result r = analyze_case(g);
+  std::set<NetId> violating;
+  for (const Violation& v : r.violations) violating.insert(v.net);
+  NetId clean;
+  for (std::size_t i = 0; i < g.design.net_count(); ++i) {
+    if (violating.count(NetId{i}) == 0) {
+      clean = NetId{i};
+      break;
+    }
+  }
+  ASSERT_TRUE(clean.valid());
+  std::ostringstream os;
+  EXPECT_FALSE(write_explain(os, g.design, options_for(g), r, clean));
+  EXPECT_NE(os.str().find("no violations"), std::string::npos);
+}
+
+TEST(Provenance, ExplainRejectsBadNetId) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = logic_case(library);
+  const Result r = analyze_case(g);
+  std::ostringstream os;
+  EXPECT_THROW((void)write_explain(os, g.design, options_for(g), r, NetId{9999999}),
+               std::invalid_argument);
+}
+
+// ---- incremental / session determinism --------------------------------------
+
+session::Session make_logic_session(const lib::Library& library) {
+  gen::Generated g = logic_case(library);
+  session::SessionConfig sc;
+  sc.sta = g.sta_options;
+  sc.noise.clock_period = g.sta_options.clock_period;
+  return session::Session(std::move(g.design), std::move(g.para), std::move(sc));
+}
+
+TEST(Provenance, ExplainIdenticalAfterIncrementalReanalyzeOfExplainedNet) {
+  const lib::Library library = lib::default_library();
+
+  // Session A: full analyze, then dirty the explained net and re-analyze
+  // incrementally.
+  session::Session a = make_logic_session(library);
+  const Result& base = a.result();
+  ASSERT_FALSE(base.violations.empty());
+  const NetId net = base.violations.front().net;
+  const std::string name = a.design().net(net).name;
+  a.scale_net_parasitics(name, 1.25, 1.0);
+  const Result& incremental = a.result();
+  EXPECT_EQ(a.incremental_analyses(), 1u);
+  const std::string inc_explain =
+      explain_string(a.design(), a.noise_options(), incremental, net);
+
+  // Session B: the same edit applied before the first (full) analysis.
+  session::Session b = make_logic_session(library);
+  b.scale_net_parasitics(name, 1.25, 1.0);
+  const Result& full = b.result();
+  EXPECT_EQ(b.incremental_analyses(), 0u);
+  EXPECT_EQ(inc_explain, explain_string(b.design(), b.noise_options(), full, net));
+}
+
+// ---- protocol `explain` -----------------------------------------------------
+
+session::Json parse_line(const std::string& line) {
+  std::string err;
+  const auto j = session::json_parse(line, &err);
+  EXPECT_TRUE(j.has_value()) << err << " in: " << line;
+  return j.has_value() ? *j : session::Json{};
+}
+
+TEST(Provenance, ProtocolExplainReturnsRankedAggressors) {
+  const lib::Library library = lib::default_library();
+  session::Session s = make_logic_session(library);
+  const Result& r = s.result();
+  ASSERT_FALSE(r.violations.empty());
+  const std::string name = s.design().net(r.violations.front().net).name;
+
+  session::Protocol p(s);
+  const session::Json resp = parse_line(
+      p.handle_line("{\"id\":1,\"cmd\":\"explain\",\"args\":{\"net\":\"" + name +
+                    "\"}}"));
+  ASSERT_TRUE(resp.find("ok")->as_bool());
+  const session::Json& data = *resp.find("data");
+  EXPECT_EQ(data.find("net")->as_string(), name);
+  EXPECT_GE(data.find("count")->as_number(), 1.0);
+  const auto& violations = data.find("violations")->items();
+  ASSERT_FALSE(violations.empty());
+  const session::Json& v = violations.front();
+  ASSERT_NE(v.find("stages"), nullptr);
+  ASSERT_NE(v.find("culled_by"), nullptr);
+  ASSERT_NE(v.find("aggressors"), nullptr);
+  EXPECT_FALSE(v.find("aggressors")->items().empty());
+  ASSERT_NE(v.find("path"), nullptr);
+
+  // Unknown nets map to the structured not_found error.
+  const session::Json bad = parse_line(
+      p.handle_line("{\"id\":2,\"cmd\":\"explain\",\"args\":{\"net\":\"nope\"}}"));
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  EXPECT_EQ(bad.find("error")->find("code")->as_string(), "not_found");
+}
+
+TEST(Provenance, ProtocolExplainBitIdenticalAcrossEditUndo) {
+  const lib::Library library = lib::default_library();
+  session::Session s = make_logic_session(library);
+  const Result& r = s.result();
+  ASSERT_FALSE(r.violations.empty());
+  const std::string name = s.design().net(r.violations.front().net).name;
+  session::Protocol p(s);
+
+  const std::string req =
+      "{\"id\":7,\"cmd\":\"explain\",\"args\":{\"net\":\"" + name + "\"}}";
+  const std::string before = p.handle_line(req);
+  (void)p.handle_line(
+      "{\"id\":8,\"cmd\":\"scale_net_parasitics\",\"args\":{\"net\":\"" + name +
+      "\",\"cap_factor\":1.5,\"res_factor\":1.0}}");
+  (void)p.handle_line("{\"id\":9,\"cmd\":\"undo\"}");
+  EXPECT_EQ(before, p.handle_line(req));
+}
+
+}  // namespace
+}  // namespace nw::noise

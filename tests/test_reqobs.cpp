@@ -47,7 +47,11 @@ TEST(SlowLog, BoundedFifoEvictsOldestFirst) {
   EXPECT_EQ(log.capacity(), 3u);
   EXPECT_EQ(log.total_recorded(), 0u);
   for (std::uint64_t id = 1; id <= 5; ++id) {
-    log.record({id, "cmd" + std::to_string(id), static_cast<double>(id), true});
+    SlowRequest r;
+    r.id = id;
+    r.cmd = "cmd" + std::to_string(id);
+    r.ms = static_cast<double>(id);
+    log.record(std::move(r));
   }
   EXPECT_EQ(log.total_recorded(), 5u);
   const std::vector<SlowRequest> entries = log.entries();
@@ -141,6 +145,28 @@ TEST(RequestObs, SlowlogCommandExportsOverThresholdRequests) {
   EXPECT_DOUBLE_EQ(entries[0].find("id")->as_number(), 1.0);
   EXPECT_EQ(entries[0].find("cmd")->as_string(), "hello");
   EXPECT_EQ(entries[1].find("cmd")->as_string(), "violations");
+}
+
+TEST(RequestObs, SlowlogEntriesCarryPhaseBreakdownForAnalyzingRequests) {
+  Session s = make_session();
+  RequestContext ctx(s.registry(), /*slow_ms=*/0.0);
+  Protocol p(s, &ctx);
+  // Request 1 triggers the full analysis; request 2 is served from state.
+  (void)parse_ok(p.handle_line("{\"id\":1,\"cmd\":\"violations\"}"));
+  (void)parse_ok(p.handle_line("{\"id\":2,\"cmd\":\"hello\"}"));
+  const Json data = parse_ok(p.handle_line("{\"id\":3,\"cmd\":\"slowlog\"}"));
+  const auto& entries = data.find("entries")->items();
+  ASSERT_EQ(entries.size(), 2u);
+  // The analyzing request carries the per-phase wall-time breakdown...
+  const Json* phases = entries[0].find("phases");
+  ASSERT_NE(phases, nullptr);
+  for (const char* key :
+       {"context_ms", "estimate_ms", "propagate_ms", "endpoints_ms"}) {
+    ASSERT_NE(phases->find(key), nullptr) << key;
+    EXPECT_GE(phases->find(key)->as_number(), 0.0) << key;
+  }
+  // ...and the non-analyzing one does not.
+  EXPECT_EQ(entries[1].find("phases"), nullptr);
 }
 
 TEST(RequestObs, GarbageRequestsAttributeToInvalidCommand) {

@@ -36,11 +36,17 @@ DEFAULT_TOLERANCE = 0.50
 HISTORY_LIMIT = 200  # oldest entries beyond this fall off
 
 # Timing metrics tracked when present (plus every request_ms_* p95).
+# Newly added keys (explain_ms, html_report_ms) are recorded into the
+# history immediately but only compared once a baseline containing them is
+# written — compare() iterates baseline metrics, so a latest-only metric
+# never warns against an older baseline.
 TIMING_KEYS = (
     "total_seconds",
     "phase_estimate_seconds",
     "phase_propagate_seconds",
     "phase_endpoints_seconds",
+    "explain_ms",
+    "html_report_ms",
 )
 RESOURCE_KEYS = ("peak_rss_bytes", "result_bytes", "session_cache_bytes")
 
@@ -143,6 +149,12 @@ def compare(entry: dict, baseline: dict, enforce: bool) -> bool:
             verdict = "improved"
         print(f"  {name}: {latest:g} vs baseline {base:g} "
               f"({(ratio - 1) * 100:+.1f}%, tolerance ±{tol * 100:.0f}%) {verdict}")
+    # Metrics present in the latest record but absent from the baseline are
+    # informational only (recorded in the history, compared once a baseline
+    # containing them is written) — never a warning, never a regression.
+    new_only = sorted(set(entry["metrics"]) - set(base_metrics))
+    if new_only:
+        print(f"  (not in baseline yet, recorded only: {', '.join(new_only)})")
     return regressed
 
 

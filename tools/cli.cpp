@@ -1,11 +1,14 @@
 #include "tools/cli.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "bench/suite.hpp"
 
 #include "gen/bus.hpp"
 #include "gen/pipeline.hpp"
@@ -14,6 +17,8 @@
 #include "netlist/verilog.hpp"
 #include "noise/analyzer.hpp"
 #include "noise/delay_impact.hpp"
+#include "noise/html_report.hpp"
+#include "noise/progress.hpp"
 #include "noise/report_writer.hpp"
 #include "noise/telemetry.hpp"
 #include "obs/log.hpp"
@@ -30,7 +35,7 @@ namespace nw::cli {
 namespace {
 
 struct Args {
-  std::string command = "analyze";  ///< analyze | serve | shell
+  std::string command = "analyze";  ///< analyze | explain | serve | shell
   std::string lib_path;
   std::string netlist_path;
   std::string spef_path;
@@ -39,18 +44,22 @@ struct Args {
   std::string demo;
   std::string trace_path;       ///< --trace-out: Chrome trace-event JSON
   std::string stats_json_path;  ///< --stats-json: machine-readable run report
+  std::string html_path;        ///< --html-report: self-contained dashboard
+  std::string explain_net;      ///< explain: the net to explain
   noise::Options noise_opt;
   double slow_ms = 100.0;  ///< --slow-ms: serve slow-request threshold
   bool delay_impact = false;
   bool have_mode = false;
   bool stats = false;
+  bool progress = false;  ///< --progress: stderr meter / serve event lines
   int verbose = 0;  ///< --verbose count: 1 = info, 2+ = debug
   bool help = false;
 };
 
 const char kUsage[] =
     "usage: noisewin --lib L.nlib --netlist D.nv --spef P.nwspef [options]\n"
-    "       noisewin --demo bus|logic|pipeline [options]\n"
+    "       noisewin --demo bus|logic|logic1k|logic10k|pipeline [options]\n"
+    "       noisewin explain <net> --demo bus [options]   violation provenance\n"
     "       noisewin serve --demo bus [options]   JSONL session server (stdin/stdout)\n"
     "       noisewin shell --demo bus [options]   interactive session REPL\n"
     "options:\n"
@@ -70,6 +79,10 @@ const char kUsage[] =
     "                      log (`slowlog` command, stats JSON; default 100)\n"
     "  --verbose           more diagnostics on stderr (repeat for debug)\n"
     "  --report <file>     write the full report to a file (default: stdout)\n"
+    "  --html-report <file> write the self-contained HTML noise dashboard\n"
+    "  --progress          analyze: live phase meter on stderr; serve: stream\n"
+    "                      {\"event\":\"progress\"} lines and accept mid-analyze\n"
+    "                      `cancel` requests\n"
     "  --delay-impact      append the crosstalk delay-impact section\n";
 
 std::optional<noise::AnalysisMode> parse_mode(std::string_view s) {
@@ -92,13 +105,22 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
   Args a;
   std::size_t start = 0;
   if (!argv.empty() && !argv[0].empty() && argv[0][0] != '-') {
-    if (argv[0] == "serve" || argv[0] == "shell" || argv[0] == "analyze") {
+    if (argv[0] == "serve" || argv[0] == "shell" || argv[0] == "analyze" ||
+        argv[0] == "explain") {
       a.command = argv[0];
       start = 1;
     } else {
       err << "noisewin: unknown command '" << argv[0] << "'\n";
       return std::nullopt;
     }
+  }
+  if (a.command == "explain") {
+    // The net to explain is a positional argument right after the command.
+    if (start >= argv.size() || argv[start].empty() || argv[start][0] == '-') {
+      err << "noisewin: explain needs a net name\n";
+      return std::nullopt;
+    }
+    a.explain_net = argv[start++];
   }
   for (std::size_t i = start; i < argv.size(); ++i) {
     const std::string& arg = argv[i];
@@ -166,6 +188,12 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
       a.noise_opt.threads = static_cast<int>(nw::parse_uint(*v));
     } else if (arg == "--stats") {
       a.stats = true;
+    } else if (arg == "--progress") {
+      a.progress = true;
+    } else if (arg == "--html-report") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.html_path = *v;
     } else if (arg == "--stats-json") {
       const auto v = need_value();
       if (!v) return std::nullopt;
@@ -228,22 +256,78 @@ class LogScope {
 
 /// Fail fast on an unwritable output destination — before analysis burns
 /// minutes. Probes in append mode so an existing file is not truncated if a
-/// later stage fails anyway.
-void require_writable(const std::string& path, const char* what) {
+/// later stage fails anyway. `flag` is the CLI flag that supplied the path
+/// ("--report", "--stats-json", ...), so the error names the knob to fix.
+/// The one helper covers every output flag; call sites cannot drift apart.
+void require_writable(const std::string& path, const char* flag) {
+  if (path.empty()) return;
   std::ofstream probe(path, std::ios::app);
   if (!probe) {
-    throw std::runtime_error(std::string("cannot write ") + what + " '" + path + "'");
+    throw std::runtime_error(std::string("cannot write ") + flag + " '" + path + "'");
   }
+}
+
+/// Open an output file validated earlier by require_writable (the state of
+/// the filesystem can still have changed in between).
+std::ofstream open_output(const std::string& path, const char* flag) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error(std::string("cannot write ") + flag + " '" + path + "'");
+  }
+  return os;
 }
 
 /// Flush and verify a finished output stream (disk-full / IO errors
 /// otherwise vanish into a truncated artifact and a success exit code).
-void require_written(std::ostream& os, const char* what, const std::string& path) {
+void require_written(std::ostream& os, const char* flag, const std::string& path) {
   os.flush();
   if (!os) {
-    throw std::runtime_error(std::string("error writing ") + what + " '" + path + "'");
+    throw std::runtime_error(std::string("error writing ") + flag + " '" + path + "'");
   }
 }
+
+/// A wall-time gauge appended to an exported snapshot copy (render times
+/// measured outside the analyzer's own registry, e.g. html_report_ms).
+obs::MetricSample timing_sample(const char* name, const char* help, double ms) {
+  obs::MetricSample s;
+  s.name = name;
+  s.help = help;
+  s.unit = "ms";
+  s.kind = obs::MetricSample::Kind::kGauge;
+  s.deterministic = false;
+  s.value = ms;
+  return s;
+}
+
+/// The --progress stderr meter: one line, rewritten in place per
+/// checkpoint; finish() terminates it so later diagnostics start clean.
+class StderrProgress final : public noise::ProgressSink {
+ public:
+  explicit StderrProgress(std::ostream& err) : err_(err) {}
+
+  void on_progress(const noise::Progress& p) override {
+    char buf[160];
+    if (p.eta_s > 0.0) {
+      std::snprintf(buf, sizeof buf, "\r[%s] %zu/%zu (eta %.1fs)        ",
+                    p.phase, p.completed, p.total, p.eta_s);
+    } else {
+      std::snprintf(buf, sizeof buf, "\r[%s] %zu/%zu        ", p.phase,
+                    p.completed, p.total);
+    }
+    err_ << buf << std::flush;
+    active_ = true;
+  }
+
+  void finish() {
+    if (!active_) return;
+    err_ << "\n" << std::flush;
+    active_ = false;
+  }
+
+ private:
+  std::ostream& err_;
+  bool active_ = false;
+};
 
 /// Load the design under analysis from --demo or the --lib/--netlist/--spef
 /// triple. `library` is an out-parameter because the design keeps a pointer
@@ -256,8 +340,17 @@ void load_inputs(const Args& a, lib::Library& library, std::optional<net::Design
     gen::Generated g = [&] {
       if (a.demo == "bus") return gen::make_bus(library, {});
       if (a.demo == "logic") return gen::make_rand_logic(library, {});
+      // Benchmark-suite sizes (D4/D5), so CI and clients can exercise the
+      // exact designs the perf baselines are recorded on.
+      if (a.demo == "logic1k") {
+        return gen::make_rand_logic(library, bench::logic_config(1000));
+      }
+      if (a.demo == "logic10k") {
+        return gen::make_rand_logic(library, bench::logic_config(10000));
+      }
       if (a.demo == "pipeline") return gen::make_pipeline(library, {});
-      throw std::runtime_error("unknown demo '" + a.demo + "' (bus|logic|pipeline)");
+      throw std::runtime_error("unknown demo '" + a.demo +
+                               "' (bus|logic|logic1k|logic10k|pipeline)");
     }();
     sta_opt = g.sta_options;
     sta_opt.clock_period = a.noise_opt.clock_period;
@@ -318,29 +411,27 @@ int run_session(const Args& a, std::istream& in, std::ostream& out) {
 
   session::RequestContext reqobs(session.registry(), a.slow_ms);
   if (a.command == "serve") {
-    session::serve(session, in, out, &reqobs);
+    session::ServeOptions sopt;
+    sopt.progress = a.progress;
+    session::serve(session, in, out, &reqobs, sopt);
   } else {
     session::shell(session, in, out);
   }
 
   if (!a.trace_path.empty()) {
     obs::Tracer::disable();
-    std::ofstream tf(a.trace_path);
-    if (!tf) throw std::runtime_error("cannot write trace '" + a.trace_path + "'");
+    std::ofstream tf = open_output(a.trace_path, "--trace-out");
     obs::Tracer::write_chrome(tf);
-    require_written(tf, "trace", a.trace_path);
+    require_written(tf, "--trace-out", a.trace_path);
     NW_LOG(kInfo) << "session trace written to " << a.trace_path;
   }
 
   if (!a.stats_json_path.empty()) {
-    std::ofstream sf(a.stats_json_path);
-    if (!sf) {
-      throw std::runtime_error("cannot write stats '" + a.stats_json_path + "'");
-    }
+    std::ofstream sf = open_output(a.stats_json_path, "--stats-json");
     const std::pair<std::string, std::string> extra[] = {
         {"slowlog", reqobs.slowlog_json().dump()}};
     obs::write_stats_json(sf, session.meta(), session.metrics_snapshot(), extra);
-    require_written(sf, "stats", a.stats_json_path);
+    require_written(sf, "--stats-json", a.stats_json_path);
     NW_LOG(kInfo) << "session stats written to " << a.stats_json_path;
   }
   return 0;
@@ -369,10 +460,10 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
 
   const LogScope log_scope(err, a.verbose);
 
-  if (a.command != "analyze") {
+  if (a.command == "serve" || a.command == "shell") {
     try {
-      if (!a.trace_path.empty()) require_writable(a.trace_path, "trace");
-      if (!a.stats_json_path.empty()) require_writable(a.stats_json_path, "stats");
+      require_writable(a.trace_path, "--trace-out");
+      require_writable(a.stats_json_path, "--stats-json");
       return run_session(a, in, out);
     } catch (const std::exception& e) {
       if (!a.trace_path.empty()) obs::Tracer::disable();
@@ -390,9 +481,10 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
   try {
     // Validate output destinations up front: a typo'd --report directory
     // should fail in milliseconds, not after the analysis.
-    if (!a.trace_path.empty()) require_writable(a.trace_path, "trace");
-    if (!a.stats_json_path.empty()) require_writable(a.stats_json_path, "stats");
-    if (!a.report_path.empty()) require_writable(a.report_path, "report");
+    require_writable(a.trace_path, "--trace-out");
+    require_writable(a.stats_json_path, "--stats-json");
+    require_writable(a.report_path, "--report");
+    require_writable(a.html_path, "--html-report");
 
     lib::Library library;
     std::optional<net::Design> design;
@@ -401,34 +493,79 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
     load_inputs(a, library, design, parasitics, sta_opt);
 
     const sta::Result timing = sta::run(*design, *parasitics, sta_opt);
-    const noise::Result result = noise::analyze(*design, *parasitics, timing, a.noise_opt);
+    std::optional<StderrProgress> meter;
+    if (a.progress) meter.emplace(err);
+    const noise::Result result = noise::analyze(*design, *parasitics, timing,
+                                                a.noise_opt, meter ? &*meter : nullptr);
+    if (meter) meter->finish();
+
+    // The explain command renders the net's provenance instead of the full
+    // report; timed so the stats snapshot can carry explain_ms.
+    std::string explain_text;
+    double explain_ms = 0.0;
+    if (a.command == "explain") {
+      const std::optional<NetId> net = design->find_net(a.explain_net);
+      if (!net) throw std::runtime_error("unknown net '" + a.explain_net + "'");
+      const auto t0 = std::chrono::steady_clock::now();
+      explain_text = noise::explain_string(*design, a.noise_opt, result, *net);
+      explain_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    }
+
+    // The dashboard renders before the stats-json write so its wall time
+    // (html_report_ms) lands in the exported snapshot.
+    std::string html;
+    double html_ms = 0.0;
+    if (!a.html_path.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::ostringstream hs;
+      noise::write_html_report(hs, *design, a.noise_opt, result);
+      html = hs.str();
+      html_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    }
 
     if (!a.trace_path.empty()) {
       obs::Tracer::disable();
-      std::ofstream tf(a.trace_path);
-      if (!tf) throw std::runtime_error("cannot write trace '" + a.trace_path + "'");
+      std::ofstream tf = open_output(a.trace_path, "--trace-out");
       obs::Tracer::write_chrome(tf);
-      require_written(tf, "trace", a.trace_path);
+      require_written(tf, "--trace-out", a.trace_path);
       NW_LOG(kInfo) << "trace written to " << a.trace_path;
     }
     if (!a.stats_json_path.empty()) {
-      std::ofstream sf(a.stats_json_path);
-      if (!sf) {
-        throw std::runtime_error("cannot write stats '" + a.stats_json_path + "'");
+      std::ofstream sf = open_output(a.stats_json_path, "--stats-json");
+      obs::MetricsSnapshot snap = result.metrics;
+      if (!a.html_path.empty()) {
+        snap.samples.push_back(
+            timing_sample("html_report_ms", "HTML dashboard render time", html_ms));
       }
-      obs::write_stats_json(sf, result.run_meta, result.metrics);
-      require_written(sf, "stats", a.stats_json_path);
+      if (a.command == "explain") {
+        snap.samples.push_back(
+            timing_sample("explain_ms", "provenance rendering time", explain_ms));
+      }
+      obs::write_stats_json(sf, result.run_meta, snap);
+      require_written(sf, "--stats-json", a.stats_json_path);
       NW_LOG(kInfo) << "stats written to " << a.stats_json_path;
+    }
+    if (!a.html_path.empty()) {
+      std::ofstream hf = open_output(a.html_path, "--html-report");
+      hf << html;
+      require_written(hf, "--html-report", a.html_path);
+      NW_LOG(kInfo) << "html report written to " << a.html_path;
+    }
+
+    if (a.command == "explain") {
+      out << explain_text;
+      return 0;
     }
 
     std::ofstream report_file;
     std::ostream* report_os = &out;
     noise::ReportOptions ropt;
     if (!a.report_path.empty()) {
-      report_file.open(a.report_path);
-      if (!report_file) {
-        throw std::runtime_error("cannot write report '" + a.report_path + "'");
-      }
+      report_file = open_output(a.report_path, "--report");
       report_os = &report_file;
       // A report file is a self-contained run record: --stats goes into it
       // too (and is still printed to stdout below).
@@ -441,7 +578,7 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
       noise::write_delay_impact(*report_os, *design, impact);
     }
     if (!a.report_path.empty()) {
-      require_written(report_file, "report", a.report_path);
+      require_written(report_file, "--report", a.report_path);
       out << "report written to " << a.report_path << " (" << result.violations.size()
           << " violations)\n";
     }

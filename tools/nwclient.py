@@ -43,6 +43,7 @@ class NwClient:
             text=True,
         )
         self._next_id = 0
+        self.events_seen = 0  # progress notifications skipped by request_raw
 
     def __enter__(self) -> "NwClient":
         return self
@@ -51,7 +52,12 @@ class NwClient:
         self.close()
 
     def request_raw(self, cmd: str, args: dict | None = None) -> dict:
-        """One request, one response line; returns the whole envelope."""
+        """One request, one response line; returns the whole envelope.
+
+        A server running with --progress interleaves {"event":"progress",...}
+        notification lines with responses; those are counted (events_seen)
+        and skipped — responses alone drive the request/response pairing.
+        """
         self._next_id += 1
         req = {"id": self._next_id, "cmd": cmd}
         if args:
@@ -59,10 +65,15 @@ class NwClient:
         assert self._proc.stdin is not None and self._proc.stdout is not None
         self._proc.stdin.write(json.dumps(req) + "\n")
         self._proc.stdin.flush()
-        line = self._proc.stdout.readline()
-        if not line:
-            raise RuntimeError(f"server closed the pipe during '{cmd}'")
-        resp = json.loads(line)
+        while True:
+            line = self._proc.stdout.readline()
+            if not line:
+                raise RuntimeError(f"server closed the pipe during '{cmd}'")
+            resp = json.loads(line)
+            if "event" in resp:
+                self.events_seen += 1
+                continue
+            break
         if resp.get("id") != self._next_id:
             raise RuntimeError(f"response id {resp.get('id')} != {self._next_id}")
         return resp
@@ -89,16 +100,110 @@ def check(cond: bool, what: str) -> None:
     print(f"ok: {what}")
 
 
+def run_progress_cancel(args) -> None:
+    """The streaming scenario: analyze with --progress, cancel mid-flight.
+
+    Waits for at least one progress event before sending the cancel, so the
+    cancel provably lands inside the running analysis (a cancel queued
+    before the first checkpoint is also consumed correctly, but then no
+    events are observable). Verifies the out-of-band cancel response, the
+    "cancelled" error on the analyzing request, that the session kept its
+    pre-analyze state (no analyses, epoch 0), and that the next query
+    succeeds from scratch.
+    """
+    argv = [args.bin, "serve", "--demo", args.demo, "--progress"]
+    proc = subprocess.Popen(
+        argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True,
+    )
+    assert proc.stdin is not None and proc.stdout is not None
+
+    def send(req: dict) -> None:
+        proc.stdin.write(json.dumps(req) + "\n")
+        proc.stdin.flush()
+
+    send({"id": 1, "cmd": "violations"})
+    events = 0
+    cancel_sent = False
+    responses: dict[int, dict] = {}
+    while 1 not in responses or 2 not in responses:
+        line = proc.stdout.readline()
+        if not line:
+            check(False, "server closed the pipe mid-scenario")
+        msg = json.loads(line)
+        if msg.get("event") == "progress":
+            events += 1
+            for key in ("phase", "completed", "total"):
+                check(key in msg, f"progress event carries '{key}'")
+            if not cancel_sent:
+                send({"id": 2, "cmd": "cancel"})
+                cancel_sent = True
+        else:
+            responses[msg.get("id")] = msg
+    check(events >= 1, f"progress events streamed before cancel ({events} seen)")
+    cancel = responses[2]
+    check(
+        cancel.get("ok") and cancel["data"].get("cancelled") is True,
+        "cancel acknowledged out-of-band (cancelled: true)",
+    )
+    analyze = responses[1]
+    check(
+        not analyze.get("ok")
+        and analyze.get("error", {}).get("code") == "cancelled",
+        "analyzing request failed with the structured 'cancelled' error",
+    )
+
+    # The session must be bit-identical to its pre-analyze state.
+    send({"id": 3, "cmd": "stats"})
+    while True:
+        msg = json.loads(proc.stdout.readline())
+        if msg.get("event") != "progress":
+            break
+    check(msg.get("ok"), "stats answers after the cancelled analysis")
+    counters = msg["data"]["counters"]
+    gauges = msg["data"]["gauges"]
+    check(
+        counters.get("session_full_analyses", -1) == 0,
+        "cancelled analysis was never committed (0 full analyses)",
+    )
+    check(gauges.get("session_epoch", -1) == 0, "epoch unchanged (0)")
+
+    # The same query succeeds when allowed to run to completion.
+    send({"id": 4, "cmd": "violations"})
+    post_events = 0
+    while True:
+        msg = json.loads(proc.stdout.readline())
+        if msg.get("event") == "progress":
+            post_events += 1
+            continue
+        break
+    check(
+        msg.get("id") == 4 and msg.get("ok"),
+        f"re-issued analyze completes ({post_events} progress events)",
+    )
+    proc.stdin.close()
+    check(proc.wait(timeout=120) == 0, "server exited cleanly")
+    print("nwclient progress/cancel: all checks passed")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bin", default="./build/tools/noisewin", help="noisewin binary")
-    ap.add_argument("--demo", default="bus", help="demo design (bus|logic|pipeline)")
+    ap.add_argument("--demo", default="bus",
+                    help="demo design (bus|logic|logic1k|logic10k|pipeline)")
     ap.add_argument("--stats-json", default="", help="per-session stats artifact")
     ap.add_argument("--trace-out", default="", help="server-side Chrome trace artifact")
     ap.add_argument("--slow-ms", default="", help="slow-request threshold passed to serve")
     ap.add_argument("--net", default="w1", help="net to edit in the scenario")
     ap.add_argument("--coupled", default="w2", help="net coupled to --net")
+    ap.add_argument("--progress-cancel", action="store_true",
+                    help="run the streaming progress + mid-analyze cancel "
+                         "scenario instead of the ECO conversation")
     args = ap.parse_args()
+
+    if args.progress_cancel:
+        run_progress_cancel(args)
+        return
 
     argv = [args.bin, "serve", "--demo", args.demo]
     if args.stats_json:

@@ -5,6 +5,7 @@ Usage:
     validate_obs.py --trace trace.json --stats stats.json
     validate_obs.py --server-trace strace.json --server-stats sstats.json
     validate_obs.py --bench-record record.json
+    validate_obs.py --html-report report.html
 
 Checks the Chrome trace-event JSON (parses, per-thread spans well-nested,
 required keys present) and the stats JSON (schema v2 meta, required
@@ -234,6 +235,32 @@ def validate_bench_record(path):
           f"{bench['build_type']}, peak RSS {bench['peak_rss_bytes']} B)")
 
 
+HTML_SECTION_IDS = ["meta", "summary", "timelines", "pareto", "slack", "phases"]
+HTML_BANNED = ["http://", "https://", "<script", "<link", "url(", "src="]
+
+
+def validate_html_report(path):
+    """The --html-report artifact must be one self-contained document."""
+    with open(path) as f:
+        html = f.read()
+    if not html.startswith("<!DOCTYPE html"):
+        fail("html report: missing <!DOCTYPE html> preamble")
+    if "<svg" not in html:
+        fail("html report: no inline SVG charts")
+    for section in HTML_SECTION_IDS:
+        if f'id="{section}"' not in html:
+            fail(f"html report: missing section id \"{section}\"")
+    for banned in HTML_BANNED:
+        if banned in html:
+            fail(f"html report: external reference '{banned}' breaks "
+                 f"self-containment")
+    if html.count("<style") != 1:
+        fail(f"html report: expected exactly one <style> block, "
+             f"found {html.count('<style')}")
+    print(f"validate_obs: html report OK ({len(html)} bytes, "
+          f"{len(HTML_SECTION_IDS)} sections)")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--trace")
@@ -241,11 +268,12 @@ def main():
     ap.add_argument("--server-trace")
     ap.add_argument("--server-stats")
     ap.add_argument("--bench-record", action="append", default=[])
+    ap.add_argument("--html-report")
     args = ap.parse_args()
     if not any([args.trace, args.stats, args.server_trace, args.server_stats,
-                args.bench_record]):
+                args.bench_record, args.html_report]):
         ap.error("give --trace, --stats, --server-trace, --server-stats, "
-                 "and/or --bench-record")
+                 "--bench-record, and/or --html-report")
     if args.trace:
         validate_trace(args.trace)
     if args.stats:
@@ -256,6 +284,8 @@ def main():
         validate_stats(args.server_stats, server=True)
     for path in args.bench_record:
         validate_bench_record(path)
+    if args.html_report:
+        validate_html_report(args.html_report)
 
 
 if __name__ == "__main__":
