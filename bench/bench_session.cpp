@@ -104,7 +104,12 @@ int main(int argc, char** argv) {
     std::ofstream f(path);
     const std::pair<std::string, std::string> extra[] = {
         {"bench", nw::bench::bench_record_json()}};
-    obs::write_stats_json(f, s.meta(), s.metrics_snapshot(), extra);
+    // Suite-case label, not the raw netlist name: bench_history.py
+    // qualifies baseline metrics by design, and the session record must
+    // not collide with bench_runtime's plain "bus64" record.
+    obs::RunMeta meta = s.meta();
+    meta.design = "bus64-session";
+    obs::write_stats_json(f, meta, s.metrics_snapshot(), extra);
   }
   return 0;
 }

@@ -99,13 +99,17 @@ inline std::string bench_record_json() {
 }
 
 /// One analysis run record in the --stats-json schema (obs::write_stats_json)
-/// for a suite bus case — the bench harness emits this when NW_STATS_JSON
-/// is set, so a benchmark run leaves the same machine-readable artifact as
+/// for a suite case — the bench harness emits this when NW_STATS_JSON is
+/// set, so a benchmark run leaves the same machine-readable artifact as
 /// a CLI run and lands in the same trajectory comparisons. The extra
 /// "bench" section carries git SHA, timestamp, build type, and peak RSS.
+/// `design` selects the suite case: "bus64" (D1) or "logic10k" (D5, the
+/// deep-propagation case the kernel-phase timings are tracked on).
 inline void write_run_record(const std::string& path, const lib::Library& library,
-                             std::size_t bus_bits = 64) {
-  const gen::Generated g = gen::make_bus(library, bus_config(bus_bits));
+                             const std::string& design = "bus64") {
+  const gen::Generated g = design == "logic10k"
+                               ? gen::make_rand_logic(library, logic_config(10000))
+                               : gen::make_bus(library, bus_config(64));
   const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
   noise::Options o;
   o.mode = noise::AnalysisMode::kNoiseWindows;
@@ -146,10 +150,26 @@ inline void write_run_record(const std::string& path, const lib::Library& librar
       timing_gauge("explain_ms", "explain_string render wall time", explain_ms));
   snapshot.samples.push_back(timing_gauge(
       "html_report_ms", "write_html_report render wall time", html_ms));
+  // Per-kernel phase timings, in the same ms unit the render gauges use, so
+  // bench_history.py tracks each analysis stage (estimate / propagate /
+  // endpoint check) independently instead of only the total.
+  snapshot.samples.push_back(timing_gauge(
+      "estimate_ms", "injected-glitch estimation wall time",
+      r.telemetry.estimate_seconds * 1e3));
+  snapshot.samples.push_back(timing_gauge(
+      "propagate_ms", "combination + gate propagation wall time",
+      r.telemetry.propagate_seconds * 1e3));
+  snapshot.samples.push_back(timing_gauge(
+      "check_ms", "endpoint-check wall time", r.telemetry.endpoints_seconds * 1e3));
 
   std::ofstream f(path);
   const std::pair<std::string, std::string> extra[] = {{"bench", bench_record_json()}};
-  obs::write_stats_json(f, r.run_meta, snapshot, extra);
+  // Label the record with the suite-case name ("bus64"/"logic10k"), not the
+  // generator's netlist name ("rand10000") — bench_history.py qualifies
+  // baseline metric keys by this design string.
+  obs::RunMeta meta = r.run_meta;
+  meta.design = design;
+  obs::write_stats_json(f, meta, snapshot, extra);
 }
 
 /// The full D1..D6 suite. The library must outlive the returned cases.

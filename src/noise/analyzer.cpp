@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "noise/context.hpp"
+#include "noise/kernels.hpp"
 #include "obs/log.hpp"
 #include "obs/resource.hpp"
 #include "obs/tracer.hpp"
@@ -26,6 +27,19 @@ const char* to_string(AnalysisMode m) noexcept {
     case AnalysisMode::kNoiseWindows: return "noise-windows";
   }
   return "?";
+}
+
+const char* to_string(SimdMode m) noexcept {
+  switch (m) {
+    case SimdMode::kAuto: return "auto";
+    case SimdMode::kScalar: return "scalar";
+    case SimdMode::kVector: return "vector";
+  }
+  return "?";
+}
+
+SimdMode resolve_simd(SimdMode m) noexcept {
+  return m == SimdMode::kAuto ? SimdMode::kVector : m;
 }
 
 const char* to_string(FilterStage s) noexcept {
@@ -93,15 +107,8 @@ class PhaseTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Worst simultaneous sum of contributions, optionally restricted to a
-/// time window (mode 3 latch checks restrict to the sensitivity window).
-struct Combined {
-  double peak = 0.0;
-  double width = 0.0;
-  Interval alignment;
-  std::vector<std::size_t> active;
-};
-
+// The scalar reference combination (Combined itself lives in
+// noise/kernels.hpp, shared with the flat path).
 Combined combine(const std::vector<Contribution>& contributions, AnalysisMode mode,
                  const Interval& restrict_to, const Constraints& constraints) {
   Combined out;
@@ -173,6 +180,7 @@ class Pipeline {
         sta_(sta_result),
         opt_(opt),
         progress_(progress),
+        vector_(resolve_simd(opt.simd) == SimdMode::kVector),
         exec_(opt.threads),
         start_(std::chrono::steady_clock::now()),
         phase_start_(start_),
@@ -186,6 +194,12 @@ class Pipeline {
       PhaseTimer timer(times_.context);
       ctx_ = AnalysisContext::build(design, para, sta_result, opt);
       switch_win_ = ctx_.switch_window;
+      if (vector_) {
+        // Structural slabs only (CSR adjacency, level/instance/endpoint
+        // slabs): O(nets + pairs + instances) copies, no FP transforms.
+        // Per-pair scenario operands pack lazily in estimate_injected.
+        kb_ = KernelBuffers::build(design, ctx_);
+      }
     }
     reg_.counter(kMetricPairsFilteredCap, "").add(ctx_.pairs_filtered_cap);
     auto& level_width = reg_.histogram(kMetricLevelWidth, "", {});
@@ -372,6 +386,7 @@ class Pipeline {
     res.run_meta.options_digest = options_digest(opt_);
     res.run_meta.build = obs::build_version();
     res.run_meta.threads = exec_.thread_count();
+    res.run_meta.simd = to_string(resolve_simd(opt_.simd));
     res.run_meta.iterations = res.iterations;
     res.metrics = reg_.snapshot();
     res.telemetry = telemetry_from_metrics(res.run_meta, res.metrics);
@@ -404,13 +419,29 @@ class Pipeline {
     const std::size_t batch =
         progress_ != nullptr ? kEstimateBatch : std::max<std::size_t>(n, 1);
     begin_phase("estimate-injected", n);
+    if (vector_) {
+      // Refresh the flat switching windows for this pass, and pack the
+      // per-pair estimation operands once per Pipeline (dirty rows only on
+      // incremental runs — clean victims reuse previous contributions and
+      // never read their slots). Refinement passes 2+ hit the packed_
+      // guard and reuse the slabs: the operands depend only on immutable
+      // design/parasitics/STA state, never on the inflated windows.
+      kb_.set_switch_windows(switch_win_);
+      if (!kb_.scenarios_packed()) {
+        kb_.pack_scenarios(design_, para_, sta_, opt_, dirty, exec_);
+      }
+    }
     for (std::size_t base = 0; base < n; base += batch) {
       const std::size_t limit = std::min(n, base + batch);
       exec_.parallel_for("estimate-injected", limit - base, kEstimateChunk,
                          [&](std::size_t begin, std::size_t end) {
         for (std::size_t vi = base + begin; vi < base + end; ++vi) {
           if (dirty == nullptr || (*dirty)[vi]) {
-            estimate_for_victim(res.nets[vi], NetId{vi});
+            if (vector_) {
+              estimate_for_victim_vector(res.nets[vi], vi);
+            } else {
+              estimate_for_victim(res.nets[vi], NetId{vi});
+            }
           } else {
             // Reuse the previous injected contributions (propagated ones are
             // rebuilt below); aggressor bookkeeping is restored with them.
@@ -483,29 +514,172 @@ class Pipeline {
     }
   }
 
+  /// Per-thread flat scratch for the vector estimation path.
+  struct EstimateScratch {
+    std::vector<double> peak, width, delay;
+    std::vector<double> win_lo, win_hi, ext_hi;
+  };
+  static EstimateScratch& estimate_scratch() {
+    thread_local EstimateScratch s;
+    return s;
+  }
+  static CombineScratch& combine_scratch() {
+    thread_local CombineScratch s;
+    return s;
+  }
+  static std::vector<Interval>& interval_scratch() {
+    thread_local std::vector<Interval> s;
+    return s;
+  }
+
+  /// Flat-span estimation over one CSR row: the same per-pair model calls
+  /// and filter sequence as estimate_for_victim, with the analytic models
+  /// batched over the packed scenario slabs and the window construction
+  /// (gather + right-edge extension) vectorized. Emptiness is judged on
+  /// the RAW switching window, before extension, exactly like the scalar
+  /// path — extension cannot revive a never-switching aggressor.
+  void estimate_for_victim_vector(NetNoise& nn, std::size_t vi) const {
+    const std::uint32_t row = kb_.agg_offsets[vi];
+    const std::size_t m = kb_.agg_offsets[vi + 1] - row;
+    nn.aggressor_count += m;
+    if (m == 0) return;
+    EstimateScratch& es = estimate_scratch();
+    es.peak.resize(m);
+    es.width.resize(m);
+    es.delay.resize(m);
+    const auto sub = [&](const std::vector<double>& v) {
+      return std::span<const double>(v).subspan(row, m);
+    };
+    switch (opt_.model) {
+      case GlitchModel::kChargeSharing:
+        peaks_charge_sharing(sub(kb_.sc_r_hold), sub(kb_.sc_c_ground),
+                             sub(kb_.sc_c_couple), sub(kb_.sc_slew), ctx_.vdd,
+                             es.peak, es.width, es.delay);
+        break;
+      case GlitchModel::kDevgan:
+        peaks_devgan(sub(kb_.sc_r_hold), sub(kb_.sc_c_ground), sub(kb_.sc_c_couple),
+                     sub(kb_.sc_slew), ctx_.vdd, es.peak, es.width, es.delay);
+        break;
+      case GlitchModel::kTwoPi:
+        peaks_two_pi(sub(kb_.sc_r_hold), sub(kb_.sc_c_ground), sub(kb_.sc_c_couple),
+                     sub(kb_.sc_slew), ctx_.vdd, es.peak, es.width, es.delay);
+        break;
+      default:
+        // The MNA models build per-pair circuits from the design; only the
+        // packed slew is flat.
+        for (std::size_t k = 0; k < m; ++k) {
+          const GlitchEstimate g =
+              opt_.model == GlitchModel::kMnaExact
+                  ? estimate_mna(design_, para_, NetId{vi}, kb_.agg_net[row + k],
+                                 kb_.pair_slew[row + k], ctx_.vdd, opt_.mna_tran)
+                  : estimate_reduced(design_, para_, NetId{vi}, kb_.agg_net[row + k],
+                                     kb_.pair_slew[row + k], ctx_.vdd);
+          es.peak[k] = g.peak;
+          es.width[k] = g.width;
+          es.delay[k] = g.peak_delay;
+        }
+        break;
+    }
+    if (opt_.mode == AnalysisMode::kNoFiltering) {
+      for (std::size_t k = 0; k < m; ++k) {
+        if (es.peak[k] < opt_.min_peak) continue;
+        Contribution c;
+        c.aggressor = kb_.agg_net[row + k];
+        c.peak = es.peak[k];
+        c.width = es.width[k];
+        c.window = IntervalSet::everything();
+        nn.contributions.push_back(std::move(c));
+      }
+      return;
+    }
+    es.win_lo.resize(m);
+    es.win_hi.resize(m);
+    es.ext_hi.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t ai = kb_.agg_net[row + k].index();
+      es.win_lo[k] = kb_.switch_lo[ai];
+      es.win_hi[k] = kb_.switch_hi[ai];
+    }
+    kernels::extend_right(es.win_hi, es.delay, es.width, es.ext_hi);
+    for (std::size_t k = 0; k < m; ++k) {
+      if (es.peak[k] < opt_.min_peak) continue;
+      if (es.win_lo[k] > es.win_hi[k]) {
+        // The aggressor never switches: temporally filtered out.
+        ++nn.filtered_temporal;
+        continue;
+      }
+      Contribution c;
+      c.aggressor = kb_.agg_net[row + k];
+      c.peak = es.peak[k];
+      c.width = es.width[k];
+      c.window = IntervalSet(Interval{es.win_lo[k], es.ext_hi[k]});
+      nn.contributions.push_back(std::move(c));
+    }
+  }
+
   // ---- stage 2: combination + gate propagation, levelized ------------------
   // Within a level no instance reads another's outputs and every net has a
   // single driver, so instances of a level run in parallel.
+
+  /// Route a combination through the flat kernels or the scalar reference.
+  /// The scalar branch materializes the view by copying, exactly as the
+  /// original per-net code did; the flat branch gathers it in place.
+  [[nodiscard]] Combined combine_dispatch(const std::vector<Contribution>& cs,
+                                          AnalysisMode mode,
+                                          const Interval& restrict_to,
+                                          CombineView view) const {
+    if (vector_) {
+      return combine_flat(cs, mode, restrict_to, opt_.constraints, view,
+                          combine_scratch());
+    }
+    if (view == CombineView::kInjectedOnly) {
+      std::vector<Contribution> injected_only;
+      for (const auto& c : cs) {
+        if (!c.is_propagated()) injected_only.push_back(c);
+      }
+      return combine(injected_only, mode, restrict_to, opt_.constraints);
+    }
+    if (view == CombineView::kPropagatedOpen) {
+      std::vector<Contribution> open = cs;
+      for (auto& c : open) {
+        if (c.is_propagated()) c.window = IntervalSet::everything();
+      }
+      return combine(open, mode, restrict_to, opt_.constraints);
+    }
+    return combine(cs, mode, restrict_to, opt_.constraints);
+  }
+
   void finalize_net(Result& res, NetId id) const {
     NetNoise& nn = res.nets[id.index()];
     // Injected-only combination (diagnostic; excludes fanin-propagated).
-    std::vector<Contribution> injected_only;
-    for (const auto& c : nn.contributions) {
-      if (!c.is_propagated()) injected_only.push_back(c);
-    }
-    nn.injected_peak =
-        combine(injected_only, opt_.mode, Interval::everything(), opt_.constraints).peak;
-    const Combined total =
-        combine(nn.contributions, opt_.mode, Interval::everything(), opt_.constraints);
+    nn.injected_peak = combine_dispatch(nn.contributions, opt_.mode,
+                                        Interval::everything(),
+                                        CombineView::kInjectedOnly)
+                           .peak;
+    const Combined total = combine_dispatch(nn.contributions, opt_.mode,
+                                            Interval::everything(), CombineView::kAll);
     nn.total_peak = total.peak;
     nn.width = total.width;
     nn.worst_alignment = total.alignment;
     for (const auto i : total.active) nn.contributions[i].in_worst = true;
     for (const auto& c : nn.contributions) {
       if (c.is_propagated()) nn.propagated_peak = std::max(nn.propagated_peak, c.peak);
-      if (opt_.mode != AnalysisMode::kNoFiltering) nn.window.add(c.window);
     }
-    if (opt_.mode == AnalysisMode::kNoFiltering) nn.window = IntervalSet::everything();
+    if (opt_.mode == AnalysisMode::kNoFiltering) {
+      nn.window = IntervalSet::everything();
+    } else if (vector_) {
+      // Batch union: one flat sort + sweep over every member instead of k
+      // incremental add() rebalances — union_flat yields the same
+      // canonical interval list add() converges to.
+      auto& members = interval_scratch();
+      members.clear();
+      for (const auto& c : nn.contributions) {
+        for (const Interval& iv : c.window.intervals()) members.push_back(iv);
+      }
+      nn.window = kernels::union_flat(members);
+    } else {
+      for (const auto& c : nn.contributions) nn.window.add(c.window);
+    }
   }
 
   void propagate_instance(Result& res, InstId inst_id) const {
@@ -570,6 +744,72 @@ class Pipeline {
     }
   }
 
+  /// Flat-slab variant of propagate_instance: identical table lookups and
+  /// selection logic, reading the level-major CSR slabs instead of walking
+  /// design pins, with the window transform batched (uniform shift + right
+  /// extension over the fanin members, then an already-sorted sweep merge).
+  void propagate_instance_vector(Result& res, std::size_t pos) const {
+    const std::uint32_t out_b = kb_.out_offsets[pos];
+    const std::uint32_t out_e = kb_.out_offsets[pos + 1];
+    if (kb_.slab_seq[pos]) {
+      for (std::uint32_t k = out_b; k < out_e; ++k) finalize_net(res, kb_.out_net[k]);
+      return;
+    }
+    const lib::Cell& cell = *kb_.slab_cell[pos];
+    // Worst input glitch over the cell's input pins (slab pin order —
+    // strict > keeps the first maximum, as the scalar loop does).
+    double in_peak = 0.0;
+    double in_width = 0.0;
+    const IntervalSet* in_window = nullptr;
+    NetId in_net;
+    for (std::uint32_t k = kb_.in_offsets[pos]; k < kb_.in_offsets[pos + 1]; ++k) {
+      const NetNoise& fan = res.nets[kb_.in_net[k].index()];
+      if (fan.total_peak > in_peak) {
+        in_peak = fan.total_peak;
+        in_width = fan.width;
+        in_window = &fan.window;
+        in_net = kb_.in_net[k];
+      }
+    }
+    for (std::uint32_t k = out_b; k < out_e; ++k) {
+      const NetId out = kb_.out_net[k];
+      if (in_peak >= opt_.min_peak && !cell.arcs.empty()) {
+        const double out_peak = cell.propagation.out_peak.lookup(in_peak, in_width);
+        if (out_peak >= opt_.min_peak) {
+          const double out_width =
+              cell.propagation.out_width.lookup(in_peak, in_width);
+          const double load = kb_.load_cap[out.index()];
+          const double gate_delay =
+              cell.arcs.front().delay_rise.lookup(in_width, load);
+          Contribution c;
+          c.from_net = in_net;
+          c.peak = out_peak;
+          c.width = out_width;
+          if (opt_.mode == AnalysisMode::kNoiseWindows) {
+            // Flat shifted().dilated(0, after): a uniform shift keeps the
+            // members sorted, so union_flat's sort is an identity
+            // permutation and only the dilation-induced merges run.
+            const double after = std::max(out_width - in_width, 0.0);
+            auto& members = interval_scratch();
+            members.clear();
+            if (in_window != nullptr) {
+              for (const Interval& iv : in_window->intervals()) {
+                const double sl = iv.lo + gate_delay;
+                const double sh = iv.hi + gate_delay;
+                members.push_back({sl, sh + after});
+              }
+            }
+            c.window = kernels::union_flat(members);
+          } else {
+            c.window = IntervalSet::everything();
+          }
+          res.nets[out.index()].contributions.push_back(std::move(c));
+        }
+      }
+      finalize_net(res, out);
+    }
+  }
+
   void propagate(Result& res) {
     obs::Span span("propagate", obs::SpanKind::kPhase);
     PhaseTimer timer(times_.propagate);
@@ -594,10 +834,17 @@ class Pipeline {
       if (obs::trace_enabled()) {
         level_span.emplace("level " + std::to_string(li), obs::SpanKind::kLevel);
       }
+      // Both paths use the same (n, chunk) decomposition, so the
+      // executor_tasks counter for this region is identical.
+      const std::size_t level_base = vector_ ? kb_.level_offsets[li] : 0;
       exec_.parallel_for("propagate-level", level.size(), kPropagateChunk,
                          [&](std::size_t begin, std::size_t end) {
                            for (std::size_t i = begin; i < end; ++i) {
-                             propagate_instance(res, level[i]);
+                             if (vector_) {
+                               propagate_instance_vector(res, level_base + i);
+                             } else {
+                               propagate_instance(res, level[i]);
+                             }
                            }
                          });
       done += level.size();
@@ -621,7 +868,7 @@ class Pipeline {
       const std::size_t limit = std::min(n_ep, base + ep_batch);
       exec_.map_reduce_ordered<EndpointOutcome>(
           "check-endpoints", limit - base, kEndpointChunk,
-          [&](std::size_t ei) { return check_sequential(res, ctx_.endpoints[base + ei]); },
+          [&](std::size_t ei) { return check_sequential(res, base + ei); },
           [&](std::size_t, EndpointOutcome outcome) {
             ++res.endpoints_checked;
             res.endpoint_slacks.push_back(outcome.slack);
@@ -678,7 +925,13 @@ class Pipeline {
   }
 
   [[nodiscard]] EndpointOutcome check_sequential(const Result& res,
-                                                 const EndpointRef& ep) const {
+                                                 std::size_t ep_index) const {
+    const EndpointRef& ep = ctx_.endpoints[ep_index];
+    // The flat endpoint slabs hold the same values the context records;
+    // the vector path reads them to stay on the packed arrays.
+    const Interval sens =
+        vector_ ? Interval{kb_.sens_lo[ep_index], kb_.sens_hi[ep_index]}
+                : ep.sensitivity;
     const NetNoise& nn = res.nets[ep.net.index()];
     double peak = nn.total_peak;
     double width = nn.width;
@@ -686,7 +939,7 @@ class Pipeline {
     if (opt_.mode == AnalysisMode::kNoiseWindows) {
       // Worst combination *inside* the sampling window.
       const Combined in_sens =
-          combine(nn.contributions, opt_.mode, ep.sensitivity, opt_.constraints);
+          combine_dispatch(nn.contributions, opt_.mode, sens, CombineView::kAll);
       peak = in_sens.peak;
       width = in_sens.width;
       temporal = peak > 0.0;
@@ -702,11 +955,10 @@ class Pipeline {
       v.peak = peak;
       v.width = width;
       v.threshold = threshold;
-      v.sensitivity = ep.sensitivity;
+      v.sensitivity = sens;
       v.temporal = temporal;
       outcome.violation = v;
-      outcome.provenance =
-          build_provenance(res, ep.pin, ep.net, ep.sensitivity, &cell, 0.0);
+      outcome.provenance = build_provenance(res, ep.pin, ep.net, sens, &cell, 0.0);
     }
     return outcome;
   }
@@ -732,19 +984,17 @@ class Pipeline {
     // built every window as `everything`), which is exactly the diagnostic:
     // the stages show what the stronger regime would have concluded from
     // the evidence this run collected.
-    const Combined unfiltered = combine(nn.contributions, AnalysisMode::kNoFiltering,
-                                        Interval::everything(), opt_.constraints);
-    std::vector<Contribution> switching_only = nn.contributions;
-    for (auto& c : switching_only) {
-      if (c.is_propagated()) c.window = IntervalSet::everything();
-    }
-    const Combined switching = combine(switching_only, AnalysisMode::kNoiseWindows,
-                                       Interval::everything(), opt_.constraints);
-    const Combined noise_win = combine(nn.contributions, AnalysisMode::kNoiseWindows,
-                                       Interval::everything(), opt_.constraints);
-    const Combined in_sens =
-        combine(nn.contributions, AnalysisMode::kNoiseWindows, sensitivity,
-                opt_.constraints);
+    const Combined unfiltered =
+        combine_dispatch(nn.contributions, AnalysisMode::kNoFiltering,
+                         Interval::everything(), CombineView::kAll);
+    const Combined switching =
+        combine_dispatch(nn.contributions, AnalysisMode::kNoiseWindows,
+                         Interval::everything(), CombineView::kPropagatedOpen);
+    const Combined noise_win =
+        combine_dispatch(nn.contributions, AnalysisMode::kNoiseWindows,
+                         Interval::everything(), CombineView::kAll);
+    const Combined in_sens = combine_dispatch(
+        nn.contributions, AnalysisMode::kNoiseWindows, sensitivity, CombineView::kAll);
     p.peak_unfiltered = unfiltered.peak;
     p.peak_switching = switching.peak;
     p.peak_noise_window = noise_win.peak;
@@ -766,8 +1016,8 @@ class Pipeline {
     // windows, the net's mode-level combination everywhere else.
     const bool sens_check =
         cell != nullptr && opt_.mode == AnalysisMode::kNoiseWindows;
-    const Combined total = combine(nn.contributions, opt_.mode,
-                                   Interval::everything(), opt_.constraints);
+    const Combined total = combine_dispatch(nn.contributions, opt_.mode,
+                                            Interval::everything(), CombineView::kAll);
     const Combined& worst = sens_check ? in_sens : total;
     p.alignment = worst.alignment;
 
@@ -866,6 +1116,8 @@ class Pipeline {
   const sta::Result& sta_;
   const Options& opt_;
   ProgressSink* progress_;  ///< not owned; may be nullptr
+  /// Resolved kernel-path choice (Options::simd): true = flat SoA kernels.
+  const bool vector_;
   util::Executor exec_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point phase_start_;
@@ -884,6 +1136,9 @@ class Pipeline {
     double endpoints = 0.0;
   } times_;
   AnalysisContext ctx_;
+  /// Flat mirrors + packed per-pair operands for the vector path (empty
+  /// when vector_ is false).
+  KernelBuffers kb_;
   std::vector<Interval> switch_win_;  ///< per-pass inflated windows
 };
 
@@ -891,9 +1146,10 @@ class Pipeline {
 
 std::string options_digest(const Options& o) {
   // Canonical rendering: exact doubles (hexfloat), every field in a fixed
-  // order, constraints enumerated deterministically. `threads` is
-  // deliberately excluded — results (and therefore digests) are identical
-  // for every thread count.
+  // order, constraints enumerated deterministically. `threads` and `simd`
+  // are deliberately excluded — results (and therefore digests) are
+  // identical for every thread count and either kernel path, so caches
+  // keyed on the digest stay valid across both knobs.
   std::ostringstream os;
   os << std::hexfloat;
   os << "mode=" << to_string(o.mode) << ";model=" << to_string(o.model)

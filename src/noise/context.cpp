@@ -126,6 +126,12 @@ AnalysisContext AnalysisContext::build(const net::Design& design,
   return ctx;
 }
 
+std::size_t AnalysisContext::aggressor_pair_count() const noexcept {
+  std::size_t pairs = 0;
+  for (const auto& row : aggressors) pairs += row.size();
+  return pairs;
+}
+
 std::vector<NetId> AnalysisContext::dirty_closure(const para::Parasitics& para,
                                                   std::span<const NetId> changed) const {
   const std::size_t n = aggressors.size();

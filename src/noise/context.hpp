@@ -67,6 +67,11 @@ struct AnalysisContext {
   /// Sequential endpoints in deterministic (instance, pin) order.
   std::vector<EndpointRef> endpoints;
 
+  /// Total victim/aggressor pairs over every adjacency row — the flat
+  /// (CSR) size of the aggressor graph. KernelBuffers (noise/kernels.hpp)
+  /// sizes its packed slabs from this.
+  [[nodiscard]] std::size_t aggressor_pair_count() const noexcept;
+
   /// Derive the context. `sta_result` must match the design (checked).
   [[nodiscard]] static AnalysisContext build(const net::Design& design,
                                              const para::Parasitics& para,

@@ -20,50 +20,110 @@ const char* to_string(GlitchModel m) noexcept {
   return "?";
 }
 
-GlitchEstimate estimate_charge_sharing(const CouplingScenario& s) {
+// The three analytic models as elementwise span kernels — the canonical
+// implementations. Slot i reads only index i of every span, so the loops
+// auto-vectorize (charge-sharing/devgan fully; two-pi up to the libm
+// calls). The scalar estimate_* wrappers below run the same loops with
+// count 1: one compiled expression per formula, so the per-net reference
+// path and the SoA kernel path cannot diverge bitwise, whatever the
+// compiler's FP-contraction choices. NW_KERNEL_NOINLINE keeps the wrappers
+// from inlining a private copy whose late FMA formation could differ from
+// the out-of-line loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define NW_KERNEL_NOINLINE __attribute__((noinline))
+#else
+#define NW_KERNEL_NOINLINE
+#endif
+
+NW_KERNEL_NOINLINE
+void peaks_charge_sharing(std::span<const double> r_hold,
+                          std::span<const double> c_ground,
+                          std::span<const double> c_couple,
+                          std::span<const double> slew, double vdd,
+                          std::span<double> peak, std::span<double> width,
+                          std::span<double> peak_delay) {
+  for (std::size_t i = 0; i < r_hold.size(); ++i) {
+    const double ctot = c_couple[i] + c_ground[i];
+    // The charge-shared level decays through Rh; half-peak width is the RC
+    // half-life plus half the injection ramp.
+    const bool live = ctot > 0.0;
+    peak[i] = live ? vdd * c_couple[i] / ctot : 0.0;
+    width[i] = live ? 0.693 * r_hold[i] * ctot + 0.5 * slew[i] : 0.0;
+    peak_delay[i] = live ? slew[i] : 0.0;
+  }
+}
+
+NW_KERNEL_NOINLINE
+void peaks_devgan(std::span<const double> r_hold, std::span<const double> c_ground,
+                  std::span<const double> c_couple, std::span<const double> slew,
+                  double vdd, std::span<double> peak, std::span<double> width,
+                  std::span<double> peak_delay) {
+  for (std::size_t i = 0; i < r_hold.size(); ++i) {
+    // Devgan's metric: the victim cannot exceed the IR drop of the injected
+    // current Cc * dVa/dt through Rh, capped by the rail.
+    peak[i] = std::min(vdd, r_hold[i] * c_couple[i] * vdd / slew[i]);
+    const double tau = r_hold[i] * (c_couple[i] + c_ground[i]);
+    width[i] = slew[i] + 0.693 * tau;
+    peak_delay[i] = slew[i];
+  }
+}
+
+NW_KERNEL_NOINLINE
+void peaks_two_pi(std::span<const double> r_hold, std::span<const double> c_ground,
+                  std::span<const double> c_couple, std::span<const double> slew,
+                  double vdd, std::span<double> peak, std::span<double> width,
+                  std::span<double> peak_delay) {
+  for (std::size_t i = 0; i < r_hold.size(); ++i) {
+    const double tau_x = r_hold[i] * c_couple[i];                  // injection
+    const double tau_v = r_hold[i] * (c_couple[i] + c_ground[i]);  // victim pole
+    if (tau_v <= 0.0) {
+      peak[i] = 0.0;
+      width[i] = 0.0;
+      peak_delay[i] = 0.0;
+      continue;
+    }
+    // Single-pole response to a ramp of duration tr injected through Cc:
+    //   v(t) = Vdd (tau_x / tr) (1 - e^{-t/tau_v}),  t <= tr   (rising)
+    //   v(t) = v(tr) e^{-(t - tr)/tau_v},            t >  tr   (decay)
+    const double rise_sat = 1.0 - std::exp(-slew[i] / tau_v);
+    peak[i] = std::min(vdd * (tau_x / slew[i]) * rise_sat, vdd);
+    peak_delay[i] = slew[i];
+    // Half-peak crossings: t1 on the rise where the saturation term reaches
+    // half its final value, t2 = tr + tau_v ln 2 on the decay.
+    const double half = 0.5 * rise_sat;
+    const double t1 = (half < 1.0) ? -tau_v * std::log(1.0 - half) : 0.0;
+    const double t2 = slew[i] + tau_v * 0.693147180559945;
+    width[i] = std::max(t2 - t1, 0.0);
+  }
+}
+
+namespace {
+
+/// Runs one analytic span kernel on a single scenario.
+template <typename Kernel>
+GlitchEstimate estimate_one(Kernel&& kernel, const CouplingScenario& s) {
   GlitchEstimate g;
-  const double ctot = s.c_couple + s.c_ground;
-  if (ctot <= 0.0) return g;
-  g.peak = s.vdd * s.c_couple / ctot;
-  // The charge-shared level decays through Rh; half-peak width is the RC
-  // half-life plus half the injection ramp.
-  g.width = 0.693 * s.r_hold * ctot + 0.5 * s.slew;
-  g.peak_delay = s.slew;
+  kernel(std::span<const double>(&s.r_hold, 1), std::span<const double>(&s.c_ground, 1),
+         std::span<const double>(&s.c_couple, 1), std::span<const double>(&s.slew, 1),
+         s.vdd, std::span<double>(&g.peak, 1), std::span<double>(&g.width, 1),
+         std::span<double>(&g.peak_delay, 1));
   return g;
+}
+
+}  // namespace
+
+GlitchEstimate estimate_charge_sharing(const CouplingScenario& s) {
+  return estimate_one(peaks_charge_sharing, s);
 }
 
 GlitchEstimate estimate_devgan(const CouplingScenario& s) {
-  GlitchEstimate g;
   if (s.slew <= 0.0) throw std::invalid_argument("estimate_devgan: non-positive slew");
-  // Devgan's metric: the victim cannot exceed the IR drop of the injected
-  // current Cc * dVa/dt through Rh, capped by the rail.
-  g.peak = std::min(s.vdd, s.r_hold * s.c_couple * s.vdd / s.slew);
-  const double tau = s.r_hold * (s.c_couple + s.c_ground);
-  g.width = s.slew + 0.693 * tau;
-  g.peak_delay = s.slew;
-  return g;
+  return estimate_one(peaks_devgan, s);
 }
 
 GlitchEstimate estimate_two_pi(const CouplingScenario& s) {
-  GlitchEstimate g;
   if (s.slew <= 0.0) throw std::invalid_argument("estimate_two_pi: non-positive slew");
-  const double tau_x = s.r_hold * s.c_couple;                 // injection
-  const double tau_v = s.r_hold * (s.c_couple + s.c_ground);  // victim pole
-  if (tau_v <= 0.0) return g;
-  // Single-pole response to a ramp of duration tr injected through Cc:
-  //   v(t) = Vdd (tau_x / tr) (1 - e^{-t/tau_v}),  t <= tr   (rising)
-  //   v(t) = v(tr) e^{-(t - tr)/tau_v},            t >  tr   (decay)
-  const double rise_sat = 1.0 - std::exp(-s.slew / tau_v);
-  g.peak = s.vdd * (tau_x / s.slew) * rise_sat;
-  g.peak = std::min(g.peak, s.vdd);
-  g.peak_delay = s.slew;
-  // Half-peak crossings: t1 on the rise where the saturation term reaches
-  // half its final value, t2 = tr + tau_v ln 2 on the decay.
-  const double half = 0.5 * rise_sat;
-  const double t1 = (half < 1.0) ? -tau_v * std::log(1.0 - half) : 0.0;
-  const double t2 = s.slew + tau_v * 0.693147180559945;
-  g.width = std::max(t2 - t1, 0.0);
-  return g;
+  return estimate_one(peaks_two_pi, s);
 }
 
 GlitchEstimate estimate(GlitchModel model, const CouplingScenario& s) {

@@ -20,6 +20,8 @@
 //                   experiments and high-effort signoff mode.
 #pragma once
 
+#include <span>
+
 #include "netlist/design.hpp"
 #include "parasitics/rcnet.hpp"
 #include "spice/transient.hpp"
@@ -50,6 +52,30 @@ struct GlitchEstimate {
 [[nodiscard]] GlitchEstimate estimate_charge_sharing(const CouplingScenario& s);
 [[nodiscard]] GlitchEstimate estimate_devgan(const CouplingScenario& s);
 [[nodiscard]] GlitchEstimate estimate_two_pi(const CouplingScenario& s);
+
+/// Flat span variants of the three analytic models — the elementwise
+/// estimation kernels the SoA path (noise/kernels.hpp) runs over CSR rows
+/// of scenario operands. All spans share one length; slot i is the
+/// scenario (r_hold[i], c_ground[i], c_couple[i], slew[i], vdd). These are
+/// the CANONICAL implementations: the scalar estimate_* functions above
+/// call them with count-1 spans, so scalar and vector paths execute the
+/// same compiled floating-point expressions and stay bit-identical even
+/// under FP contraction (-ffp-contract=fast). Callers guarantee slew > 0
+/// for devgan/two-pi (the wrappers keep the throwing checks).
+void peaks_charge_sharing(std::span<const double> r_hold,
+                          std::span<const double> c_ground,
+                          std::span<const double> c_couple,
+                          std::span<const double> slew, double vdd,
+                          std::span<double> peak, std::span<double> width,
+                          std::span<double> peak_delay);
+void peaks_devgan(std::span<const double> r_hold, std::span<const double> c_ground,
+                  std::span<const double> c_couple, std::span<const double> slew,
+                  double vdd, std::span<double> peak, std::span<double> width,
+                  std::span<double> peak_delay);
+void peaks_two_pi(std::span<const double> r_hold, std::span<const double> c_ground,
+                  std::span<const double> c_couple, std::span<const double> slew,
+                  double vdd, std::span<double> peak, std::span<double> width,
+                  std::span<double> peak_delay);
 
 /// Dispatch over the three analytic models (not kReducedMna/kMnaExact,
 /// which need the design context).

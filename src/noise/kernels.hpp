@@ -1,0 +1,190 @@
+// Structure-of-arrays kernel buffers and the flat analysis kernels.
+//
+// The per-net hot path (noise/analyzer.cpp) walks pointer-rich structures:
+// vector<vector<AggressorEdge>> adjacency, IntervalSet windows on every
+// contribution, and per-pair CouplingScenario construction inside the
+// estimation loop. KernelBuffers mirrors everything those loops read into
+// flat, contiguous slabs — CSR aggressor adjacency, packed per-pair
+// estimation operands, flat switching windows, per-level instance slabs,
+// and flat endpoint sensitivities — so the stage kernels stream over plain
+// double arrays instead of chasing heap nodes.
+//
+// Bit-identity contract: the vector path (Options::simd == kVector) must
+// produce a byte-identical Result to the scalar reference path. Three
+// mechanisms guarantee it:
+//
+//   1. Shared arithmetic. Every floating-point expression lives in exactly
+//      one compiled function — the flat kernels (peaks_* in glitch_models,
+//      the event-scan cores in util/scanline) — and the scalar path calls
+//      the same functions with count-1 spans. With one definition there is
+//      one FP-contraction decision, so -ffp-contract=fast cannot split the
+//      paths.
+//   2. Identical sequences. combine_flat() feeds the scan core the same
+//      (interval, item) event sequence the scalar combine() builds, in the
+//      same order, so sorting and summation order cannot differ.
+//   3. Selection-only restructuring. The batch union and window transforms
+//      only shift/compare/min/max endpoint values — the same operations
+//      IntervalSet::add()/intersect() perform, in an order that provably
+//      produces the same canonical interval list.
+//
+// The buffers are derived from an AnalysisContext once per Pipeline and
+// packed lazily: structure (CSR, slabs) at build time, per-pair scenario
+// operands on first estimation (incremental runs pack only dirty rows —
+// clean rows reuse previous contributions and never read their slots).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/context.hpp"
+#include "util/interval.hpp"
+#include "util/scanline.hpp"
+
+namespace nw::util {
+class Executor;
+}
+
+namespace nw::noise {
+
+/// Worst simultaneous sum of contributions, optionally restricted to a
+/// time window (mode 3 latch checks restrict to the sensitivity window).
+/// Produced by both the scalar combine and combine_flat().
+struct Combined {
+  double peak = 0.0;
+  double width = 0.0;
+  Interval alignment;
+  std::vector<std::size_t> active;
+};
+
+/// Which contributions a combination sees. The scalar path materializes
+/// these views by copying the contribution vector; the flat path gathers
+/// them directly.
+enum class CombineView {
+  /// Every contribution, windows as recorded. `active` holds original
+  /// contribution indices.
+  kAll,
+  /// Injected contributions only (skips fanin-propagated ones). Indices
+  /// are COMPACTED — 0..m-1 in original relative order — matching the
+  /// scalar path's filtered-copy vector, so event sort tie-breaking (and
+  /// with it summation order) is identical. Only `.peak` is meaningful to
+  /// current callers.
+  kInjectedOnly,
+  /// Propagated windows widened to `everything` (provenance's
+  /// "switching-windows" stage). Original indices.
+  kPropagatedOpen,
+};
+
+/// Reusable gather/scan scratch for combine_flat — one per thread, so the
+/// per-combination IntervalSet/WeightedWindow heap churn of the scalar
+/// path disappears entirely.
+struct CombineScratch {
+  std::vector<double> lo, hi;       ///< member intervals, flat
+  std::vector<std::size_t> item;    ///< owning item per member
+  std::vector<double> weight;       ///< per-item peak
+  std::vector<double> width;        ///< per-item width
+  std::vector<int> group;           ///< per-item constraint group (grouped only)
+  std::vector<ScanEvent> events;
+};
+
+/// Flat-span combine: gathers the view's member intervals into scratch
+/// spans, clips them against `restrict_to` elementwise, and runs the shared
+/// event-scan core. Bit-identical to the scalar combine() on the same view
+/// (see file header). Thread-safe for distinct scratch objects.
+[[nodiscard]] Combined combine_flat(std::span<const Contribution> contributions,
+                                    AnalysisMode mode, const Interval& restrict_to,
+                                    const Constraints& constraints, CombineView view,
+                                    CombineScratch& scratch);
+
+namespace kernels {
+
+/// Elementwise interval clip against [r.lo, r.hi] — the flat
+/// IntervalSet::intersect(Interval). Slots left with lo[i] > hi[i] are
+/// empty (including every slot when `r` itself is empty). Branch-free
+/// min/max over contiguous doubles; the autovectorizer's bread and butter.
+void clip(std::span<double> lo, std::span<double> hi, const Interval& r);
+
+/// out[i] = hi[i] + (delay[i] + width[i]) — the right-edge extension of
+/// Interval::dilated(0.0, peak_delay + width), batched. The association
+/// matches the scalar path exactly: `after` is formed first, then added.
+void extend_right(std::span<const double> hi, std::span<const double> delay,
+                  std::span<const double> width, std::span<double> out);
+
+/// Canonical union of arbitrary intervals, in place: sorts `members` by
+/// (lo, hi), sweep-merges touching/overlapping neighbours, and rebuilds an
+/// IntervalSet. Merged endpoints are min/max selections of the inputs —
+/// no arithmetic — so the result is bit-identical to feeding the members
+/// through repeated IntervalSet::add() in any order. Empty members
+/// (lo > hi) are skipped like add() skips them.
+[[nodiscard]] IntervalSet union_flat(std::vector<Interval>& members);
+
+}  // namespace kernels
+
+/// Flat mirror of the AnalysisContext structures the stage kernels read,
+/// plus packed per-pair estimation operands. Immutable structure after
+/// build(); set_switch_windows() and pack_scenarios() fill the mutable
+/// slabs (per refinement pass and lazily-once respectively).
+struct KernelBuffers {
+  double vdd = 0.0;
+
+  // --- CSR aggressor adjacency (victim-major; row vi = net vi) ---
+  std::vector<std::uint32_t> agg_offsets;  ///< net_count+1 row starts
+  std::vector<NetId> agg_net;              ///< aggressor id per pair slot
+  std::vector<double> agg_cap;             ///< summed coupling per pair slot
+
+  // --- per-pair estimation operands (slot-parallel to agg_net) ---
+  /// Aggressor slew after the STA/default/floor rule — the raw input the
+  /// MNA models take. Packed by pack_scenarios() for every model.
+  std::vector<double> pair_slew;
+  /// scenario_for()'s electrical abstract, packed only for the analytic
+  /// models (the MNA models rebuild circuits from the design per pair).
+  std::vector<double> sc_r_hold, sc_c_ground, sc_c_couple, sc_slew;
+
+  // --- flat per-net arrays ---
+  std::vector<double> switch_lo, switch_hi;  ///< current pass's windows
+  std::vector<double> load_cap;              ///< gate-delay lookup loads
+
+  // --- per-level contiguous instance slabs (level-major "slab position") ---
+  std::vector<std::uint32_t> level_offsets;  ///< levels+1 starts into slabs
+  std::vector<const lib::Cell*> slab_cell;
+  std::vector<std::uint8_t> slab_seq;        ///< 1 = sequential cell
+  std::vector<std::uint32_t> in_offsets;     ///< slab+1: CSR of input nets
+  std::vector<NetId> in_net;                 ///< valid input nets, pin order
+  std::vector<std::uint32_t> out_offsets;    ///< slab+1: CSR of output nets
+  std::vector<NetId> out_net;                ///< valid output nets, pin order
+
+  // --- flat endpoints ---
+  std::vector<double> sens_lo, sens_hi;
+  std::vector<NetId> ep_net;
+
+  /// Derive every structural slab from the context (O(nets + pairs +
+  /// instances); no floating-point transformation, values are copied).
+  [[nodiscard]] static KernelBuffers build(const net::Design& design,
+                                           const AnalysisContext& ctx);
+
+  /// Re-gather the (possibly refinement-inflated) switching windows into
+  /// the flat lo/hi arrays. Called once per estimation pass. Empty windows
+  /// keep their lo > hi encoding.
+  void set_switch_windows(std::span<const Interval> windows);
+
+  /// Pack per-pair estimation operands: the slew rule for every pair, plus
+  /// scenario_for()'s fields for analytic models. `dirty == nullptr` packs
+  /// every row; otherwise only rows with (*dirty)[vi] != 0 (clean victims
+  /// reuse previous contributions and never read their slots). Rows are
+  /// independent; parallelized over victims on `exec`. Idempotent per
+  /// Pipeline via scenarios_packed() — operands depend only on immutable
+  /// design/parasitics/STA state, never on refinement windows.
+  void pack_scenarios(const net::Design& design, const para::Parasitics& para,
+                      const sta::Result& sta, const Options& opt,
+                      const std::vector<char>* dirty, util::Executor& exec);
+
+  [[nodiscard]] bool scenarios_packed() const noexcept { return packed_; }
+
+ private:
+  bool packed_ = false;
+};
+
+}  // namespace nw::noise

@@ -44,6 +44,13 @@ std::optional<noise::GlitchModel> parse_model(const std::string& s) {
   return std::nullopt;
 }
 
+std::optional<noise::SimdMode> parse_simd(const std::string& s) {
+  if (s == "auto") return noise::SimdMode::kAuto;
+  if (s == "scalar") return noise::SimdMode::kScalar;
+  if (s == "vector") return noise::SimdMode::kVector;
+  return std::nullopt;
+}
+
 }  // namespace
 
 Session::Session(net::Design design, para::Parasitics para, SessionConfig config)
@@ -296,6 +303,16 @@ void Session::set_option(const std::string& name, const std::string& value) {
                                   "' (expected an integer in [0, 1024])");
     }
     cfg_.noise.threads = static_cast<int>(*v);
+  } else if (name == "simd") {
+    // Like threads, a pure execution knob: results are bit-identical on
+    // either kernel path and simd is excluded from the options digest, so
+    // switching it never invalidates the result cache.
+    const auto m = parse_simd(value);
+    if (!m) {
+      throw std::invalid_argument("set_option simd: '" + value +
+                                  "' (expected auto | scalar | vector)");
+    }
+    cfg_.noise.simd = *m;
   } else if (name == "refine") {
     const auto v = parse_uint(value);
     if (!v || *v > 64) {
@@ -313,7 +330,7 @@ void Session::set_option(const std::string& name, const std::string& value) {
   } else {
     throw std::invalid_argument(
         "set_option: unknown option '" + name +
-        "' (expected mode | model | threads | refine | period)");
+        "' (expected mode | model | threads | simd | refine | period)");
   }
   UndoEntry e;
   e.what = "set_option " + name + " " + value;

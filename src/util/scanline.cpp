@@ -7,56 +7,40 @@
 
 namespace nw {
 
-namespace {
-
-struct Event {
-  double t;
-  bool open;           // true: interval starts, false: interval ends
-  std::size_t item;    // contribution index
-};
-
-}  // namespace
-
-ScanResult scan_max_overlap(std::span<const WeightedWindow> items) {
-  std::vector<Event> events;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    for (const auto& iv : items[i].window.intervals()) {
-      events.push_back({iv.lo, true, i});
-      events.push_back({iv.hi, false, i});
-    }
-  }
+ScanResult scan_events_max_overlap(std::vector<ScanEvent>& events,
+                                   std::span<const double> weights) {
   ScanResult best;
   if (events.empty()) return best;
 
   // Closed intervals: at a shared endpoint, opens must be processed before
   // closes so that a point where one window ends exactly as another begins
   // counts both.
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+  std::sort(events.begin(), events.end(), [](const ScanEvent& a, const ScanEvent& b) {
     if (a.t != b.t) return a.t < b.t;
     return a.open > b.open;
   });
 
   double sum = 0.0;
-  std::vector<int> active_count(items.size(), 0);
+  std::vector<int> active_count(weights.size(), 0);
   std::size_t i = 0;
   while (i < events.size()) {
     const double t = events[i].t;
     // Apply all opens at t, then evaluate, then apply closes at t.
     std::size_t j = i;
     while (j < events.size() && events[j].t == t && events[j].open) {
-      if (active_count[events[j].item]++ == 0) sum += items[events[j].item].weight;
+      if (active_count[events[j].item]++ == 0) sum += weights[events[j].item];
       ++j;
     }
     if (sum > best.best_sum) {
       best.best_sum = sum;
       best.best_interval = {t, t};
       best.active.clear();
-      for (std::size_t k = 0; k < items.size(); ++k) {
+      for (std::size_t k = 0; k < weights.size(); ++k) {
         if (active_count[k] > 0) best.active.push_back(k);
       }
     }
     while (j < events.size() && events[j].t == t && !events[j].open) {
-      if (--active_count[events[j].item] == 0) sum -= items[events[j].item].weight;
+      if (--active_count[events[j].item] == 0) sum -= weights[events[j].item];
       ++j;
     }
     i = j;
@@ -68,7 +52,7 @@ ScanResult scan_max_overlap(std::span<const WeightedWindow> items) {
   if (best.best_sum > 0.0) {
     const double tol = 1e-12 * best.best_sum;
     double sum2 = 0.0;
-    std::vector<int> cnt(items.size(), 0);
+    std::vector<int> cnt(weights.size(), 0);
     double start = 0.0;
     bool in_max = false;
     std::size_t a = 0;
@@ -76,7 +60,7 @@ ScanResult scan_max_overlap(std::span<const WeightedWindow> items) {
       const double t = events[a].t;
       std::size_t b = a;
       while (b < events.size() && events[b].t == t && events[b].open) {
-        if (cnt[events[b].item]++ == 0) sum2 += items[events[b].item].weight;
+        if (cnt[events[b].item]++ == 0) sum2 += weights[events[b].item];
         ++b;
       }
       if (!in_max && sum2 >= best.best_sum - tol) {
@@ -84,7 +68,7 @@ ScanResult scan_max_overlap(std::span<const WeightedWindow> items) {
         in_max = true;
       }
       while (b < events.size() && events[b].t == t && !events[b].open) {
-        if (--cnt[events[b].item] == 0) sum2 -= items[events[b].item].weight;
+        if (--cnt[events[b].item] == 0) sum2 -= weights[events[b].item];
         ++b;
       }
       if (in_max && sum2 < best.best_sum - tol) {
@@ -95,6 +79,19 @@ ScanResult scan_max_overlap(std::span<const WeightedWindow> items) {
     }
   }
   return best;
+}
+
+ScanResult scan_max_overlap(std::span<const WeightedWindow> items) {
+  std::vector<ScanEvent> events;
+  std::vector<double> weights(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    weights[i] = items[i].weight;
+    for (const auto& iv : items[i].window.intervals()) {
+      events.push_back({iv.lo, true, i});
+      events.push_back({iv.hi, false, i});
+    }
+  }
+  return scan_events_max_overlap(events, weights);
 }
 
 double overlap_sum_at(std::span<const WeightedWindow> items, double t) {
@@ -118,29 +115,24 @@ std::vector<ScanSample> scan_profile(std::span<const WeightedWindow> items,
   return out;
 }
 
-ScanResult scan_max_overlap_grouped(std::span<const WeightedWindow> items,
-                                    std::span<const int> groups) {
-  if (groups.size() != items.size()) {
+ScanResult scan_events_max_overlap_grouped(std::vector<ScanEvent>& events,
+                                           std::span<const double> weights,
+                                           std::span<const int> groups) {
+  if (groups.size() != weights.size()) {
     throw std::invalid_argument("scan_max_overlap_grouped: group count mismatch");
   }
+  const std::size_t n = weights.size();
   // Normalize: negative group ids become singleton groups.
   int next_group = 0;
   for (const int g : groups) next_group = std::max(next_group, g + 1);
-  std::vector<int> gid(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
+  std::vector<int> gid(n);
+  for (std::size_t i = 0; i < n; ++i) {
     gid[i] = groups[i] >= 0 ? groups[i] : next_group++;
   }
 
-  std::vector<Event> events;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    for (const auto& iv : items[i].window.intervals()) {
-      events.push_back({iv.lo, true, i});
-      events.push_back({iv.hi, false, i});
-    }
-  }
   ScanResult best;
   if (events.empty()) return best;
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+  std::sort(events.begin(), events.end(), [](const ScanEvent& a, const ScanEvent& b) {
     if (a.t != b.t) return a.t < b.t;
     return a.open > b.open;
   });
@@ -148,7 +140,7 @@ ScanResult scan_max_overlap_grouped(std::span<const WeightedWindow> items,
   // Per-group ordered multiset of active weights; objective maintains
   // sum over groups of the group's max.
   std::vector<std::multiset<double>> active(static_cast<std::size_t>(next_group));
-  std::vector<int> active_count(items.size(), 0);
+  std::vector<int> active_count(n, 0);
   double objective = 0.0;
 
   auto group_max = [&](int g) {
@@ -159,7 +151,7 @@ ScanResult scan_max_overlap_grouped(std::span<const WeightedWindow> items,
     if (active_count[i]++ > 0) return;
     const int g = gid[i];
     const double before = group_max(g);
-    active[static_cast<std::size_t>(g)].insert(items[i].weight);
+    active[static_cast<std::size_t>(g)].insert(weights[i]);
     objective += group_max(g) - before;
   };
   auto erase_item = [&](std::size_t i) {
@@ -167,7 +159,7 @@ ScanResult scan_max_overlap_grouped(std::span<const WeightedWindow> items,
     const int g = gid[i];
     const double before = group_max(g);
     auto& s = active[static_cast<std::size_t>(g)];
-    s.erase(s.find(items[i].weight));
+    s.erase(s.find(weights[i]));
     objective += group_max(g) - before;
   };
 
@@ -184,15 +176,14 @@ ScanResult scan_max_overlap_grouped(std::span<const WeightedWindow> items,
       best.best_interval = {t, t};
       best.active.clear();
       // Report the heaviest active member per group.
-      std::vector<std::size_t> per_group(static_cast<std::size_t>(next_group),
-                                         items.size());
-      for (std::size_t k = 0; k < items.size(); ++k) {
+      std::vector<std::size_t> per_group(static_cast<std::size_t>(next_group), n);
+      for (std::size_t k = 0; k < n; ++k) {
         if (active_count[k] == 0) continue;
         auto& slot = per_group[static_cast<std::size_t>(gid[k])];
-        if (slot == items.size() || items[k].weight > items[slot].weight) slot = k;
+        if (slot == n || weights[k] > weights[slot]) slot = k;
       }
       for (const auto slot : per_group) {
-        if (slot != items.size()) best.active.push_back(slot);
+        if (slot != n) best.active.push_back(slot);
       }
       std::sort(best.active.begin(), best.active.end());
     }
@@ -203,6 +194,23 @@ ScanResult scan_max_overlap_grouped(std::span<const WeightedWindow> items,
     i = j;
   }
   return best;
+}
+
+ScanResult scan_max_overlap_grouped(std::span<const WeightedWindow> items,
+                                    std::span<const int> groups) {
+  if (groups.size() != items.size()) {
+    throw std::invalid_argument("scan_max_overlap_grouped: group count mismatch");
+  }
+  std::vector<ScanEvent> events;
+  std::vector<double> weights(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    weights[i] = items[i].weight;
+    for (const auto& iv : items[i].window.intervals()) {
+      events.push_back({iv.lo, true, i});
+      events.push_back({iv.hi, false, i});
+    }
+  }
+  return scan_events_max_overlap_grouped(events, weights, groups);
 }
 
 ScanResult brute_force_max_overlap_grouped(std::span<const WeightedWindow> items,

@@ -22,6 +22,18 @@ struct WeightedWindow {
   IntervalSet window;
 };
 
+/// One endpoint event of a scan: an interval of contribution `item` starts
+/// (open) or ends (close) at time t. The flat kernel-buffer combine path
+/// (noise/kernels.hpp) builds these directly from clipped spans, while
+/// scan_max_overlap builds them from IntervalSets — both then run the same
+/// scan_events_* cores below, so the two paths are bit-identical by
+/// construction (same event sequence in, same sweep, same result out).
+struct ScanEvent {
+  double t;
+  bool open;         // true: interval starts, false: interval ends
+  std::size_t item;  // contribution index, < weights.size()
+};
+
 /// Result of a scan-line maximization.
 struct ScanResult {
   double best_sum = 0.0;          ///< maximum simultaneous weight sum
@@ -34,6 +46,19 @@ struct ScanResult {
 /// Contributions with empty windows never participate. If every window is
 /// empty the result has best_sum == 0 and an empty interval.
 [[nodiscard]] ScanResult scan_max_overlap(std::span<const WeightedWindow> items);
+
+/// Core of scan_max_overlap over caller-built events: sorts `events` in
+/// place (by time, opens before closes) and sweeps. `weights[i]` is the
+/// weight of contribution i; events must only reference items <
+/// weights.size(). Contributions without events never participate.
+[[nodiscard]] ScanResult scan_events_max_overlap(std::vector<ScanEvent>& events,
+                                                 std::span<const double> weights);
+
+/// Core of scan_max_overlap_grouped over caller-built events. `groups`
+/// parallels `weights`; negative ids mean unconstrained (singleton group).
+[[nodiscard]] ScanResult scan_events_max_overlap_grouped(
+    std::vector<ScanEvent>& events, std::span<const double> weights,
+    std::span<const int> groups);
 
 /// Evaluate the sum of weights active at a specific time t.
 [[nodiscard]] double overlap_sum_at(std::span<const WeightedWindow> items, double t);

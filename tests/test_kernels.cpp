@@ -1,0 +1,449 @@
+// The SoA kernel path (noise/kernels.hpp): KernelBuffers must mirror the
+// AnalysisContext exactly, the flat kernels must reproduce the scalar
+// reference operations bit-for-bit, and — the contract everything else
+// rests on — `--simd vector` must produce a byte-identical Result to
+// `--simd scalar` on random designs, across modes, thread counts, and
+// full vs incremental analysis.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "gen/bus.hpp"
+#include "gen/randlogic.hpp"
+#include "noise/analyzer.hpp"
+#include "noise/context.hpp"
+#include "noise/kernels.hpp"
+#include "sta/sta.hpp"
+#include "util/executor.hpp"
+#include "util/scanline.hpp"
+#include "util/units.hpp"
+
+namespace nw::noise {
+namespace {
+
+gen::Generated bus_case(const lib::Library& library, std::size_t seed) {
+  gen::BusConfig cfg;
+  cfg.bits = 32;
+  cfg.segments = 3;
+  cfg.coupling_adj = 5 * FF;
+  cfg.stagger_groups = 4;
+  cfg.seed = seed;
+  return gen::make_bus(library, cfg);
+}
+
+gen::Generated logic_case(const lib::Library& library, std::size_t seed) {
+  gen::RandLogicConfig cfg;
+  cfg.primary_inputs = 12;
+  cfg.gates = 300;
+  cfg.levels = 6;
+  cfg.coupling_prob = 0.6;
+  cfg.dff_fraction = 0.3;
+  cfg.seed = seed;
+  return gen::make_rand_logic(library, cfg);
+}
+
+/// Exact equality of everything deterministic in a Result — nets,
+/// violations, provenance, and the telemetry work counters. Doubles
+/// compare with ==, never NEAR: the vector path's contract is
+/// bit-identity, so a 1-ulp drift is a failure.
+void expect_identical(const Result& a, const Result& b,
+                      bool compare_work_counters = true) {
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    SCOPED_TRACE("net " + std::to_string(i));
+    const NetNoise& x = a.nets[i];
+    const NetNoise& y = b.nets[i];
+    EXPECT_EQ(x.injected_peak, y.injected_peak);
+    EXPECT_EQ(x.propagated_peak, y.propagated_peak);
+    EXPECT_EQ(x.total_peak, y.total_peak);
+    EXPECT_EQ(x.width, y.width);
+    EXPECT_TRUE(x.window == y.window);
+    EXPECT_TRUE(x.worst_alignment == y.worst_alignment);
+    EXPECT_EQ(x.aggressor_count, y.aggressor_count);
+    EXPECT_EQ(x.filtered_temporal, y.filtered_temporal);
+    ASSERT_EQ(x.contributions.size(), y.contributions.size());
+    for (std::size_t c = 0; c < x.contributions.size(); ++c) {
+      EXPECT_EQ(x.contributions[c].aggressor, y.contributions[c].aggressor);
+      EXPECT_EQ(x.contributions[c].from_net, y.contributions[c].from_net);
+      EXPECT_EQ(x.contributions[c].peak, y.contributions[c].peak);
+      EXPECT_EQ(x.contributions[c].width, y.contributions[c].width);
+      EXPECT_TRUE(x.contributions[c].window == y.contributions[c].window);
+      EXPECT_EQ(x.contributions[c].in_worst, y.contributions[c].in_worst);
+    }
+  }
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    SCOPED_TRACE("violation " + std::to_string(i));
+    EXPECT_EQ(a.violations[i].endpoint, b.violations[i].endpoint);
+    EXPECT_EQ(a.violations[i].net, b.violations[i].net);
+    EXPECT_EQ(a.violations[i].peak, b.violations[i].peak);
+    EXPECT_EQ(a.violations[i].width, b.violations[i].width);
+    EXPECT_EQ(a.violations[i].threshold, b.violations[i].threshold);
+    EXPECT_TRUE(a.violations[i].sensitivity == b.violations[i].sensitivity);
+    EXPECT_EQ(a.violations[i].temporal, b.violations[i].temporal);
+  }
+  ASSERT_EQ(a.provenance.size(), b.provenance.size());
+  for (std::size_t i = 0; i < a.provenance.size(); ++i) {
+    SCOPED_TRACE("provenance " + std::to_string(i));
+    const Provenance& x = a.provenance[i];
+    const Provenance& y = b.provenance[i];
+    EXPECT_EQ(x.endpoint, y.endpoint);
+    EXPECT_EQ(x.net, y.net);
+    EXPECT_EQ(x.peak_unfiltered, y.peak_unfiltered);
+    EXPECT_EQ(x.peak_switching, y.peak_switching);
+    EXPECT_EQ(x.peak_noise_window, y.peak_noise_window);
+    EXPECT_EQ(x.peak_in_sensitivity, y.peak_in_sensitivity);
+    EXPECT_EQ(x.culled_by, y.culled_by);
+    EXPECT_TRUE(x.alignment == y.alignment);
+    ASSERT_EQ(x.shares.size(), y.shares.size());
+    for (std::size_t s = 0; s < x.shares.size(); ++s) {
+      EXPECT_EQ(x.shares[s].aggressor, y.shares[s].aggressor);
+      EXPECT_EQ(x.shares[s].from_net, y.shares[s].from_net);
+      EXPECT_EQ(x.shares[s].peak, y.shares[s].peak);
+      EXPECT_EQ(x.shares[s].coupling_cap, y.shares[s].coupling_cap);
+      EXPECT_TRUE(x.shares[s].overlap == y.shares[s].overlap);
+      EXPECT_EQ(x.shares[s].verdict, y.shares[s].verdict);
+    }
+    ASSERT_EQ(x.path.size(), y.path.size());
+    for (std::size_t s = 0; s < x.path.size(); ++s) {
+      EXPECT_EQ(x.path[s].net, y.path[s].net);
+      EXPECT_EQ(x.path[s].peak, y.path[s].peak);
+      EXPECT_EQ(x.path[s].width, y.path[s].width);
+    }
+  }
+  EXPECT_EQ(a.endpoints_checked, b.endpoints_checked);
+  EXPECT_EQ(a.noisy_nets, b.noisy_nets);
+  EXPECT_EQ(a.aggressors_considered, b.aggressors_considered);
+  EXPECT_EQ(a.aggressors_filtered_temporal, b.aggressors_filtered_temporal);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.iteration_violations, b.iteration_violations);
+  EXPECT_EQ(a.endpoint_slacks, b.endpoint_slacks);
+  // Telemetry work counters (wall times are the only nondeterministic
+  // fields; the "pack-scenarios" executor region exists only on the
+  // vector path, so executor task counts are deliberately not compared).
+  // Skipped when comparing a full run to an incremental one: reusing
+  // estimates is the point, so victims_reused/aggressor_pairs differ.
+  if (!compare_work_counters) return;
+  EXPECT_EQ(a.telemetry.victims_estimated, b.telemetry.victims_estimated);
+  EXPECT_EQ(a.telemetry.victims_reused, b.telemetry.victims_reused);
+  EXPECT_EQ(a.telemetry.aggressor_pairs, b.telemetry.aggressor_pairs);
+  EXPECT_EQ(a.telemetry.pairs_filtered_cap, b.telemetry.pairs_filtered_cap);
+  EXPECT_EQ(a.telemetry.levels, b.telemetry.levels);
+  EXPECT_EQ(a.telemetry.endpoints, b.telemetry.endpoints);
+}
+
+// ---------------------------------------------------------------------------
+// KernelBuffers structure
+// ---------------------------------------------------------------------------
+
+TEST(KernelBuffers, CsrMirrorsContextAdjacency) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = logic_case(library, 11);
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  Options o;
+  const AnalysisContext ctx = AnalysisContext::build(g.design, g.para, timing, o);
+  const KernelBuffers kb = KernelBuffers::build(g.design, ctx);
+
+  EXPECT_EQ(kb.vdd, ctx.vdd);
+  ASSERT_EQ(kb.agg_offsets.size(), ctx.aggressors.size() + 1);
+  EXPECT_EQ(kb.agg_offsets.front(), 0u);
+  EXPECT_EQ(kb.agg_offsets.back(), ctx.aggressor_pair_count());
+  ASSERT_EQ(kb.agg_net.size(), ctx.aggressor_pair_count());
+  ASSERT_EQ(kb.agg_cap.size(), ctx.aggressor_pair_count());
+  for (std::size_t vi = 0; vi < ctx.aggressors.size(); ++vi) {
+    const auto& row = ctx.aggressors[vi];
+    ASSERT_EQ(kb.agg_offsets[vi + 1] - kb.agg_offsets[vi], row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      EXPECT_EQ(kb.agg_net[kb.agg_offsets[vi] + j], row[j].net);
+      EXPECT_EQ(kb.agg_cap[kb.agg_offsets[vi] + j], row[j].coupling);
+    }
+  }
+  EXPECT_EQ(kb.load_cap, ctx.load_cap);
+
+  // Level slabs cover every scheduled instance, level-major.
+  std::size_t scheduled = 0;
+  ASSERT_EQ(kb.level_offsets.size(), ctx.levels.size() + 1);
+  for (std::size_t li = 0; li < ctx.levels.size(); ++li) {
+    EXPECT_EQ(kb.level_offsets[li + 1] - kb.level_offsets[li],
+              ctx.levels[li].size());
+    scheduled += ctx.levels[li].size();
+  }
+  EXPECT_EQ(kb.slab_cell.size(), scheduled);
+  EXPECT_EQ(kb.slab_seq.size(), scheduled);
+  EXPECT_EQ(kb.in_offsets.size(), scheduled + 1);
+  EXPECT_EQ(kb.out_offsets.size(), scheduled + 1);
+
+  ASSERT_EQ(kb.sens_lo.size(), ctx.endpoints.size());
+  for (std::size_t e = 0; e < ctx.endpoints.size(); ++e) {
+    EXPECT_EQ(kb.sens_lo[e], ctx.endpoints[e].sensitivity.lo);
+    EXPECT_EQ(kb.sens_hi[e], ctx.endpoints[e].sensitivity.hi);
+    EXPECT_EQ(kb.ep_net[e], ctx.endpoints[e].net);
+  }
+}
+
+TEST(KernelBuffers, DirtyRowPackMatchesFullPack) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = bus_case(library, 5);
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  Options o;
+  const AnalysisContext ctx = AnalysisContext::build(g.design, g.para, timing, o);
+  util::Executor exec(1);
+
+  KernelBuffers full = KernelBuffers::build(g.design, ctx);
+  full.pack_scenarios(g.design, g.para, timing, o, nullptr, exec);
+  ASSERT_TRUE(full.scenarios_packed());
+
+  // Pack only every third row; those rows' slots must match the full pack
+  // slot-for-slot (clean rows are never read, so their contents are free).
+  std::vector<char> dirty(g.design.net_count(), 0);
+  for (std::size_t vi = 0; vi < dirty.size(); vi += 3) dirty[vi] = 1;
+  KernelBuffers partial = KernelBuffers::build(g.design, ctx);
+  partial.pack_scenarios(g.design, g.para, timing, o, &dirty, exec);
+
+  for (std::size_t vi = 0; vi < dirty.size(); ++vi) {
+    if (!dirty[vi]) continue;
+    for (std::uint32_t s = full.agg_offsets[vi]; s < full.agg_offsets[vi + 1]; ++s) {
+      EXPECT_EQ(partial.pair_slew[s], full.pair_slew[s]);
+      EXPECT_EQ(partial.sc_r_hold[s], full.sc_r_hold[s]);
+      EXPECT_EQ(partial.sc_c_ground[s], full.sc_c_ground[s]);
+      EXPECT_EQ(partial.sc_c_couple[s], full.sc_c_couple[s]);
+      EXPECT_EQ(partial.sc_slew[s], full.sc_slew[s]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat kernels vs scalar reference operations
+// ---------------------------------------------------------------------------
+
+TEST(UnionFlat, MatchesIncrementalAddOnRandomSets) {
+  std::mt19937 rng(2026);
+  std::uniform_real_distribution<double> t0(-1.0, 1.0);
+  std::uniform_real_distribution<double> len(-0.2, 0.5);  // negative = empty
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = rng() % 40;
+    std::vector<Interval> members(n);
+    IntervalSet reference;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double lo = t0(rng);
+      members[i] = Interval{lo, lo + len(rng)};
+      reference.add(members[i]);
+    }
+    const IntervalSet flat = kernels::union_flat(members);
+    EXPECT_TRUE(flat == reference) << "trial " << trial;
+  }
+}
+
+std::vector<Contribution> random_contributions(std::mt19937& rng, std::size_t n,
+                                               bool with_propagated) {
+  std::uniform_real_distribution<double> t0(0.0, 1e-9);
+  std::uniform_real_distribution<double> len(10e-12, 400e-12);
+  std::uniform_real_distribution<double> pk(0.02, 0.5);
+  std::vector<Contribution> cs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cs[i].peak = pk(rng);
+    cs[i].width = len(rng);
+    if (with_propagated && rng() % 4 == 0) {
+      cs[i].aggressor = NetId{};  // propagated from fanin
+      cs[i].from_net = NetId{i + 100};
+    } else {
+      cs[i].aggressor = NetId{i + 1};
+    }
+    IntervalSet w;
+    const std::size_t pieces = 1 + rng() % 2;
+    for (std::size_t p = 0; p < pieces; ++p) {
+      const double lo = t0(rng);
+      w.add(Interval{lo, lo + len(rng)});
+    }
+    cs[i].window = w;
+  }
+  return cs;
+}
+
+/// The scalar combine reference — a faithful replica of analyzer.cpp's
+/// combine(): the no-filtering short-circuit, restricted WeightedWindow
+/// items, the (grouped) scan, and the active set's max width.
+Combined scalar_combine(std::span<const Contribution> cs, AnalysisMode mode,
+                        const Interval& restrict_to, const Constraints& constraints) {
+  Combined out;
+  if (mode == AnalysisMode::kNoFiltering && constraints.empty()) {
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      out.peak += cs[i].peak;
+      out.width = std::max(out.width, cs[i].width);
+      out.active.push_back(i);
+    }
+    out.alignment = Interval::everything();
+    return out;
+  }
+  std::vector<WeightedWindow> items;
+  std::vector<int> groups;
+  for (const Contribution& c : cs) {
+    WeightedWindow ww;
+    ww.weight = c.peak;
+    const IntervalSet& win = mode == AnalysisMode::kNoFiltering
+                                 ? IntervalSet::everything()
+                                 : c.window;
+    ww.window = restrict_to == Interval::everything() ? win
+                                                      : win.intersect(restrict_to);
+    items.push_back(std::move(ww));
+    groups.push_back(c.aggressor.valid() ? constraints.group_of(c.aggressor) : -1);
+  }
+  const ScanResult scan = constraints.empty()
+                              ? scan_max_overlap(items)
+                              : scan_max_overlap_grouped(items, groups);
+  out.peak = scan.best_sum;
+  out.alignment = scan.best_interval;
+  out.active = scan.active;
+  for (const std::size_t i : scan.active) out.width = std::max(out.width, cs[i].width);
+  return out;
+}
+
+void expect_combined_eq(const Combined& a, const Combined& b) {
+  EXPECT_EQ(a.peak, b.peak);
+  EXPECT_EQ(a.width, b.width);
+  EXPECT_TRUE(a.alignment == b.alignment);
+  EXPECT_EQ(a.active, b.active);
+}
+
+TEST(CombineFlat, MatchesScalarScanAcrossViewsAndRestricts) {
+  std::mt19937 rng(7);
+  CombineScratch scratch;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng() % 24;
+    const auto cs = random_contributions(rng, n, /*with_propagated=*/true);
+    Constraints constraints;
+    if (trial % 2 == 1 && n >= 4) {
+      const NetId group[] = {NetId{1}, NetId{2}, NetId{3}};
+      constraints.add_mutex_group(group);
+    }
+    const Interval restricts[] = {Interval::everything(),
+                                  Interval{0.2e-9, 0.9e-9},
+                                  Interval{1.0, 0.0} /* empty */};
+    for (const Interval& r : restricts) {
+      for (const AnalysisMode mode :
+           {AnalysisMode::kNoFiltering, AnalysisMode::kNoiseWindows}) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        // kAll: every contribution, original indices.
+        expect_combined_eq(
+            combine_flat(cs, mode, r, constraints, CombineView::kAll, scratch),
+            scalar_combine(cs, mode, r, constraints));
+        // kInjectedOnly: the filtered-copy reference with compacted indices.
+        std::vector<Contribution> injected;
+        for (const Contribution& c : cs) {
+          if (!c.is_propagated()) injected.push_back(c);
+        }
+        expect_combined_eq(combine_flat(cs, mode, r, constraints,
+                                        CombineView::kInjectedOnly, scratch),
+                           scalar_combine(injected, mode, r, constraints));
+        // kPropagatedOpen: propagated members unconstrained, original indices.
+        std::vector<Contribution> opened = {cs.begin(), cs.end()};
+        for (Contribution& c : opened) {
+          if (c.is_propagated()) c.window = IntervalSet(Interval::everything());
+        }
+        expect_combined_eq(combine_flat(cs, mode, r, constraints,
+                                        CombineView::kPropagatedOpen, scratch),
+                           scalar_combine(opened, mode, r, constraints));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end scalar/vector equivalence (the property test)
+// ---------------------------------------------------------------------------
+
+class SimdEquivalence : public ::testing::TestWithParam<AnalysisMode> {};
+
+TEST_P(SimdEquivalence, RandomDesignsIdenticalAcrossPathsAndThreads) {
+  const lib::Library library = lib::default_library();
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (const std::size_t seed : {7u, 23u}) {
+    for (const bool logic : {false, true}) {
+      const gen::Generated g =
+          logic ? logic_case(library, seed) : bus_case(library, seed);
+      const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+      Options o;
+      o.mode = GetParam();
+      o.clock_period = g.sta_options.clock_period;
+      o.simd = SimdMode::kScalar;
+      o.threads = 1;
+      const Result scalar = analyze(g.design, g.para, timing, o);
+      EXPECT_EQ(scalar.run_meta.simd, "scalar");
+      for (const int threads : {1, hw > 1 ? hw : 2}) {
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " logic=" + std::to_string(logic) +
+                     " threads=" + std::to_string(threads));
+        o.simd = SimdMode::kVector;
+        o.threads = threads;
+        const Result vector = analyze(g.design, g.para, timing, o);
+        EXPECT_EQ(vector.run_meta.simd, "vector");
+        expect_identical(scalar, vector);
+      }
+    }
+  }
+}
+
+TEST_P(SimdEquivalence, IncrementalVectorMatchesScalarAndFull) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = logic_case(library, 13);
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  Options o;
+  o.mode = GetParam();
+  o.clock_period = g.sta_options.clock_period;
+
+  o.simd = SimdMode::kScalar;
+  const Result scalar_full = analyze(g.design, g.para, timing, o);
+  o.simd = SimdMode::kVector;
+  const Result vector_full = analyze(g.design, g.para, timing, o);
+  expect_identical(scalar_full, vector_full);
+
+  const NetId changed[] = {NetId{3}, NetId{17}, NetId{40}};
+  o.simd = SimdMode::kScalar;
+  const Result scalar_inc =
+      analyze_incremental(g.design, g.para, timing, o, scalar_full, changed);
+  o.simd = SimdMode::kVector;
+  const Result vector_inc =
+      analyze_incremental(g.design, g.para, timing, o, vector_full, changed);
+  expect_identical(scalar_inc, vector_inc);
+  // Nothing actually changed, so the incremental vector run must also
+  // equal the full vector run — up to the work counters, which record
+  // the reuse itself.
+  expect_identical(vector_full, vector_inc, /*compare_work_counters=*/false);
+}
+
+TEST(SimdEquivalence, AutoResolvesToVector) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = bus_case(library, 3);
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  Options o;
+  o.clock_period = g.sta_options.clock_period;
+  o.simd = SimdMode::kAuto;
+  const Result r = analyze(g.design, g.para, timing, o);
+  EXPECT_EQ(r.run_meta.simd, "vector");
+}
+
+TEST(SimdEquivalence, RefinementPassesStayIdentical) {
+  const lib::Library library = lib::default_library();
+  const gen::Generated g = logic_case(library, 29);
+  const sta::Result timing = sta::run(g.design, g.para, g.sta_options);
+  Options o;
+  o.mode = AnalysisMode::kNoiseWindows;
+  o.clock_period = g.sta_options.clock_period;
+  o.refine_iterations = 2;
+  o.simd = SimdMode::kScalar;
+  const Result scalar = analyze(g.design, g.para, timing, o);
+  o.simd = SimdMode::kVector;
+  const Result vector = analyze(g.design, g.para, timing, o);
+  expect_identical(scalar, vector);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SimdEquivalence,
+                         ::testing::Values(AnalysisMode::kNoFiltering,
+                                           AnalysisMode::kSwitchingWindows,
+                                           AnalysisMode::kNoiseWindows));
+
+}  // namespace
+}  // namespace nw::noise

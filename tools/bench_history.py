@@ -47,7 +47,12 @@ TIMING_KEYS = (
     "phase_endpoints_seconds",
     "explain_ms",
     "html_report_ms",
+    "estimate_ms",
+    "propagate_ms",
+    "check_ms",
 )
+# bench_kernels exports per-kernel scalar/vector wall times with this shape.
+KERNEL_KEY_PREFIX = "kernel_"
 RESOURCE_KEYS = ("peak_rss_bytes", "result_bytes", "session_cache_bytes")
 
 
@@ -75,6 +80,9 @@ def key_metrics(record: dict) -> dict:
     for k in TIMING_KEYS:
         if is_num(timing.get(k)) and timing[k] > 0:
             out[k] = timing[k]
+    for k, v in sorted(timing.items()):
+        if k.startswith(KERNEL_KEY_PREFIX) and k.endswith("_ms") and is_num(v) and v > 0:
+            out[k] = v
     for k, v in sorted(timing.items()):
         if k.startswith("request_ms_") and isinstance(v, dict) and v.get("count"):
             if is_num(v.get("p95")):
@@ -104,6 +112,17 @@ def history_entry(record: dict, source: str) -> dict:
         "unix_time": bench.get("unix_time", 0),
         "metrics": key_metrics(record),
     }
+
+
+def qualified_metrics(entry: dict) -> dict:
+    """Metrics keyed ``<design>/<name>`` for cross-record merging.
+
+    Baselines hold records for several designs (bus64, logic10k,
+    kernels-synthetic) that export the same metric names; an unqualified
+    merge would silently keep only the last record's numbers.
+    """
+    design = entry.get("design", "?")
+    return {f"{design}/{k}": v for k, v in entry["metrics"].items()}
 
 
 def append_history(path: str, entries: list) -> None:
@@ -182,7 +201,7 @@ def main() -> int:
     if args.write_baseline:
         merged = {}
         for e in entries:
-            merged.update(e["metrics"])
+            merged.update(qualified_metrics(e))
         baseline = {
             "version": 1,
             "git_sha": entries[0]["git_sha"],
@@ -208,7 +227,7 @@ def main() -> int:
             baseline["default_tolerance"] = args.tolerance
         merged = {"metrics": {}}
         for e in entries:
-            merged["metrics"].update(e["metrics"])
+            merged["metrics"].update(qualified_metrics(e))
         print(f"bench_history: comparing against {args.baseline} "
               f"(baseline sha {baseline.get('git_sha', '?')[:12]})")
         regressed = compare(merged, baseline, args.enforce)

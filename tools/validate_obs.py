@@ -29,7 +29,8 @@ REQUIRED_COUNTERS = ["victims_estimated", "aggressor_pairs", "executor_tasks"]
 REQUIRED_GAUGES = ["propagation_levels", "endpoints_checked", "violations"]
 REQUIRED_HISTOGRAMS = ["glitch_peak_v", "aggressors_per_victim", "level_width"]
 REQUIRED_META = ["schema_version", "design", "mode", "model", "options_digest",
-                 "build", "threads", "iterations"]
+                 "build", "simd", "threads", "iterations"]
+SIMD_VALUES = ("scalar", "vector")  # resolved kernel path, never "auto"
 REQUIRED_BENCH = ["record_version", "git_sha", "git_describe", "build_type",
                   "timestamp_utc", "unix_time", "peak_rss_bytes"]
 PHASES = ["estimate-injected", "propagate", "check-endpoints"]
@@ -154,6 +155,9 @@ def validate_stats(path, server=False):
     if meta["schema_version"] != STATS_SCHEMA_VERSION:
         fail(f"stats: unexpected schema_version {meta['schema_version']} "
              f"(expected {STATS_SCHEMA_VERSION})")
+    if meta["simd"] not in SIMD_VALUES:
+        fail(f"stats: meta simd '{meta['simd']}' not in {SIMD_VALUES} "
+             f"(must be the resolved path, not 'auto')")
 
     for section in ("counters", "gauges", "histograms", "resources", "timing"):
         if not isinstance(doc.get(section), dict):
