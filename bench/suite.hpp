@@ -20,6 +20,7 @@
 #include "noise/analyzer.hpp"
 #include "noise/html_report.hpp"
 #include "noise/report_writer.hpp"
+#include "noise/telemetry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/resource.hpp"
 #include "obs/tracer.hpp"
@@ -163,7 +164,9 @@ inline void write_run_record(const std::string& path, const lib::Library& librar
       "check_ms", "endpoint-check wall time", r.telemetry.endpoints_seconds * 1e3));
 
   std::ofstream f(path);
-  const std::pair<std::string, std::string> extra[] = {{"bench", bench_record_json()}};
+  const std::pair<std::string, std::string> extra[] = {
+      {"bench", bench_record_json()},
+      {"executor", noise::executor_stats_json(r)}};
   // Label the record with the suite-case name ("bus64"/"logic10k"), not the
   // generator's netlist name ("rand10000") — bench_history.py qualifies
   // baseline metric keys by this design string.

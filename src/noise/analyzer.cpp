@@ -214,6 +214,11 @@ class Pipeline {
       tasks->add();
       seconds->observe(s);
     });
+    // Utilization accounting shares the observer's clock pair, so it adds
+    // no chunk-path cost; never touches scheduling, so results stay
+    // bit-identical (tested across profile rates in test_profile.cpp).
+    exec_.enable_utilization(true);
+    level_walls_.assign(ctx_.levels.size(), 0.0);
     checkpoint("build-context", 1, 1);
   }
 
@@ -222,7 +227,7 @@ class Pipeline {
     const int total_iters = 1 + std::max(opt_.refine_iterations, 0);
     for (int iter = 0; iter < total_iters; ++iter) {
       std::optional<obs::Span> span;
-      if (obs::trace_enabled()) {
+      if (obs::spans_active()) {
         span.emplace("iteration " + std::to_string(iter + 1),
                      obs::SpanKind::kIteration);
       }
@@ -267,7 +272,7 @@ class Pipeline {
 
     Result res;
     std::optional<obs::Span> span;
-    if (obs::trace_enabled()) span.emplace("iteration 1", obs::SpanKind::kIteration);
+    if (obs::spans_active()) span.emplace("iteration 1", obs::SpanKind::kIteration);
     reset(res);
     estimate_injected(res, &dirty, &previous);
     propagate(res);
@@ -388,8 +393,45 @@ class Pipeline {
     res.run_meta.threads = exec_.thread_count();
     res.run_meta.simd = to_string(resolve_simd(opt_.simd));
     res.run_meta.iterations = res.iterations;
+    res.executor = exec_.utilization();
+    res.attribution = build_attribution(res);
     res.metrics = reg_.snapshot();
     res.telemetry = telemetry_from_metrics(res.run_meta, res.metrics);
+  }
+
+  /// Top-K heaviest propagation levels (by measured wall time — timing
+  /// data) and busiest victims (by evaluated aggressor count —
+  /// deterministic). K is small and fixed: this is a "where did the cost
+  /// go" digest, not a full dump.
+  [[nodiscard]] WorkAttribution build_attribution(const Result& res) const {
+    constexpr std::size_t kTopK = 5;
+    WorkAttribution attr;
+    std::vector<std::size_t> order(level_walls_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return level_walls_[a] != level_walls_[b] ? level_walls_[a] > level_walls_[b]
+                                                : a < b;
+    });
+    for (std::size_t i = 0; i < order.size() && i < kTopK; ++i) {
+      const std::size_t li = order[i];
+      if (level_walls_[li] <= 0.0) break;
+      attr.top_levels.push_back(
+          {li, ctx_.levels[li].size(), level_walls_[li] * 1e3});
+    }
+    std::vector<std::size_t> nets(res.nets.size());
+    for (std::size_t i = 0; i < nets.size(); ++i) nets[i] = i;
+    std::sort(nets.begin(), nets.end(), [&](std::size_t a, std::size_t b) {
+      const std::size_t ca = res.nets[a].aggressor_count;
+      const std::size_t cb = res.nets[b].aggressor_count;
+      return ca != cb ? ca > cb : a < b;
+    });
+    for (std::size_t i = 0; i < nets.size() && i < kTopK; ++i) {
+      const NetNoise& nn = res.nets[nets[i]];
+      if (nn.aggressor_count == 0) break;
+      attr.top_nets.push_back({design_.net(NetId{nets[i]}).name,
+                               nn.aggressor_count, nn.total_peak});
+    }
+    return attr;
   }
 
   void reset(Result& res) const {
@@ -831,12 +873,13 @@ class Pipeline {
     for (std::size_t li = 0; li < ctx_.levels.size(); ++li) {
       const auto& level = ctx_.levels[li];
       std::optional<obs::Span> level_span;
-      if (obs::trace_enabled()) {
+      if (obs::spans_active()) {
         level_span.emplace("level " + std::to_string(li), obs::SpanKind::kLevel);
       }
       // Both paths use the same (n, chunk) decomposition, so the
       // executor_tasks counter for this region is identical.
       const std::size_t level_base = vector_ ? kb_.level_offsets[li] : 0;
+      const auto level_t0 = std::chrono::steady_clock::now();
       exec_.parallel_for("propagate-level", level.size(), kPropagateChunk,
                          [&](std::size_t begin, std::size_t end) {
                            for (std::size_t i = begin; i < end; ++i) {
@@ -847,6 +890,11 @@ class Pipeline {
                              }
                            }
                          });
+      // Per-level wall attribution (accumulated over refinement passes;
+      // timing data, so it lives next to the phase gauges, not counters).
+      level_walls_[li] += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - level_t0)
+                              .count();
       done += level.size();
       checkpoint("propagate", done, total, li);
     }
@@ -1140,6 +1188,9 @@ class Pipeline {
   /// when vector_ is false).
   KernelBuffers kb_;
   std::vector<Interval> switch_win_;  ///< per-pass inflated windows
+  /// Per-level propagate wall time [s], summed over refinement passes —
+  /// the input of the top-levels work attribution.
+  std::vector<double> level_walls_;
 };
 
 }  // namespace

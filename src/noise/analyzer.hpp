@@ -51,6 +51,7 @@
 #include "parasitics/rcnet.hpp"
 #include "spice/transient.hpp"
 #include "sta/sta.hpp"
+#include "util/executor.hpp"
 #include "util/interval.hpp"
 
 namespace nw::noise {
@@ -210,6 +211,26 @@ struct Violation {
   [[nodiscard]] double slack() const noexcept { return threshold - peak; }
 };
 
+/// Where analysis cost landed: the heaviest propagation levels by measured
+/// wall time and the heaviest victims by evaluated aggressor count. The
+/// level walls are timing data (nondeterministic, like every *_seconds
+/// gauge); the net costs are deterministic work counts. Rendered into the
+/// stats-JSON "executor" section and the dashboard's utilization panel.
+struct WorkAttribution {
+  struct LevelCost {
+    std::size_t level = 0;
+    std::size_t instances = 0;
+    double wall_ms = 0.0;  ///< summed over refinement passes
+  };
+  struct NetCost {
+    std::string net;
+    std::size_t aggressors = 0;  ///< contributions evaluated for the victim
+    double peak = 0.0;           ///< its combined glitch peak [V]
+  };
+  std::vector<LevelCost> top_levels;  ///< heaviest levels, wall descending
+  std::vector<NetCost> top_nets;      ///< busiest victims, aggressors descending
+};
+
 struct Result {
   std::vector<NetNoise> nets;        ///< indexed by NetId
   std::vector<Violation> violations;
@@ -235,6 +256,12 @@ struct Result {
   /// Run identity embedded in the stats JSON (design, mode, options hash,
   /// build id, resolved thread count).
   obs::RunMeta run_meta;
+  /// Executor self-measurement for this run: per-worker busy/idle time and
+  /// per-parallel_for-region wall/busy/imbalance aggregates. All timing
+  /// (nondeterministic); the "executor" section of stats-JSON schema v3.
+  util::UtilizationSnapshot executor;
+  /// Top-K work attribution (see WorkAttribution).
+  WorkAttribution attribution;
   /// Design-state generation this result was computed against. analyze()
   /// leaves it 0; a long-lived session (session::Session) stamps its
   /// edit epoch here so cached results can be matched to design state.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "report/svg.hpp"
@@ -165,6 +167,170 @@ void write_slack_hist(std::ostream& os, const Result& r, std::size_t bins) {
   os << "</section>\n";
 }
 
+std::string fmt_ms(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << seconds * 1e3;
+  return os.str();
+}
+
+void write_executor(std::ostream& os, const Result& r) {
+  const util::UtilizationSnapshot& ex = r.executor;
+  os << "<section id=\"executor\">\n<h2>Executor utilization</h2>\n";
+  if (!ex.enabled || ex.regions.empty()) {
+    os << "<p>No executor utilization recorded (serial run or no parallel "
+       << "regions).</p>\n</section>\n";
+    return;
+  }
+  os << "<p class=\"legend\">threads " << ex.threads << ", parallel wall "
+     << fmt_ms(ex.wall_s) << " ms. Utilization = busy / (busy + idle) inside "
+     << "parallel regions; imbalance 1.0 = perfectly balanced.</p>\n";
+
+  os << "<table>\n<tr><th>worker</th><th>busy ms</th><th>idle ms</th>"
+     << "<th>chunks</th><th>utilization</th></tr>\n";
+  for (const util::WorkerStats& w : ex.workers) {
+    const double denom = w.busy_s + w.idle_s;
+    const double util = denom > 0.0 ? w.busy_s / denom : 0.0;
+    const int pct = static_cast<int>(util * 100.0 + 0.5);
+    os << "<tr><td>" << w.worker << "</td><td>" << fmt_ms(w.busy_s) << "</td><td>"
+       << fmt_ms(w.idle_s) << "</td><td>" << w.chunks
+       << "</td><td><div class=\"ubar\"><div class=\"ufill\" style=\"width:" << pct
+       << "%\"></div></div> " << pct << "%</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  os << "<h2>Parallel regions</h2>\n<table>\n<tr><th>region</th><th>calls</th>"
+     << "<th>chunks</th><th>items</th><th>wall ms</th><th>busy ms</th>"
+     << "<th>wait ms</th><th>imbalance</th></tr>\n";
+  for (const util::RegionStats& reg : ex.regions) {
+    std::ostringstream imb;
+    imb.setf(std::ios::fixed);
+    imb.precision(2);
+    imb << reg.imbalance(ex.threads);
+    os << "<tr><td>" << html_escape(reg.label) << "</td><td>" << reg.invocations
+       << "</td><td>" << reg.chunks << "</td><td>" << reg.items << "</td><td>"
+       << fmt_ms(reg.wall_s) << "</td><td>" << fmt_ms(reg.busy_s) << "</td><td>"
+       << fmt_ms(reg.wait_s) << "</td><td>" << imb.str() << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  if (!r.attribution.top_levels.empty() || !r.attribution.top_nets.empty()) {
+    os << "<h2>Work attribution</h2>\n";
+    if (!r.attribution.top_levels.empty()) {
+      os << "<table>\n<tr><th>heaviest level</th><th>instances</th>"
+         << "<th>wall ms</th></tr>\n";
+      for (const WorkAttribution::LevelCost& l : r.attribution.top_levels) {
+        std::ostringstream w;
+        w.setf(std::ios::fixed);
+        w.precision(3);
+        w << l.wall_ms;
+        os << "<tr><td>" << l.level << "</td><td>" << l.instances << "</td><td>"
+           << w.str() << "</td></tr>\n";
+      }
+      os << "</table>\n";
+    }
+    if (!r.attribution.top_nets.empty()) {
+      os << "<table>\n<tr><th>heaviest net</th><th>aggressors</th>"
+         << "<th>peak</th></tr>\n";
+      for (const WorkAttribution::NetCost& n : r.attribution.top_nets) {
+        os << "<tr><td>" << html_escape(n.net) << "</td><td>" << n.aggressors
+           << "</td><td>" << report::fmt_mv(n.peak) << "</td></tr>\n";
+      }
+      os << "</table>\n";
+    }
+  }
+  os << "</section>\n";
+}
+
+/// Prefix-tree of sampled stacks; map keys give a deterministic layout.
+struct FlameNode {
+  std::map<std::string, FlameNode> kids;
+  std::uint64_t total = 0;  ///< samples in this frame or deeper
+};
+
+void flame_insert(FlameNode& root, std::string_view stack, std::uint64_t count) {
+  FlameNode* node = &root;
+  node->total += count;
+  while (!stack.empty()) {
+    const std::size_t sep = stack.find(';');
+    const std::string_view frame =
+        sep == std::string_view::npos ? stack : stack.substr(0, sep);
+    stack = sep == std::string_view::npos ? std::string_view{} : stack.substr(sep + 1);
+    node = &node->kids[std::string(frame)];
+    node->total += count;
+  }
+}
+
+void flame_rects(std::ostream& os, const FlameNode& node, double x, double width,
+                 int depth, std::uint64_t root_total) {
+  static constexpr double kRow = 17.0;
+  static constexpr const char* kFills[] = {"#d9702d", "#e08a3c", "#c85a32",
+                                           "#e0a030", "#d9822d", "#c86a45"};
+  double cx = x;
+  for (const auto& [name, kid] : node.kids) {
+    const double w =
+        width * static_cast<double>(kid.total) / static_cast<double>(node.total);
+    if (w >= 0.5) {
+      std::size_t h = 1469598103u;
+      for (const char c : name) h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+      const double pct =
+          100.0 * static_cast<double>(kid.total) / static_cast<double>(root_total);
+      std::ostringstream p;
+      p.setf(std::ios::fixed);
+      p.precision(1);
+      p << pct;
+      os << "<g><rect x=\"" << report::fmt_fixed(cx, 1) << "\" y=\"" << depth * kRow
+         << "\" width=\"" << report::fmt_fixed(w, 1) << "\" height=\"" << kRow - 1.0
+         << "\" fill=\"" << kFills[h % (sizeof kFills / sizeof kFills[0])]
+         << "\"><title>" << html_escape(name) << " — " << kid.total << " samples ("
+         << p.str() << "%)</title></rect>\n";
+      if (w >= 40.0) {
+        os << "<text class=\"flabel\" x=\"" << report::fmt_fixed(cx + 3.0, 1)
+           << "\" y=\"" << depth * kRow + 12.0 << "\">" << html_escape(name)
+           << "</text>\n";
+      }
+      os << "</g>\n";
+      flame_rects(os, kid, cx, w, depth + 1, root_total);
+    }
+    cx += w;
+  }
+}
+
+int flame_depth(const FlameNode& node) {
+  int deepest = 0;
+  for (const auto& [name, kid] : node.kids) {
+    deepest = std::max(deepest, 1 + flame_depth(kid));
+  }
+  return deepest;
+}
+
+void write_flame(std::ostream& os, const std::vector<obs::FoldedEntry>& profile) {
+  os << "<section id=\"flame\">\n<h2>Sampled span stacks (flamegraph)</h2>\n";
+  std::uint64_t total = 0;
+  FlameNode root;
+  for (const obs::FoldedEntry& e : profile) {
+    flame_insert(root, e.stack, e.count);
+    total += e.count;
+  }
+  if (total == 0) {
+    os << "<p>Profiling disabled — rerun with <code>--profile-out FILE "
+       << "--profile-hz 97</code> to capture span-stack samples.</p>\n"
+       << "</section>\n";
+    return;
+  }
+  static constexpr double kWidth = 860.0;
+  const int depth = flame_depth(root);
+  const double height = depth * 17.0 + 4.0;
+  os << "<p class=\"legend\">" << total << " samples; frame width is the share "
+     << "of samples in that span stack (hover for counts).</p>\n";
+  os << "<svg width=\"" << kWidth << "\" height=\"" << report::fmt_fixed(height, 1)
+     << "\" viewBox=\"0 0 " << kWidth << " " << report::fmt_fixed(height, 1)
+     << "\">\n";
+  flame_rects(os, root, 0.0, kWidth, 0, total);
+  os << "</svg>\n</section>\n";
+}
+
 void write_phases(std::ostream& os, const Result& r) {
   os << "<section id=\"phases\">\n<h2>Phases &amp; request latency</h2>\n";
   os << "<table>\n<tr><th>metric</th><th>kind</th><th>value</th>"
@@ -221,6 +387,10 @@ svg .cumline { stroke: #e0a030; stroke-width: 2; }
 .win, svg .win { fill: #9dc3e6; fill-opacity: 0.8; }
 .sens, svg .sens { fill: #70ad47; fill-opacity: 0.45; }
 .align, svg .align { fill: #c0504d; fill-opacity: 0.9; }
+.ubar { display: inline-block; width: 120px; height: 10px; background: #eef1f4;
+        border: 1px solid #ddd; vertical-align: middle; }
+.ufill { height: 100%; background: #4878a8; }
+svg .flabel { font: 10px system-ui, sans-serif; fill: #fff; }
 )css";
 
 }  // namespace
@@ -258,6 +428,8 @@ void write_html_report(std::ostream& os, const net::Design& design,
   write_timelines(os, design, r, opt, order, hopt.top_violations);
   write_pareto(os, design, r, hopt.top_aggressors);
   write_slack_hist(os, r, hopt.slack_bins);
+  write_executor(os, r);
+  write_flame(os, hopt.profile);
   write_phases(os, r);
 
   os << "</body>\n</html>\n";

@@ -8,14 +8,18 @@
 //   #timelines  noise-window vs sensitivity-window spans, top-K violations
 //   #pareto     aggressor Pareto over the in-worst provenance shares
 //   #slack      endpoint noise-slack histogram (violations left of zero)
+//   #executor   per-worker utilization, per-region imbalance, attribution
+//   #flame      static SVG flamegraph of the sampled span stacks
 //   #phases     stats-v2 phase/latency tables from the metrics snapshot
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
+#include <vector>
 
 #include "netlist/design.hpp"
 #include "noise/analyzer.hpp"
+#include "obs/profile.hpp"
 
 namespace nw::noise {
 
@@ -23,6 +27,9 @@ struct HtmlReportOptions {
   std::size_t top_violations = 12;  ///< timeline rows (worst slack first)
   std::size_t top_aggressors = 12;  ///< Pareto bars
   std::size_t slack_bins = 24;      ///< slack histogram resolution
+  /// Collapsed-stack samples for the #flame panel (obs::Profiler::snapshot).
+  /// Empty = profiling off; the panel renders a "profiling disabled" note.
+  std::vector<obs::FoldedEntry> profile;
 };
 
 /// Render the dashboard for one analysis run. Chart content is derived

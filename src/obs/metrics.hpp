@@ -30,9 +30,12 @@ namespace nw::obs {
 
 /// Version of the --stats-json layout written by write_stats_json. v2 added
 /// the "resources" section, histogram min/max tracking, and the
-/// p50/p95/p99 quantile summaries. Clients feature-detect it through the
-/// `stats_schema` field of the server's `hello` response.
-inline constexpr int kStatsSchemaVersion = 2;
+/// p50/p95/p99 quantile summaries. v3 adds the "executor" section
+/// (per-worker busy/idle, per-region utilization and imbalance, work
+/// attribution — rendered by noise::executor_stats_json and passed through
+/// `extra`). Clients feature-detect it through the `stats_schema` field of
+/// the server's `hello` response.
+inline constexpr int kStatsSchemaVersion = 3;
 
 /// Monotone event count.
 class Counter {
@@ -176,7 +179,7 @@ struct RunMeta {
 /// bench run records — a Debug number must never land in a perf baseline.
 [[nodiscard]] const char* build_type() noexcept;
 
-/// Machine-readable run report. Layout (kStatsSchemaVersion = 2):
+/// Machine-readable run report. Layout (kStatsSchemaVersion = 3):
 ///   {"meta":{...},
 ///    "counters":{name:value,...},            // deterministic only
 ///    "gauges":{name:value,...},              // deterministic only
@@ -184,7 +187,7 @@ struct RunMeta {
 ///                        p50,p95,p99},...},
 ///    "resources":{name:value,...},           // resource-flagged (RSS, bytes)
 ///    "timing":{name:<gauge value or histogram object>,...},  // nondeterministic
-///    <extra sections, pre-rendered>}
+///    <extra sections, pre-rendered — analysis runs append "executor">}
 /// `extra` appends caller-rendered sections, e.g. the server's slow log:
 /// each pair is (section name, valid JSON value).
 void write_stats_json(

@@ -1,0 +1,100 @@
+// Sampling profiler over the tracer's RAII spans (no native unwinding).
+//
+// Every obs::Span pushes its name onto the calling thread's active-frame
+// stack while the profiler runs (and pops it at destruction), so at any
+// instant each thread's stack reads root→leaf as "what the thread is doing
+// now" — phase → level/iteration → executor chunk. A ticker thread wakes
+// `hz` times per second, snapshots every registered thread's stack, and
+// aggregates samples into collapsed-stack ("folded") lines:
+//
+//   main;iteration 1;propagate;propagate-level 412
+//   worker 3;propagate-level 388
+//
+// which is the format standard flamegraph tooling consumes directly
+// (flamegraph.pl, speedscope, inferno).
+//
+// Why this is deterministic-safe: sampling only *reads* span state. The
+// ticker never touches the metrics registry, never claims executor chunks,
+// and the per-span cost (a bounded memcpy push/pop) does not reorder any
+// parallel work — so results, violations, provenance, and deterministic
+// counters are byte-identical with profiling on or off, at any rate
+// (property-tested in tests/test_profile.cpp).
+//
+// Concurrency: each thread's stack is a fixed-depth seqlock — the owner
+// thread pushes/pops with two atomic bumps around a bounded copy; the
+// ticker retries/discards a snapshot whose sequence moved underneath it
+// (counted, never blocking the owner). A sample landing between a pop and
+// the next push sees the shorter — still valid — stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nw::obs {
+
+/// One aggregated collapsed-stack line: `stack` is the semicolon-joined
+/// frame path (root frame = thread name), `count` the number of samples.
+struct FoldedEntry {
+  std::string stack;
+  std::uint64_t count = 0;
+};
+
+/// Process-wide sampling profiler (static-only interface, like Tracer).
+/// At most one ticker runs at a time; start/stop are cheap and may bracket
+/// a single request (the session `profile` protocol command) or a whole
+/// CLI run (--profile-out/--profile-hz).
+class Profiler {
+ public:
+  Profiler() = delete;
+
+  /// Sampling rates outside [1, kMaxHz] are rejected (start returns false);
+  /// the CLI maps `--profile-hz 0` to "profiling off" before getting here.
+  static constexpr int kMaxHz = 20000;
+
+  /// Launch the ticker at `hz` samples/second. Returns false (and changes
+  /// nothing) if a ticker is already running or `hz` is out of range.
+  /// Spans opened *before* start never pushed a frame, so a mid-run start
+  /// only sees spans opened after it — document-accurate, not a bug.
+  [[nodiscard]] static bool start(int hz);
+
+  /// Stop the ticker (joins it; idempotent). Aggregated samples are kept
+  /// until clear() so they can still be dumped after stopping.
+  static void stop();
+
+  /// Drop every aggregated sample and counter (thread registrations kept).
+  static void clear();
+
+  [[nodiscard]] static bool running() noexcept;
+  [[nodiscard]] static int hz() noexcept;
+
+  /// Ticks that found at least one non-empty stack, summed over threads —
+  /// i.e. the total of every FoldedEntry::count.
+  [[nodiscard]] static std::uint64_t total_samples();
+
+  /// Snapshots discarded because a push raced the ticker (diagnostic).
+  [[nodiscard]] static std::uint64_t torn_samples();
+
+  /// Aggregated folded stacks, sorted by stack string (stable across
+  /// identical sample sets). Safe while the ticker runs.
+  [[nodiscard]] static std::vector<FoldedEntry> snapshot();
+
+  /// Write `stack count` lines (the collapsed-stack format), sorted.
+  static void write_folded(std::ostream& os);
+};
+
+/// Top-`limit` stacks of `now - before` by descending count delta (ties by
+/// stack string) — the bounded one-shot capture attached to slow-request
+/// slowlog entries. Entries whose count did not grow are dropped.
+[[nodiscard]] std::vector<FoldedEntry> folded_delta(
+    const std::vector<FoldedEntry>& before, const std::vector<FoldedEntry>& now,
+    std::size_t limit);
+
+/// Label the calling thread's folded-stack root frame. Tracer::
+/// set_thread_name forwards here, so executor workers are named once.
+void profile_set_thread_name(std::string_view name);
+
+}  // namespace nw::obs

@@ -1,6 +1,8 @@
 #include "obs/tracer.hpp"
 
 #include <algorithm>
+
+#include "obs/profile.hpp"
 #include <chrono>
 #include <cstdio>
 #include <iomanip>
@@ -65,7 +67,7 @@ const char* to_string(SpanKind k) noexcept {
 
 namespace detail {
 
-std::atomic<bool> g_trace_enabled{false};
+std::atomic<unsigned> g_span_mask{0};
 
 std::int64_t now_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -84,11 +86,11 @@ void record(TraceEvent&& ev) {
 
 void Tracer::enable() {
   (void)epoch();  // pin the epoch before the first span
-  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+  detail::g_span_mask.fetch_or(detail::kSpanTraceBit, std::memory_order_relaxed);
 }
 
 void Tracer::disable() {
-  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+  detail::g_span_mask.fetch_and(~detail::kSpanTraceBit, std::memory_order_relaxed);
 }
 
 void Tracer::clear() {
@@ -101,6 +103,9 @@ void Tracer::clear() {
 }
 
 void Tracer::set_thread_name(std::string name) {
+  // One call labels both consumers: the trace track and the profiler's
+  // folded-stack root frame.
+  profile_set_thread_name(name);
   Buffer& buf = local_buffer();
   std::lock_guard<std::mutex> lock(buf.mutex);
   buf.thread_name = std::move(name);
@@ -202,6 +207,11 @@ void Tracer::write_chrome(std::ostream& os) {
 }
 
 void Span::arm(std::string_view name, SpanKind kind) {
+  if (profile_enabled()) {
+    detail::push_frame(name);
+    pushed_ = true;
+  }
+  if (!trace_enabled()) return;  // profiler-only: no event, no name copy
   name_ = std::string(name);
   kind_ = kind;
   start_ns_ = detail::now_ns();

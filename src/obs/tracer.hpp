@@ -49,14 +49,38 @@ struct TraceEvent {
 };
 
 namespace detail {
-extern std::atomic<bool> g_trace_enabled;
+/// One consumer-enable mask shared by every span site: bit 0 = the tracer
+/// (record completed events), bit 1 = the sampling profiler (maintain the
+/// per-thread active-frame stack, obs/profile.hpp). A single relaxed load
+/// keeps the disabled span cost at one test-and-branch regardless of how
+/// many consumers exist.
+inline constexpr unsigned kSpanTraceBit = 1u;
+inline constexpr unsigned kSpanProfileBit = 2u;
+extern std::atomic<unsigned> g_span_mask;
 [[nodiscard]] std::int64_t now_ns() noexcept;
 void record(TraceEvent&& ev);
+// Active-frame stack maintenance, defined in profile.cpp.
+void push_frame(std::string_view name);
+void pop_frame() noexcept;
 }  // namespace detail
 
 /// The span sites' fast guard: one relaxed load, inlined.
 [[nodiscard]] inline bool trace_enabled() noexcept {
-  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+  return (detail::g_span_mask.load(std::memory_order_relaxed) &
+          detail::kSpanTraceBit) != 0;
+}
+
+/// True while the sampling profiler (obs/profile.hpp) is running.
+[[nodiscard]] inline bool profile_enabled() noexcept {
+  return (detail::g_span_mask.load(std::memory_order_relaxed) &
+          detail::kSpanProfileBit) != 0;
+}
+
+/// True when any span consumer (tracer or profiler) is active — the guard
+/// for span sites with dynamically built names ("level 3", "iteration 2"),
+/// which skip even the name formatting when nobody is listening.
+[[nodiscard]] inline bool spans_active() noexcept {
+  return detail::g_span_mask.load(std::memory_order_relaxed) != 0;
 }
 
 /// Process-wide tracer control (static-only interface).
@@ -86,14 +110,18 @@ class Tracer {
   [[nodiscard]] static std::size_t buffered_bytes();
 };
 
-/// RAII span. Does nothing (beyond the enabled check) when tracing is off.
+/// RAII span. Does nothing (beyond the enabled check) when both the tracer
+/// and the profiler are off. When the profiler is on, construction pushes
+/// the span name onto the calling thread's active-frame stack (popped at
+/// destruction) so the sampling ticker can attribute wall time to it.
 class Span {
  public:
   explicit Span(std::string_view name, SpanKind kind = SpanKind::kPhase) {
-    if (trace_enabled()) arm(name, kind);
+    if (spans_active()) arm(name, kind);
   }
   ~Span() {
     if (start_ns_ >= 0) finish();
+    if (pushed_) detail::pop_frame();
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -105,6 +133,7 @@ class Span {
   std::string name_;
   SpanKind kind_ = SpanKind::kPhase;
   std::int64_t start_ns_ = -1;  ///< -1 = not armed (tracing was off)
+  bool pushed_ = false;         ///< frame pushed for the profiler at arm time
 };
 
 /// Minimal JSON string escaping (shared by the trace and stats writers).

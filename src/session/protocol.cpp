@@ -9,6 +9,7 @@
 
 #include "noise/progress.hpp"
 #include "noise/trace.hpp"
+#include "obs/profile.hpp"
 #include "obs/tracer.hpp"
 
 namespace nw::session {
@@ -184,6 +185,52 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     o.set("enabled", true);
     return o;
   }
+  if (cmd == "profile") {
+    // Controls the process-wide sampling profiler: requests between a
+    // `start` and a `stop` get span-stack samples (and slow ones a folded
+    // capture in the slow log); `dump` returns the aggregate so far.
+    const std::string action = arg_string(args, "action");
+    Json o = Json::object();
+    if (action == "start") {
+      int hz = 97;
+      if (const Json* v = require_object(args).find("hz")) {
+        const double n = arg_number(args, "hz");
+        if (n < 1.0 || n > obs::Profiler::kMaxHz || n != std::floor(n)) {
+          bad_args("'hz' must be an integer in [1, " +
+                   std::to_string(obs::Profiler::kMaxHz) + "]");
+        }
+        hz = static_cast<int>(n);
+      }
+      if (obs::Profiler::running()) {
+        bad_args("profiler already running (stop it first)");
+      }
+      obs::Profiler::clear();
+      if (!obs::Profiler::start(hz)) {
+        throw ProtoError{"internal", "profiler failed to start"};
+      }
+    } else if (action == "stop") {
+      obs::Profiler::stop();
+    } else if (action == "dump") {
+      const std::size_t limit = arg_limit(args, 200);
+      const std::vector<obs::FoldedEntry> snap = obs::Profiler::snapshot();
+      Json list = Json::array();
+      for (std::size_t i = 0; i < snap.size() && i < limit; ++i) {
+        Json e = Json::object();
+        e.set("stack", snap[i].stack);
+        e.set("count", static_cast<double>(snap[i].count));
+        list.push_back(std::move(e));
+      }
+      o.set("stacks", snap.size());
+      o.set("entries", std::move(list));
+    } else if (action != "status") {
+      bad_args("'action' must be start|stop|dump|status");
+    }
+    o.set("running", obs::Profiler::running());
+    o.set("hz", obs::Profiler::hz());
+    o.set("samples", static_cast<double>(obs::Profiler::total_samples()));
+    o.set("torn", static_cast<double>(obs::Profiler::torn_samples()));
+    return o;
+  }
 
   // ---- queries ------------------------------------------------------------
   if (cmd == "violations") {
@@ -337,6 +384,11 @@ std::string Protocol::handle_line(std::string_view line) {
   requests_.add();
   const std::uint64_t req_id = reqobs_ != nullptr ? reqobs_->next_id() : 0;
   const auto t0 = std::chrono::steady_clock::now();
+  // Folded-profile baseline for the one-shot slow-request capture: only
+  // taken while the sampling profiler runs (a bounded map copy).
+  std::vector<obs::FoldedEntry> prof_before;
+  const bool prof_capture = reqobs_ != nullptr && obs::Profiler::running();
+  if (prof_capture) prof_before = obs::Profiler::snapshot();
   // Analysis-count delta tells whether this request triggered an analysis;
   // if so its phase breakdown is attached to any slow-log entry.
   const std::uint64_t analyses_before = session_.analyses();
@@ -372,9 +424,10 @@ std::string Protocol::handle_line(std::string_view line) {
     }
     cmd_name = cmd->as_string();
     // The request span encloses dispatch — and with it any analysis the
-    // command triggers on this thread, so phase spans nest inside it.
+    // command triggers on this thread, so phase spans nest inside it (and
+    // the profiler's samples attribute to this request's stack).
     std::optional<obs::Span> span;
-    if (reqobs_ != nullptr && obs::trace_enabled()) {
+    if (reqobs_ != nullptr && obs::spans_active()) {
       span.emplace("request " + std::to_string(req_id) + ": " + cmd_name,
                    obs::SpanKind::kRequest);
     }
@@ -426,8 +479,16 @@ std::string Protocol::handle_line(std::string_view line) {
       phases.propagate_ms = p.propagate_s * 1e3;
       phases.endpoints_ms = p.endpoints_s * 1e3;
     }
+    std::vector<std::string> prof_lines;
+    if (prof_capture && ms >= reqobs_->slow_ms()) {
+      for (const obs::FoldedEntry& e :
+           obs::folded_delta(prof_before, obs::Profiler::snapshot(),
+                             RequestContext::kMaxProfileLines)) {
+        prof_lines.push_back(e.stack + " " + std::to_string(e.count));
+      }
+    }
     reqobs_->observe(req_id, cmd_name, ms, code.empty(),
-                     ran_analysis ? &phases : nullptr);
+                     ran_analysis ? &phases : nullptr, std::move(prof_lines));
   }
   return response;
 }

@@ -40,7 +40,8 @@ std::uint64_t RequestContext::next_id() noexcept {
 }
 
 void RequestContext::observe(std::uint64_t id, const std::string& cmd, double ms,
-                             bool ok, const RequestPhases* phases) {
+                             bool ok, const RequestPhases* phases,
+                             std::vector<std::string> profile) {
   registry_
       .histogram(std::string(kLatencyPrefix) + cmd, "request latency",
                  kLatencyBoundsMs, "ms", /*deterministic=*/false)
@@ -55,6 +56,8 @@ void RequestContext::observe(std::uint64_t id, const std::string& cmd, double ms
     slow.has_phases = true;
     slow.phases = *phases;
   }
+  if (profile.size() > kMaxProfileLines) profile.resize(kMaxProfileLines);
+  slow.profile = std::move(profile);
   slow_log_.record(std::move(slow));
   NW_LOG(kWarn) << "slow request " << id << " (" << cmd << "): " << ms
                 << " ms >= " << slow_ms_ << " ms threshold";
@@ -75,6 +78,11 @@ Json RequestContext::slowlog_json() const {
       ph.set("propagate_ms", r.phases.propagate_ms);
       ph.set("endpoints_ms", r.phases.endpoints_ms);
       e.set("phases", std::move(ph));
+    }
+    if (!r.profile.empty()) {
+      Json pr = Json::array();
+      for (const std::string& line : r.profile) pr.push_back(line);
+      e.set("profile", std::move(pr));
     }
     list.push_back(std::move(e));
   }

@@ -49,6 +49,11 @@ struct SlowRequest {
   bool ok = true;         ///< false when the response was an error
   bool has_phases = false;  ///< the request ran an analysis
   RequestPhases phases;     ///< meaningful only when has_phases
+  /// One-shot folded-profile capture ("stack count" lines, heaviest first):
+  /// where this request spent its sampled time. Only populated while the
+  /// sampling profiler runs, and bounded (kMaxProfileLines) so the slow
+  /// log stays small.
+  std::vector<std::string> profile;
 };
 
 /// Bounded FIFO of slow requests: capacity-oldest are evicted, total
@@ -85,9 +90,12 @@ class RequestContext {
   /// when over threshold, the slow log + a rate-limited warning. `cmd` must
   /// already be cardinality-bounded (see header comment). `phases` is
   /// non-null when the request triggered an analysis; slow entries then
-  /// remember the per-phase wall-time breakdown.
+  /// remember the per-phase wall-time breakdown. `profile` carries the
+  /// request's folded-profile delta (already bounded by the caller); it is
+  /// only attached to slow entries.
   void observe(std::uint64_t id, const std::string& cmd, double ms, bool ok,
-               const RequestPhases* phases = nullptr);
+               const RequestPhases* phases = nullptr,
+               std::vector<std::string> profile = {});
 
   [[nodiscard]] const SlowLog& slow_log() const noexcept { return slow_log_; }
 
@@ -99,6 +107,8 @@ class RequestContext {
   static constexpr const char* kInvalidCommand = "_invalid";
   /// Latency-histogram name prefix ("request_ms_" + command).
   static constexpr const char* kLatencyPrefix = "request_ms_";
+  /// Cap on the folded-profile lines attached to one slow entry.
+  static constexpr std::size_t kMaxProfileLines = 8;
 
  private:
   obs::Registry& registry_;

@@ -73,6 +73,14 @@ class Session {
   /// analysis if edits or option changes are pending.
   [[nodiscard]] const noise::Result& result();
 
+  /// The most recent analysis result *without* triggering one — nullptr
+  /// until the session has analyzed at least once. The pointed-to Result
+  /// may be stale with respect to pending edits; exporters (the server's
+  /// exit stats) use it to report the last run's executor utilization.
+  [[nodiscard]] const noise::Result* last_result() const noexcept {
+    return base_result_.get();
+  }
+
   /// Trace the worst glitch on a net back to its origin.
   [[nodiscard]] noise::NoiseTrace trace(NetId net);
 

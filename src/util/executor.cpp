@@ -30,6 +30,8 @@ struct RunningGuard {
 
 }  // namespace
 
+thread_local Executor::WorkerSlot* Executor::tl_slot_ = nullptr;
+
 struct Executor::Pool {
   std::vector<std::thread> workers;
 
@@ -50,8 +52,12 @@ struct Executor::Pool {
 
   std::exception_ptr first_error;
 
-  void work(Executor* owner) {
+  void work(Executor* owner, int slot) {
     RunningGuard guard(owner);
+    WorkerSlot* const prev_slot = Executor::tl_slot_;
+    Executor::tl_slot_ =
+        owner->util_enabled_ ? &owner->slots_[static_cast<std::size_t>(slot)]
+                             : nullptr;
     const auto& body = *fn;
     for (;;) {
       const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
@@ -64,6 +70,7 @@ struct Executor::Pool {
         if (!first_error) first_error = std::current_exception();
       }
     }
+    Executor::tl_slot_ = prev_slot;
   }
 
   void worker_loop(Executor* owner, int index) {
@@ -76,7 +83,7 @@ struct Executor::Pool {
         if (stop) return;
         seen = generation;
       }
-      work(owner);
+      work(owner, index);
       {
         std::lock_guard<std::mutex> lock(mutex);
         if (--running == 0) work_done.notify_all();
@@ -112,39 +119,120 @@ Executor::~Executor() {
 
 void Executor::run_chunk(const char* label, std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& fn) {
-  // Fast path: no tracing, no observer — just the body.
-  const bool traced = label != nullptr && obs::trace_enabled();
-  if (!traced && !observer_) {
+  // Fast path: no tracing/profiling, no observer, no utilization — just
+  // the body.
+  const bool traced = label != nullptr && obs::spans_active();
+  WorkerSlot* const slot = tl_slot_;
+  if (!traced && !observer_ && slot == nullptr) {
     fn(begin, end);
     return;
   }
   std::optional<obs::Span> span;
   if (traced) span.emplace(label, obs::SpanKind::kTask);
-  if (!observer_) {
+  if (!observer_ && slot == nullptr) {
     fn(begin, end);
     return;
   }
+  // One clock pair feeds both the task observer and utilization accounting.
   const auto t0 = std::chrono::steady_clock::now();
   fn(begin, end);
-  observer_(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (observer_) observer_(seconds);
+  if (slot != nullptr) {
+    if (slot->first_s < 0.0) {
+      slot->first_s = std::chrono::duration<double>(t0 - region_t0_).count();
+    }
+    slot->busy_s += seconds;
+    ++slot->chunks;
+  }
 }
 
 void Executor::run_serial(const char* label, std::size_t n, std::size_t chunk,
                           const std::function<void(std::size_t, std::size_t)>& fn) {
   RunningGuard guard(this);
-  for (std::size_t begin = 0; begin < n; begin += chunk) {
-    run_chunk(label, begin, std::min(n, begin + chunk), fn);
+  WorkerSlot* const prev_slot = tl_slot_;
+  tl_slot_ = util_enabled_ ? &slots_[0] : nullptr;
+  try {
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      run_chunk(label, begin, std::min(n, begin + chunk), fn);
+    }
+  } catch (...) {
+    tl_slot_ = prev_slot;
+    throw;
+  }
+  tl_slot_ = prev_slot;
+}
+
+void Executor::begin_region() {
+  for (WorkerSlot& s : slots_) s = WorkerSlot{};
+  region_t0_ = std::chrono::steady_clock::now();
+}
+
+void Executor::end_region(const char* label, std::size_t n) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - region_t0_)
+          .count();
+  const char* const key = label != nullptr ? label : "(unlabeled)";
+  RegionStats* region = nullptr;
+  for (RegionStats& r : regions_) {
+    if (r.label == key) {
+      region = &r;
+      break;
+    }
+  }
+  if (region == nullptr) {
+    regions_.emplace_back();
+    region = &regions_.back();
+    region->label = key;
+  }
+  double busy_sum = 0.0;
+  double busy_max = 0.0;
+  double wait_sum = 0.0;
+  std::uint64_t chunk_sum = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const WorkerSlot& s = slots_[i];
+    busy_sum += s.busy_s;
+    busy_max = std::max(busy_max, s.busy_s);
+    chunk_sum += s.chunks;
+    if (s.first_s >= 0.0) wait_sum += s.first_s;
+    worker_totals_[i].busy_s += s.busy_s;
+    worker_totals_[i].chunks += s.chunks;
+  }
+  ++region->invocations;
+  region->items += n;
+  region->wall_s += wall;
+  region->busy_s += busy_sum;
+  region->max_busy_s += busy_max;
+  region->wait_s += wait_sum;
+  region->chunks += chunk_sum;
+  util_wall_s_ += wall;
+}
+
+void Executor::enable_utilization(bool on) {
+  util_enabled_ = on;
+  if (on && slots_.empty()) {
+    slots_.resize(static_cast<std::size_t>(thread_count_));
+    worker_totals_.resize(static_cast<std::size_t>(thread_count_));
+    for (int i = 0; i < thread_count_; ++i) worker_totals_[static_cast<std::size_t>(i)].worker = i;
   }
 }
 
-void Executor::parallel_for(const char* label, std::size_t n, std::size_t chunk,
-                            const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (tl_running == this) {
-    throw std::logic_error(
-        "Executor::parallel_for: nested use of the same executor");
+UtilizationSnapshot Executor::utilization() const {
+  UtilizationSnapshot snap;
+  snap.enabled = util_enabled_;
+  snap.threads = thread_count_;
+  snap.wall_s = util_wall_s_;
+  snap.workers = worker_totals_;
+  for (WorkerStats& w : snap.workers) {
+    w.idle_s = std::max(0.0, util_wall_s_ - w.busy_s);
   }
-  if (n == 0) return;
-  if (chunk == 0) chunk = 1;
+  snap.regions = regions_;
+  return snap;
+}
+
+void Executor::dispatch(const char* label, std::size_t n, std::size_t chunk,
+                        const std::function<void(std::size_t, std::size_t)>& fn) {
   // One chunk (or no pool): nothing to distribute.
   if (!pool_ || n <= chunk) {
     run_serial(label, n, chunk, fn);
@@ -164,7 +252,7 @@ void Executor::parallel_for(const char* label, std::size_t n, std::size_t chunk,
   }
   pool_->work_ready.notify_all();
 
-  pool_->work(this);  // the caller is thread 0
+  pool_->work(this, 0);  // the caller is thread 0
 
   std::unique_lock<std::mutex> lock(pool_->mutex);
   pool_->work_done.wait(lock, [&] { return pool_->running == 0; });
@@ -175,6 +263,28 @@ void Executor::parallel_for(const char* label, std::size_t n, std::size_t chunk,
     lock.unlock();
     std::rethrow_exception(err);
   }
+}
+
+void Executor::parallel_for(const char* label, std::size_t n, std::size_t chunk,
+                            const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (tl_running == this) {
+    throw std::logic_error(
+        "Executor::parallel_for: nested use of the same executor");
+  }
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  if (!util_enabled_) {
+    dispatch(label, n, chunk, fn);
+    return;
+  }
+  begin_region();
+  try {
+    dispatch(label, n, chunk, fn);
+  } catch (...) {
+    end_region(label, n);  // keep accumulators consistent across rethrow
+    throw;
+  }
+  end_region(label, n);
 }
 
 }  // namespace nw::util

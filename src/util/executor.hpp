@@ -30,12 +30,56 @@
 // fixed pool, so it throws std::logic_error instead (the nested-use guard).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 namespace nw::util {
+
+/// Per-worker totals across every instrumented region (worker 0 = the
+/// calling thread). `idle_s` is derived at snapshot time: the time spent
+/// inside regions while other workers still had chunks.
+struct WorkerStats {
+  int worker = 0;
+  double busy_s = 0.0;
+  double idle_s = 0.0;
+  std::uint64_t chunks = 0;
+};
+
+/// Accumulated stats for one labeled parallel_for region (summed over
+/// every invocation with that label).
+struct RegionStats {
+  std::string label;
+  std::uint64_t invocations = 0;
+  std::uint64_t chunks = 0;  ///< executed chunks (== the executor_tasks share)
+  std::uint64_t items = 0;   ///< sum of n over invocations
+  double wall_s = 0.0;       ///< coordinator-measured region wall time
+  double busy_s = 0.0;       ///< sum of every worker's chunk time
+  double max_busy_s = 0.0;   ///< sum over invocations of the busiest worker
+  double wait_s = 0.0;       ///< sum of first-chunk start latencies (wakeup cost)
+
+  /// Imbalance gauge: the busiest worker's share relative to a perfectly
+  /// balanced split (1.0 = balanced, `threads` = one worker did it all).
+  [[nodiscard]] double imbalance(int threads) const noexcept {
+    if (busy_s <= 0.0 || threads <= 0) return 1.0;
+    return max_busy_s * static_cast<double>(threads) / busy_s;
+  }
+};
+
+/// Everything the executor measured about itself: the "executor" section
+/// of stats-JSON schema v3. All timing — nondeterministic by nature; the
+/// deterministic chunk *counts* are also in the executor_tasks counter.
+struct UtilizationSnapshot {
+  bool enabled = false;
+  int threads = 1;
+  double wall_s = 0.0;  ///< total wall time inside instrumented regions
+  std::vector<WorkerStats> workers;
+  std::vector<RegionStats> regions;  ///< first-use order
+};
 
 class Executor {
  public:
@@ -58,6 +102,17 @@ class Executor {
   /// Not thread-safe against a running parallel_for — set it between
   /// regions.
   void set_task_observer(TaskObserver observer) { observer_ = std::move(observer); }
+
+  /// Turn on utilization accounting: per-worker busy time and chunk
+  /// counts, per-region wall/busy/max-busy/first-chunk-wait aggregates.
+  /// Costs two steady_clock reads per chunk (the same pair the task
+  /// observer uses — they share one measurement). Set between regions.
+  void enable_utilization(bool on);
+
+  /// Copy of everything measured so far. Call between regions (the same
+  /// single-submitter contract as parallel_for). Worker idle time is
+  /// derived here as (region wall total − busy).
+  [[nodiscard]] UtilizationSnapshot utilization() const;
 
   /// Invoke `fn(begin, end)` over disjoint chunks of at most `chunk`
   /// indices covering [0, n). Blocks until every chunk has run; rethrows
@@ -96,16 +151,42 @@ class Executor {
 
  private:
   struct Pool;  // hides <thread>/<condition_variable> from this header
+  friend struct Pool;
+
+  /// Per-region, per-worker scratch (reset by begin_region, folded into
+  /// the accumulators by end_region). `first_s` is the delay from region
+  /// start to the worker's first chunk (-1 = never got one).
+  struct WorkerSlot {
+    double busy_s = 0.0;
+    std::uint64_t chunks = 0;
+    double first_s = -1.0;
+  };
 
   void run_serial(const char* label, std::size_t n, std::size_t chunk,
                   const std::function<void(std::size_t, std::size_t)>& fn);
-  /// One chunk, wrapped in span/observer instrumentation when active.
+  /// One chunk, wrapped in span/observer/utilization instrumentation.
   void run_chunk(const char* label, std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t, std::size_t)>& fn);
+  void dispatch(const char* label, std::size_t n, std::size_t chunk,
+                const std::function<void(std::size_t, std::size_t)>& fn);
+  void begin_region();
+  void end_region(const char* label, std::size_t n);
 
   int thread_count_ = 1;
   Pool* pool_ = nullptr;  // null when thread_count_ == 1
   TaskObserver observer_;
+
+  // Utilization accounting (coordinator-owned; worker slots are written by
+  // their owning thread during a region and read after the join barrier).
+  // tl_slot_ points at the current thread's slot of the executor whose
+  // region it is running (saved/restored across nested executors).
+  static thread_local WorkerSlot* tl_slot_;
+  bool util_enabled_ = false;
+  std::vector<WorkerSlot> slots_;        // size thread_count_, index 0 = caller
+  std::vector<WorkerStats> worker_totals_;
+  std::vector<RegionStats> regions_;
+  double util_wall_s_ = 0.0;
+  std::chrono::steady_clock::time_point region_t0_;
 };
 
 }  // namespace nw::util

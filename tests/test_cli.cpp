@@ -183,7 +183,7 @@ TEST(Cli, TraceAndStatsJsonOutputs) {
     ASSERT_TRUE(f.good());
     stats << f.rdbuf();
   }
-  EXPECT_NE(stats.str().find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(stats.str().find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(stats.str().find("\"design\":\"bus64\""), std::string::npos);
   EXPECT_NE(stats.str().find("\"victims_estimated\""), std::string::npos);
   EXPECT_NE(stats.str().find("\"glitch_peak_v\""), std::string::npos);
@@ -225,7 +225,8 @@ TEST(Cli, UnwritableOutputPathsFailFastWithClearErrors) {
   // naming the flag that supplied the path, and a non-zero exit.
   const std::string bad = "/nonexistent_dir_for_noisewin_tests/out.file";
   for (const char* flag :
-       {"--report", "--stats-json", "--trace-out", "--html-report"}) {
+       {"--report", "--stats-json", "--trace-out", "--html-report",
+        "--profile-out"}) {
     std::string err;
     EXPECT_EQ(run({"--demo", "bus", flag, bad}, nullptr, &err), 1) << flag;
     EXPECT_NE(err.find(std::string("cannot write ") + flag), std::string::npos)
@@ -242,6 +243,56 @@ TEST(Cli, UnwritableOutputPathsFailFastWithClearErrors) {
             1);
   EXPECT_NE(serr.str().find("cannot write --stats-json"), std::string::npos)
       << serr.str();
+}
+
+TEST(Cli, ProfileHzRejectsJunkAndOutOfRangeValues) {
+  std::string err;
+  EXPECT_EQ(run({"--demo", "bus", "--profile-hz", "abc"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("noisewin:"), std::string::npos) << err;
+  EXPECT_EQ(run({"--demo", "bus", "--profile-hz", "99999"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("--profile-hz 99999 too high (max 20000)"),
+            std::string::npos)
+      << err;
+  EXPECT_EQ(run({"--demo", "bus", "--profile-hz"}, nullptr, &err), 1);  // no value
+}
+
+TEST(Cli, ProfileOutWritesFoldedArtifactWithoutChangingTheReport) {
+  const fs::path dir = fs::temp_directory_path() / "nw_cli_profile_test";
+  fs::create_directories(dir);
+  const std::string folded = (dir / "p.folded").string();
+
+  // Reference report with profiling off.
+  std::string plain_out;
+  const int rc_plain = run({"--demo", "logic", "--mode", "noise-windows"},
+                           &plain_out);
+  ASSERT_TRUE(rc_plain == 0 || rc_plain == 2);
+
+  // Same run, profiled hard: the report must be byte-identical (the
+  // determinism contract) and the folded artifact well-formed.
+  std::string prof_out;
+  const int rc_prof = run({"--demo", "logic", "--mode", "noise-windows",
+                           "--profile-out", folded, "--profile-hz", "9973"},
+                          &prof_out);
+  EXPECT_EQ(rc_prof, rc_plain);
+  EXPECT_EQ(prof_out, plain_out);
+  std::ifstream pf(folded);
+  ASSERT_TRUE(pf.good());
+  std::string line;
+  while (std::getline(pf, line)) {
+    const std::size_t sep = line.rfind(' ');
+    ASSERT_NE(sep, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(sep + 1)), 0u) << line;
+  }
+
+  // --profile-hz 0 means off, but the (empty) artifact is still written so
+  // downstream tooling never trips over a missing file.
+  const std::string off = (dir / "off.folded").string();
+  const int rc_off = run({"--demo", "bus", "--profile-out", off,
+                          "--profile-hz", "0"});
+  EXPECT_TRUE(rc_off == 0 || rc_off == 2);
+  EXPECT_TRUE(fs::exists(off));
+  EXPECT_EQ(fs::file_size(off), 0u);
+  fs::remove_all(dir);
 }
 
 TEST(Cli, ExplainCommandPrintsProvenance) {

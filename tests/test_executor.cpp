@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/executor.hpp"
@@ -125,6 +128,101 @@ TEST(Executor, MapReduceOrderedIsDeterministic) {
   run(ex8, parallel);
   EXPECT_EQ(serial, parallel);
   EXPECT_EQ(serial.size(), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Utilization accounting (the stats-JSON v3 "executor" section)
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorUtilization, DisabledByDefault) {
+  Executor ex(2);
+  ex.parallel_for("region", 10, 1, [](std::size_t, std::size_t) {});
+  const UtilizationSnapshot snap = ex.utilization();
+  EXPECT_FALSE(snap.enabled);
+  EXPECT_TRUE(snap.regions.empty());
+  EXPECT_EQ(snap.wall_s, 0.0);
+}
+
+TEST(ExecutorUtilization, AccountsChunksItemsAndBusyIdleSums) {
+  Executor ex(2);
+  ex.enable_utilization(true);
+  constexpr std::size_t n = 16;
+  ex.parallel_for("work", n, 2, [](std::size_t, std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  ex.parallel_for("work", n, 2, [](std::size_t, std::size_t) {});
+
+  const UtilizationSnapshot snap = ex.utilization();
+  EXPECT_TRUE(snap.enabled);
+  EXPECT_EQ(snap.threads, 2);
+  EXPECT_GT(snap.wall_s, 0.0);
+
+  ASSERT_EQ(snap.regions.size(), 1u);
+  const RegionStats& reg = snap.regions[0];
+  EXPECT_EQ(reg.label, "work");
+  EXPECT_EQ(reg.invocations, 2u);
+  EXPECT_EQ(reg.chunks, 2 * n / 2);
+  EXPECT_EQ(reg.items, 2 * n);
+  EXPECT_GT(reg.busy_s, 0.0);
+  EXPECT_LE(reg.max_busy_s, reg.busy_s + 1e-12);
+  // Busy time happens inside the region, so it can never exceed its wall.
+  EXPECT_LE(reg.busy_s, 2.0 * reg.wall_s + 1e-9);  // 2 workers
+  EXPECT_GE(reg.imbalance(snap.threads), 1.0 - 1e-9);
+
+  // Every chunk is owned by exactly one worker; idle is derived as the
+  // region wall the worker did not spend in chunks.
+  ASSERT_EQ(snap.workers.size(), 2u);
+  std::uint64_t chunks = 0;
+  for (const WorkerStats& w : snap.workers) {
+    chunks += w.chunks;
+    EXPECT_GE(w.busy_s, 0.0);
+    EXPECT_GE(w.idle_s, 0.0);
+    // idle = max(0, wall - busy), so busy + idle recovers at least the
+    // wall time and idle alone never exceeds it.
+    EXPECT_GE(w.busy_s + w.idle_s, snap.wall_s - 1e-12);
+    EXPECT_LE(w.idle_s, snap.wall_s + 1e-12);
+  }
+  EXPECT_EQ(chunks, reg.chunks);
+}
+
+TEST(ExecutorUtilization, SkewedRegionShowsImbalance) {
+  // One heavy chunk among trivial ones: the busiest worker holds nearly
+  // all the busy time, so the gauge approaches `threads`.
+  Executor ex(2);
+  ex.enable_utilization(true);
+  ex.parallel_for("skewed", 4, 1, [](std::size_t begin, std::size_t) {
+    if (begin == 0) std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  });
+  const UtilizationSnapshot snap = ex.utilization();
+  ASSERT_EQ(snap.regions.size(), 1u);
+  EXPECT_GT(snap.regions[0].imbalance(snap.threads), 1.5)
+      << "busy " << snap.regions[0].busy_s << " max "
+      << snap.regions[0].max_busy_s;
+}
+
+TEST(ExecutorUtilization, SerialExecutorAttributesEverythingToWorkerZero) {
+  Executor ex(1);
+  ex.enable_utilization(true);
+  ex.parallel_for("serial", 8, 3, [](std::size_t, std::size_t) {});
+  const UtilizationSnapshot snap = ex.utilization();
+  EXPECT_EQ(snap.threads, 1);
+  ASSERT_EQ(snap.workers.size(), 1u);
+  EXPECT_EQ(snap.workers[0].worker, 0);
+  EXPECT_EQ(snap.workers[0].chunks, 3u);  // ceil(8 / 3)
+  ASSERT_EQ(snap.regions.size(), 1u);
+  EXPECT_EQ(snap.regions[0].chunks, 3u);
+  EXPECT_EQ(snap.regions[0].items, 8u);
+  EXPECT_DOUBLE_EQ(snap.regions[0].imbalance(1), 1.0);
+}
+
+TEST(ExecutorUtilization, UnlabeledRegionsAreStillAccounted) {
+  Executor ex(2);
+  ex.enable_utilization(true);
+  ex.parallel_for(6, 1, [](std::size_t, std::size_t) {});
+  const UtilizationSnapshot snap = ex.utilization();
+  ASSERT_EQ(snap.regions.size(), 1u);
+  EXPECT_FALSE(snap.regions[0].label.empty());  // placeholder label
+  EXPECT_EQ(snap.regions[0].chunks, 6u);
 }
 
 }  // namespace

@@ -32,6 +32,8 @@ import argparse
 import json
 import sys
 
+import perf_diff  # sibling module: shared metric extraction + top movers
+
 DEFAULT_TOLERANCE = 0.50
 HISTORY_LIMIT = 200  # oldest entries beyond this fall off
 
@@ -91,6 +93,11 @@ def key_metrics(record: dict) -> dict:
     for k in RESOURCE_KEYS:
         if is_num(resources.get(k)) and resources[k] > 0:
             out[k] = resources[k]
+    # Executor utilization signals (stats-JSON v3): per-region wall and
+    # imbalance, overall idle fraction — all lower-is-better.
+    for k, v in perf_diff.extract_metrics(record).items():
+        if k.startswith(perf_diff.EXECUTOR_PREFIX):
+            out[k] = v
     bench = record.get("bench", {})
     if is_num(bench.get("peak_rss_bytes")) and bench["peak_rss_bytes"] > 0:
         out.setdefault("peak_rss_bytes", bench["peak_rss_bytes"])
@@ -151,6 +158,7 @@ def compare(entry: dict, baseline: dict, enforce: bool) -> bool:
     tolerances = baseline.get("tolerances", {})
     default_tol = baseline.get("default_tolerance", DEFAULT_TOLERANCE)
     regressed = False
+    rows = []
     for name, base in sorted(base_metrics.items()):
         if not is_num(base) or base <= 0:
             continue
@@ -166,8 +174,16 @@ def compare(entry: dict, baseline: dict, enforce: bool) -> bool:
             regressed = True
         elif ratio < 1 - tol:
             verdict = "improved"
+        rows.append((name, base, latest, ratio, verdict))
         print(f"  {name}: {latest:g} vs baseline {base:g} "
               f"({(ratio - 1) * 100:+.1f}%, tolerance ±{tol * 100:.0f}%) {verdict}")
+    # Name *which* signal moved the most per category — the phase and the
+    # worker-utilization movers are the first things to look at on a
+    # regression (tools/perf_diff.py renders the same summary standalone).
+    for cat, mover in sorted(perf_diff.top_movers(rows).items()):
+        name, base, latest, ratio = mover
+        print(f"  top {cat} mover: {name} {base:g} -> {latest:g} "
+              f"({(ratio - 1) * 100:+.1f}%)")
     # Metrics present in the latest record but absent from the baseline are
     # informational only (recorded in the history, compared once a baseline
     # containing them is written) — never a warning, never a regression.
@@ -217,12 +233,37 @@ def main() -> int:
               f"written to {args.write_baseline}")
         return 0
 
+    # --enforce with nothing to enforce against is a misconfigured CI job,
+    # not a pass: an unseeded (empty) history or an empty baseline must
+    # fail loudly, or the gate silently guards nothing until someone
+    # notices. The history check runs *before* this invocation appends its
+    # own entries — a trajectory must already exist (CI seeds the first
+    # point explicitly).
+    if args.enforce:
+        if not args.baseline:
+            fail("--enforce given without --baseline: nothing to enforce")
+        if args.history:
+            try:
+                with open(args.history, encoding="utf-8") as f:
+                    hist = json.load(f)
+            except FileNotFoundError:
+                fail(f"--enforce: history {args.history} does not exist — "
+                     f"seed the first trajectory point before enforcing")
+            except (OSError, json.JSONDecodeError) as e:
+                fail(f"--enforce: cannot read history {args.history}: {e}")
+            if not isinstance(hist, dict) or not hist.get("entries"):
+                fail(f"--enforce: history {args.history} is empty — seed the "
+                     f"first trajectory point before enforcing")
+
     if args.history:
         append_history(args.history, entries)
 
     regressed = False
     if args.baseline:
         baseline = load_json(args.baseline)
+        if args.enforce and not baseline.get("metrics"):
+            fail(f"--enforce: baseline {args.baseline} has no metrics — "
+                 f"write it first (--write-baseline)")
         if args.tolerance is not None:
             baseline["default_tolerance"] = args.tolerance
         merged = {"metrics": {}}

@@ -23,6 +23,7 @@
 #include "noise/telemetry.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/tracer.hpp"
 #include "parasitics/spef.hpp"
 #include "session/server.hpp"
@@ -45,6 +46,8 @@ struct Args {
   std::string trace_path;       ///< --trace-out: Chrome trace-event JSON
   std::string stats_json_path;  ///< --stats-json: machine-readable run report
   std::string html_path;        ///< --html-report: self-contained dashboard
+  std::string profile_path;     ///< --profile-out: collapsed-stack profile
+  int profile_hz = 97;          ///< --profile-hz: sampling rate (0 = off)
   std::string explain_net;      ///< explain: the net to explain
   noise::Options noise_opt;
   double slow_ms = 100.0;  ///< --slow-ms: serve slow-request threshold
@@ -79,6 +82,12 @@ const char kUsage[] =
     "                      each request gets its own span on the server track\n"
     "  --slow-ms <ms>      serve: requests slower than this land in the slow\n"
     "                      log (`slowlog` command, stats JSON; default 100)\n"
+    "  --profile-out <file> write a collapsed-stack ('folded') sampling\n"
+    "                      profile of the run — one 'thread;span;span N' line\n"
+    "                      per stack, ready for flamegraph tooling; results\n"
+    "                      are bit-identical with profiling on or off\n"
+    "  --profile-hz <n>    sampling rate for --profile-out (default 97;\n"
+    "                      0 disables sampling, max 20000)\n"
     "  --verbose           more diagnostics on stderr (repeat for debug)\n"
     "  --report <file>     write the full report to a file (default: stdout)\n"
     "  --html-report <file> write the self-contained HTML noise dashboard\n"
@@ -221,6 +230,19 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
       const auto v = need_value();
       if (!v) return std::nullopt;
       a.trace_path = *v;
+    } else if (arg == "--profile-out") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.profile_path = *v;
+    } else if (arg == "--profile-hz") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.profile_hz = static_cast<int>(nw::parse_uint(*v));
+      if (a.profile_hz > obs::Profiler::kMaxHz) {
+        err << "noisewin: --profile-hz " << a.profile_hz << " too high (max "
+            << obs::Profiler::kMaxHz << ")\n";
+        return std::nullopt;
+      }
     } else if (arg == "--slow-ms") {
       const auto v = need_value();
       if (!v) return std::nullopt;
@@ -303,6 +325,34 @@ void require_written(std::ostream& os, const char* flag, const std::string& path
   if (!os) {
     throw std::runtime_error(std::string("error writing ") + flag + " '" + path + "'");
   }
+}
+
+/// Start the sampling profiler for this run if --profile-out asked for it.
+/// --profile-hz 0 keeps it off (an empty folded file is still written, so
+/// scripted consumers always find their artifact).
+bool start_profiler(const Args& a, const char* thread_name) {
+  if (a.profile_path.empty() || a.profile_hz <= 0) return false;
+  obs::profile_set_thread_name(thread_name);
+  obs::Profiler::clear();
+  if (!obs::Profiler::start(a.profile_hz)) {
+    NW_LOG(kWarn) << "sampling profiler failed to start (already running?)";
+    return false;
+  }
+  return true;
+}
+
+/// Stop sampling and write the collapsed-stack artifact. Safe to call when
+/// the profiler never started (writes an empty, still-valid folded file).
+void write_profile(const Args& a) {
+  if (a.profile_path.empty()) return;
+  obs::Profiler::stop();
+  std::ofstream pf = open_output(a.profile_path, "--profile-out");
+  // --profile-hz 0: the file stays empty even if the process aggregate
+  // holds samples from an earlier in-process run (tests share a process).
+  if (a.profile_hz > 0) obs::Profiler::write_folded(pf);
+  require_written(pf, "--profile-out", a.profile_path);
+  NW_LOG(kInfo) << "profile written to " << a.profile_path << " ("
+                << obs::Profiler::total_samples() << " samples)";
 }
 
 /// A wall-time gauge appended to an exported snapshot copy (render times
@@ -427,6 +477,10 @@ int run_session(const Args& a, std::istream& in, std::ostream& out) {
     obs::Tracer::set_thread_name("server");
     obs::Tracer::enable();
   }
+  // Name the conversation thread up front so a profiler started later via
+  // the `profile` protocol command labels its stacks "server", too.
+  obs::profile_set_thread_name("server");
+  start_profiler(a, "server");
 
   session::RequestContext reqobs(session.registry(), a.slow_ms);
   if (a.command == "serve") {
@@ -444,11 +498,18 @@ int run_session(const Args& a, std::istream& in, std::ostream& out) {
     require_written(tf, "--trace-out", a.trace_path);
     NW_LOG(kInfo) << "session trace written to " << a.trace_path;
   }
+  write_profile(a);
 
   if (!a.stats_json_path.empty()) {
     std::ofstream sf = open_output(a.stats_json_path, "--stats-json");
+    // The executor section reflects the session's most recent analysis;
+    // before any analysis it renders as {"enabled":false,...} from a
+    // default Result.
+    const noise::Result* last = session.last_result();
+    static const noise::Result kEmpty;
     const std::pair<std::string, std::string> extra[] = {
-        {"slowlog", reqobs.slowlog_json().dump()}};
+        {"slowlog", reqobs.slowlog_json().dump()},
+        {"executor", noise::executor_stats_json(last ? *last : kEmpty)}};
     obs::write_stats_json(sf, session.meta(), session.metrics_snapshot(), extra);
     require_written(sf, "--stats-json", a.stats_json_path);
     NW_LOG(kInfo) << "session stats written to " << a.stats_json_path;
@@ -483,9 +544,11 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
     try {
       require_writable(a.trace_path, "--trace-out");
       require_writable(a.stats_json_path, "--stats-json");
+      require_writable(a.profile_path, "--profile-out");
       return run_session(a, in, out);
     } catch (const std::exception& e) {
       if (!a.trace_path.empty()) obs::Tracer::disable();
+      obs::Profiler::stop();
       err << "noisewin: " << e.what() << "\n";
       return 1;
     }
@@ -504,6 +567,7 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
     require_writable(a.stats_json_path, "--stats-json");
     require_writable(a.report_path, "--report");
     require_writable(a.html_path, "--html-report");
+    require_writable(a.profile_path, "--profile-out");
 
     lib::Library library;
     std::optional<net::Design> design;
@@ -512,11 +576,15 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
     load_inputs(a, library, design, parasitics, sta_opt);
 
     const sta::Result timing = sta::run(*design, *parasitics, sta_opt);
+    start_profiler(a, "main");
     std::optional<StderrProgress> meter;
     if (a.progress) meter.emplace(err);
     const noise::Result result = noise::analyze(*design, *parasitics, timing,
                                                 a.noise_opt, meter ? &*meter : nullptr);
     if (meter) meter->finish();
+    // Stop sampling before report rendering so the profile covers exactly
+    // the analysis; the folded artifact is written with the other outputs.
+    obs::Profiler::stop();
 
     // The explain command renders the net's provenance instead of the full
     // report; timed so the stats snapshot can carry explain_ms.
@@ -539,7 +607,9 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
     if (!a.html_path.empty()) {
       const auto t0 = std::chrono::steady_clock::now();
       std::ostringstream hs;
-      noise::write_html_report(hs, *design, a.noise_opt, result);
+      noise::HtmlReportOptions hopt;
+      if (!a.profile_path.empty()) hopt.profile = obs::Profiler::snapshot();
+      noise::write_html_report(hs, *design, a.noise_opt, result, hopt);
       html = hs.str();
       html_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
@@ -553,6 +623,7 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
       require_written(tf, "--trace-out", a.trace_path);
       NW_LOG(kInfo) << "trace written to " << a.trace_path;
     }
+    write_profile(a);
     if (!a.stats_json_path.empty()) {
       std::ofstream sf = open_output(a.stats_json_path, "--stats-json");
       obs::MetricsSnapshot snap = result.metrics;
@@ -564,7 +635,9 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
         snap.samples.push_back(
             timing_sample("explain_ms", "provenance rendering time", explain_ms));
       }
-      obs::write_stats_json(sf, result.run_meta, snap);
+      const std::pair<std::string, std::string> extra[] = {
+          {"executor", noise::executor_stats_json(result)}};
+      obs::write_stats_json(sf, result.run_meta, snap, extra);
       require_written(sf, "--stats-json", a.stats_json_path);
       NW_LOG(kInfo) << "stats written to " << a.stats_json_path;
     }
@@ -605,6 +678,7 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
     return result.violations.empty() ? 0 : 2;
   } catch (const std::exception& e) {
     if (!a.trace_path.empty()) obs::Tracer::disable();
+    obs::Profiler::stop();
     err << "noisewin: " << e.what() << "\n";
     return 1;
   }

@@ -217,10 +217,22 @@ def main() -> None:
         hello = c.request("hello")
         check(hello["protocol"] == 1, f"protocol v1, design '{hello['design']}'")
         check(
-            hello.get("stats_schema") == 2,
+            hello.get("stats_schema") == 3,
             f"server {hello.get('version', '?')} ({hello.get('build', '?')}) "
             f"speaks stats schema v{hello.get('stats_schema')}",
         )
+
+        # Sampling profiler round-trip: start → (work) → dump → stop. The
+        # conversation below runs between start and stop, so the dump at the
+        # end sees server-rooted span stacks.
+        prof = c.request("profile", action="start", hz=1997)
+        check(prof["running"] and prof["hz"] == 1997,
+              f"profiler started ({prof['hz']} Hz)")
+        try:
+            c.request("profile", action="start")
+            check(False, "second profile start must be rejected")
+        except ProtocolError as e:
+            check(e.code == "bad_args", f"double start -> {e.code}")
 
         baseline = c.request("violations", limit=5)
         noise_before = c.request("net_noise", net=args.net)
@@ -280,6 +292,22 @@ def main() -> None:
         check(parting["epoch"] > 0, f"parting edit applied (epoch {parting['epoch']})")
         reanalyzed = c.request("net_noise", net=args.net)
         check("total_peak" in reanalyzed, "post-edit query re-analyzed incrementally")
+
+        # Profiler dump after the conversation: entries are server-rooted
+        # folded stacks; stop keeps the aggregate (status still serves it).
+        dump = c.request("profile", action="dump", limit=50)
+        check(isinstance(dump["entries"], list), f"profile dump answers "
+              f"({dump['samples']:.0f} samples, {dump.get('stacks', 0)} stacks)")
+        for entry in dump["entries"]:
+            check("stack" in entry and entry.get("count", 0) > 0,
+                  "dump entries carry stack + positive count")
+            check(entry["stack"].startswith("server"),
+                  f"stacks rooted at the server thread ({entry['stack']!r})")
+        stopped = c.request("profile", action="stop")
+        check(not stopped["running"], "profiler stopped")
+        status = c.request("profile", action="status")
+        check(not status["running"] and status["samples"] == stopped["samples"],
+              "status keeps the aggregate after stop")
 
         stats = c.request("stats")
         counters = stats["counters"]

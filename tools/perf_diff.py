@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Diff two noisewin stats-JSON run records into a regression table.
+
+Compares the comparable perf signals of two runs — phase wall times,
+executor utilization (per-worker busy/idle, per-region imbalance), kernel
+gauges, and latency-histogram quantiles — and renders a markdown table
+with a verdict per metric, plus a "top movers" summary naming which phase
+and which worker-utilization signal moved the most.
+
+    # two run records (before / after)
+    perf_diff.py before_stats.json after_stats.json
+
+    # a run record against the committed perf baseline
+    perf_diff.py --baseline BENCH_baseline.json after_stats.json
+
+    # write the table to a file, fail the run on big regressions
+    perf_diff.py a.json b.json --output diff.md --fail-threshold 0.5
+
+Lower is better for every compared metric (seconds, ms, bytes, imbalance,
+idle fraction). A metric "regresses" when after > before * (1 + threshold).
+The default report threshold is 2% (smaller moves render as "~"); the exit
+code only turns nonzero when --fail-threshold is given and exceeded.
+
+The module is importable: tools/bench_history.py uses extract_metrics() /
+diff_rows() / top_movers() so its baseline comparisons name the moving
+phase and worker-utilization signal with the same logic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Metric-name prefixes per category (used for the top-movers summary).
+PHASE_KEYS = (
+    "total_seconds",
+    "phase_context_seconds",
+    "phase_estimate_seconds",
+    "phase_propagate_seconds",
+    "phase_endpoints_seconds",
+    "estimate_ms",
+    "propagate_ms",
+    "check_ms",
+    "explain_ms",
+    "html_report_ms",
+)
+KERNEL_PREFIX = "kernel_"
+EXECUTOR_PREFIX = "executor/"
+QUANTILES = ("p50", "p95", "p99")
+
+
+def is_num(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def load(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def extract_metrics(record: dict) -> dict:
+    """Flatten one stats-JSON record into {name: lower-is-better scalar}.
+
+    Covers the "timing" section (phase gauges, kernel gauges, histogram
+    quantiles), "resources", and the schema-v3 "executor" section
+    (per-worker idle fraction, per-region wall/imbalance/wait).
+    """
+    out = {}
+    timing = record.get("timing", {})
+    for k, v in sorted(timing.items()):
+        if is_num(v):
+            if k in PHASE_KEYS or k.startswith(KERNEL_PREFIX):
+                out[k] = v
+        elif isinstance(v, dict) and v.get("count"):
+            for q in QUANTILES:
+                if is_num(v.get(q)):
+                    out[f"{k}_{q}"] = v[q]
+    for k, v in sorted(record.get("resources", {}).items()):
+        if is_num(v) and v > 0:
+            out[k] = v
+    ex = record.get("executor", {})
+    if isinstance(ex, dict) and ex.get("enabled"):
+        busy = sum(w.get("busy_s", 0.0) for w in ex.get("workers", []))
+        idle = sum(w.get("idle_s", 0.0) for w in ex.get("workers", []))
+        if busy + idle > 0:
+            out[f"{EXECUTOR_PREFIX}idle_frac"] = idle / (busy + idle)
+        for w in ex.get("workers", []):
+            denom = w.get("busy_s", 0.0) + w.get("idle_s", 0.0)
+            if denom > 0:
+                out[f"{EXECUTOR_PREFIX}worker{w.get('worker', '?')}_idle_frac"] = (
+                    w.get("idle_s", 0.0) / denom)
+        for label, reg in sorted(ex.get("regions", {}).items()):
+            if is_num(reg.get("wall_s")) and reg["wall_s"] > 0:
+                out[f"{EXECUTOR_PREFIX}{label}_wall_s"] = reg["wall_s"]
+            if is_num(reg.get("imbalance")) and reg["imbalance"] > 0:
+                out[f"{EXECUTOR_PREFIX}{label}_imbalance"] = reg["imbalance"]
+            if is_num(reg.get("wait_s")) and reg["wait_s"] > 0:
+                out[f"{EXECUTOR_PREFIX}{label}_wait_s"] = reg["wait_s"]
+    return out
+
+
+def baseline_metrics(baseline: dict, design: str) -> dict:
+    """Pull a design's metrics out of a BENCH_baseline.json ("design/name"
+    qualified keys); unqualified keys are accepted for old baselines."""
+    out = {}
+    for k, v in baseline.get("metrics", {}).items():
+        if not is_num(v):
+            continue
+        if k.startswith(f"{design}/"):
+            out[k[len(design) + 1:]] = v
+        elif "/" not in k:
+            out[k] = v
+    return out
+
+
+def diff_rows(before: dict, after: dict, threshold: float = 0.02) -> list:
+    """Rows (name, before, after, ratio, verdict) over the shared metrics.
+
+    verdict: "regression" / "improved" beyond the threshold, "~" inside it.
+    Metrics present on only one side are skipped (nothing to compare).
+    """
+    rows = []
+    for name in sorted(set(before) & set(after)):
+        b, a = before[name], after[name]
+        if not (is_num(b) and is_num(a)) or b <= 0:
+            continue
+        ratio = a / b
+        if ratio > 1 + threshold:
+            verdict = "regression"
+        elif ratio < 1 - threshold:
+            verdict = "improved"
+        else:
+            verdict = "~"
+        rows.append((name, b, a, ratio, verdict))
+    return rows
+
+
+def top_movers(rows: list) -> dict:
+    """The biggest |Δ| row per category: 'phase', 'executor', 'other'.
+
+    This is the "which phase and which worker-utilization signal moved"
+    summary bench_history.py attaches to baseline comparisons.
+    """
+    movers = {}
+    for name, b, a, ratio, _ in rows:
+        # Tolerate "<design>/"-qualified names (bench_history baselines).
+        if EXECUTOR_PREFIX in name:
+            cat = "executor"
+        elif name.split("/")[-1] in PHASE_KEYS:
+            cat = "phase"
+        else:
+            cat = "other"
+        delta = abs(ratio - 1)
+        if cat not in movers or delta > abs(movers[cat][3] - 1):
+            movers[cat] = (name, b, a, ratio)
+    return movers
+
+
+def fmt(v: float) -> str:
+    return f"{v:.6g}"
+
+
+def render_markdown(rows: list, label_before: str, label_after: str) -> str:
+    lines = [
+        f"| metric | {label_before} | {label_after} | Δ | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, b, a, ratio, verdict in rows:
+        lines.append(f"| `{name}` | {fmt(b)} | {fmt(a)} | "
+                     f"{(ratio - 1) * 100:+.1f}% | {verdict} |")
+    movers = top_movers(rows)
+    lines.append("")
+    for cat in ("phase", "executor", "other"):
+        if cat in movers:
+            name, b, a, ratio = movers[cat]
+            lines.append(f"- top {cat} mover: `{name}` "
+                         f"{fmt(b)} → {fmt(a)} ({(ratio - 1) * 100:+.1f}%)")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("records", nargs="+",
+                    help="two stats-JSON records (before after), or one "
+                         "record with --baseline")
+    ap.add_argument("--baseline", metavar="BENCH_baseline.json",
+                    help="compare the single record against this baseline's "
+                         "metrics for the record's design")
+    ap.add_argument("--threshold", type=float, default=0.02,
+                    help="relative change below which a metric renders as "
+                         "'~' (default 0.02)")
+    ap.add_argument("--fail-threshold", type=float, default=None,
+                    help="exit 2 when any metric regresses beyond this "
+                         "relative threshold (default: report only)")
+    ap.add_argument("--output", help="write the markdown table here "
+                                     "(default: stdout)")
+    args = ap.parse_args()
+
+    if args.baseline:
+        if len(args.records) != 1:
+            ap.error("--baseline takes exactly one record")
+        record = load(args.records[0])
+        design = record.get("meta", {}).get("design", "?")
+        before = baseline_metrics(load(args.baseline), design)
+        after = extract_metrics(record)
+        label_before, label_after = "baseline", args.records[0]
+        if not before:
+            print(f"perf_diff: baseline has no metrics for design "
+                  f"'{design}'", file=sys.stderr)
+            return 1
+    else:
+        if len(args.records) != 2:
+            ap.error("give exactly two records (before after), or one "
+                     "record with --baseline")
+        before = extract_metrics(load(args.records[0]))
+        after = extract_metrics(load(args.records[1]))
+        label_before, label_after = args.records[0], args.records[1]
+    if not before or not after:
+        print("perf_diff: no comparable metrics found (are these stats-JSON "
+              "records with timing/executor sections?)", file=sys.stderr)
+        return 1
+
+    rows = diff_rows(before, after, args.threshold)
+    if not rows:
+        print("perf_diff: the records share no comparable metrics",
+              file=sys.stderr)
+        return 1
+    table = render_markdown(rows, label_before, label_after)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(table)
+        print(f"perf_diff: {len(rows)} metrics compared, table written to "
+              f"{args.output}")
+    else:
+        print(table, end="")
+
+    if args.fail_threshold is not None:
+        bad = [(n, r) for n, _, _, r, _ in rows if r > 1 + args.fail_threshold]
+        if bad:
+            worst = max(bad, key=lambda nr: nr[1])
+            print(f"perf_diff: FAIL: {len(bad)} metric(s) regressed beyond "
+                  f"{args.fail_threshold * 100:.0f}% (worst: {worst[0]} "
+                  f"{(worst[1] - 1) * 100:+.1f}%)", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,24 +6,27 @@ Usage:
     validate_obs.py --server-trace strace.json --server-stats sstats.json
     validate_obs.py --bench-record record.json
     validate_obs.py --html-report report.html
+    validate_obs.py --profile run.folded
 
 Checks the Chrome trace-event JSON (parses, per-thread spans well-nested,
-required keys present) and the stats JSON (schema v2 meta, required
+required keys present) and the stats JSON (schema v3 meta, required
 metrics, histogram bucket counts + quantile summaries consistent,
-"resources" section present). Server-mode artifacts additionally need the
-request track: request spans on the "server" thread enclosing analyzer
-phase spans, per-command latency histograms, and the slow log. Bench run
-records need the "bench" section (git SHA, timestamp, build type, peak
-RSS). Exits non-zero with a message on the first failure — schema
-violations gate CI; perf comparison (tools/bench_history.py) stays
-advisory.
+"resources" and "executor" sections present and internally consistent).
+Server-mode artifacts additionally need the request track: request spans
+on the "server" thread enclosing analyzer phase spans, per-command latency
+histograms, and the slow log. Bench run records need the "bench" section
+(git SHA, timestamp, build type, peak RSS). --profile validates a
+collapsed-stack ("folded") sampling profile: well-formed `stack count`
+lines, sorted, with samples in every analyzer phase. Exits non-zero with a
+message on the first failure — schema violations gate CI; perf comparison
+(tools/bench_history.py, tools/perf_diff.py) stays advisory.
 """
 
 import argparse
 import json
 import sys
 
-STATS_SCHEMA_VERSION = 2  # obs::kStatsSchemaVersion
+STATS_SCHEMA_VERSION = 3  # obs::kStatsSchemaVersion
 
 REQUIRED_COUNTERS = ["victims_estimated", "aggressor_pairs", "executor_tasks"]
 REQUIRED_GAUGES = ["propagation_levels", "endpoints_checked", "violations"]
@@ -61,6 +64,54 @@ def check_histogram(name, h):
         if order != sorted(order):
             fail(f"stats: histogram '{name}': min/p50/p95/p99/max not "
                  f"monotone: {order}")
+
+
+def check_executor(doc, context):
+    """The schema-v3 "executor" section: per-worker busy/idle, per-region
+    utilization aggregates, and the work-attribution top-K lists."""
+    ex = doc.get("executor")
+    if not isinstance(ex, dict):
+        fail(f"{context}: no executor section (schema v3)")
+    for key in ("enabled", "threads", "wall_s", "workers", "regions",
+                "attribution"):
+        if key not in ex:
+            fail(f"{context}: executor section missing '{key}'")
+    if not isinstance(ex["workers"], list) or not isinstance(ex["regions"], dict):
+        fail(f"{context}: executor workers/regions have the wrong shape")
+    if not ex["enabled"]:
+        return
+    for w in ex["workers"]:
+        for key in ("worker", "busy_s", "idle_s", "chunks"):
+            if key not in w:
+                fail(f"{context}: executor worker missing '{key}': {w}")
+        if w["busy_s"] < 0 or w["idle_s"] < 0:
+            fail(f"{context}: executor worker has negative time: {w}")
+    for label, reg in ex["regions"].items():
+        for key in ("invocations", "chunks", "items", "wall_s", "busy_s",
+                    "max_busy_s", "wait_s", "imbalance"):
+            if key not in reg:
+                fail(f"{context}: executor region '{label}' missing '{key}'")
+        if reg["invocations"] <= 0:
+            fail(f"{context}: executor region '{label}' has no invocations")
+        if reg["max_busy_s"] > reg["busy_s"] + 1e-12:
+            fail(f"{context}: executor region '{label}': max_busy_s exceeds "
+                 f"summed busy_s")
+        # imbalance = max_busy * threads / busy >= 1 by construction.
+        if reg["busy_s"] > 0 and reg["imbalance"] < 0.99:
+            fail(f"{context}: executor region '{label}': imbalance "
+                 f"{reg['imbalance']} < 1")
+    attribution = ex["attribution"]
+    for key in ("top_levels", "top_nets"):
+        if not isinstance(attribution.get(key), list):
+            fail(f"{context}: executor attribution missing '{key}' list")
+    for l in attribution["top_levels"]:
+        for key in ("level", "instances", "wall_ms"):
+            if key not in l:
+                fail(f"{context}: attribution level entry missing '{key}'")
+    for n in attribution["top_nets"]:
+        for key in ("net", "aggressors", "peak"):
+            if key not in n:
+                fail(f"{context}: attribution net entry missing '{key}'")
 
 
 def iter_histograms(doc):
@@ -177,6 +228,7 @@ def validate_stats(path, server=False):
 
     for name, h in iter_histograms(doc):
         check_histogram(name, h)
+    check_executor(doc, "server stats" if server else "stats")
 
     resources = doc["resources"]
     if not any(isinstance(v, (int, float)) and v > 0 for v in resources.values()):
@@ -235,11 +287,50 @@ def validate_bench_record(path):
         fail("bench record: unix_time missing or zero")
     for name, h in iter_histograms(doc):
         check_histogram(name, h)
+    check_executor(doc, "bench record")
     print(f"validate_obs: bench record OK (sha {bench['git_sha'][:12]}, "
           f"{bench['build_type']}, peak RSS {bench['peak_rss_bytes']} B)")
 
 
-HTML_SECTION_IDS = ["meta", "summary", "timelines", "pareto", "slack", "phases"]
+def validate_profile(path, require_phases=True):
+    """A collapsed-stack ("folded") sampling profile: one `stack count`
+    line per aggregated stack, sorted by stack, root frame = thread name,
+    and — for an analysis capture — samples inside every analyzer phase."""
+    with open(path) as f:
+        lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    if not lines:
+        fail(f"profile: {path} is empty (was --profile-hz 0 used?)")
+    stacks = []
+    total = 0
+    for ln in lines:
+        stack, sep, count = ln.rpartition(" ")
+        if not sep or not stack:
+            fail(f"profile: malformed folded line (no count): {ln!r}")
+        try:
+            n = int(count)
+        except ValueError:
+            fail(f"profile: malformed count in line: {ln!r}")
+        if n <= 0:
+            fail(f"profile: non-positive count in line: {ln!r}")
+        frames = stack.split(";")
+        if any(not f for f in frames):
+            fail(f"profile: empty frame in stack: {stack!r}")
+        stacks.append(stack)
+        total += n
+    if stacks != sorted(stacks):
+        fail("profile: stacks are not sorted (write_folded sorts by stack)")
+    if len(set(stacks)) != len(stacks):
+        fail("profile: duplicate stack lines (aggregation broken)")
+    if require_phases:
+        for phase in PHASES:
+            if not any(phase in s.split(";") for s in stacks):
+                fail(f"profile: no samples in analyzer phase '{phase}' "
+                     f"(sample longer or raise --profile-hz)")
+    print(f"validate_obs: profile OK ({len(stacks)} stacks, {total} samples)")
+
+
+HTML_SECTION_IDS = ["meta", "summary", "timelines", "pareto", "slack",
+                    "executor", "flame", "phases"]
 HTML_BANNED = ["http://", "https://", "<script", "<link", "url(", "src="]
 
 
@@ -273,11 +364,15 @@ def main():
     ap.add_argument("--server-stats")
     ap.add_argument("--bench-record", action="append", default=[])
     ap.add_argument("--html-report")
+    ap.add_argument("--profile", help="folded sampling profile to validate")
+    ap.add_argument("--profile-no-phases", action="store_true",
+                    help="skip the analyzer-phase coverage check (server "
+                         "captures, partial runs)")
     args = ap.parse_args()
     if not any([args.trace, args.stats, args.server_trace, args.server_stats,
-                args.bench_record, args.html_report]):
+                args.bench_record, args.html_report, args.profile]):
         ap.error("give --trace, --stats, --server-trace, --server-stats, "
-                 "--bench-record, and/or --html-report")
+                 "--bench-record, --html-report, and/or --profile")
     if args.trace:
         validate_trace(args.trace)
     if args.stats:
@@ -290,6 +385,8 @@ def main():
         validate_bench_record(path)
     if args.html_report:
         validate_html_report(args.html_report)
+    if args.profile:
+        validate_profile(args.profile, require_phases=not args.profile_no_phases)
 
 
 if __name__ == "__main__":
