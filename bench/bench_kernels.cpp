@@ -316,8 +316,11 @@ int main(int argc, char** argv) {
     gauge("kernel_union_scalar_ms", "incremental IntervalSet::add", union_scalar);
     gauge("kernel_union_vector_ms", "union_flat sort + sweep", union_vector);
     std::ofstream f(path);
+    // Kernel micro-benches never run the parallel analyzer; an
+    // enabled:false executor section keeps the record schema-complete.
     const std::pair<std::string, std::string> extra[] = {
-        {"bench", nw::bench::bench_record_json()}};
+        {"bench", nw::bench::bench_record_json()},
+        {"executor", noise::executor_stats_json(noise::Result{})}};
     obs::write_stats_json(f, meta, snap, extra);
   }
   return 0;

@@ -1,20 +1,29 @@
 // Session-server latency: what an interactive client actually feels.
 //
-// Three regimes, all on the D2 bus:
+// Four regimes, all on the D2 bus:
 //   - a repeated query against an unchanged session (cache-key compare, no
 //     analysis work at all),
 //   - an ECO edit burst followed by a query, swept over the dirty-set size
 //     (the incremental path the protocol rides after every edit),
 //   - the same edit->query cycle with refinement enabled, which forces the
 //     session onto the full-analysis path — the baseline the incremental
-//     numbers are a speedup over.
+//     numbers are a speedup over,
+//   - one JSONL round-trip through an in-process daemon over a unix socket
+//     (the serving-stack overhead a networked client pays on top of
+//     BM_CachedQuery).
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "bench/suite.hpp"
+#include "net/daemon.hpp"
+#include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "session/session.hpp"
 
@@ -80,9 +89,48 @@ void BM_EditRequeryFull(benchmark::State& state) {
   state.counters["full"] = static_cast<double>(s.full_analyses());
 }
 
+/// A started daemon serving the D2 bus from its prewarmed seed, listening
+/// on a per-process unix socket.
+std::unique_ptr<net::Daemon> make_daemon(std::size_t bits) {
+  gen::Generated g = gen::make_bus(library(), bench::bus_config(bits));
+  net::DaemonConfig cfg;
+  cfg.session.sta = g.sta_options;
+  cfg.session.noise.clock_period = g.sta_options.clock_period;
+  cfg.session.noise.mode = noise::AnalysisMode::kNoiseWindows;
+  cfg.progress_events = false;
+  cfg.listen = net::parse_endpoint("unix:/tmp/nw_bench_daemon_" +
+                                   std::to_string(::getpid()) + ".sock");
+  auto d = std::make_unique<net::Daemon>(
+      cfg, std::make_shared<const net::Design>(std::move(g.design)),
+      std::make_shared<const para::Parasitics>(std::move(g.para)));
+  d->start();
+  return d;
+}
+
+/// One JSONL round-trip through the daemon: a cached query answered from
+/// the shared seed. The delta over BM_CachedQuery is the serving stack —
+/// unix-socket hop, reader→worker queue handoff, JSON encode/decode.
+void BM_DaemonRoundTrip(benchmark::State& state) {
+  std::unique_ptr<net::Daemon> daemon =
+      make_daemon(static_cast<std::size_t>(state.range(0)));
+  net::SocketStream client(net::connect_endpoint(daemon->bound_endpoint()));
+  std::string line;
+  long id = 0;
+  for (auto _ : state) {
+    client << "{\"id\":" << ++id << ",\"cmd\":\"violations\"}\n" << std::flush;
+    if (!std::getline(client, line) || line.empty()) {
+      state.SkipWithError("daemon closed the connection");
+      break;
+    }
+    benchmark::DoNotOptimize(line.size());
+  }
+  daemon->stop();
+}
+
 BENCHMARK(BM_CachedQuery)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_EditRequery)->Arg(1)->Arg(4)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EditRequeryFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DaemonRoundTrip)->Arg(64)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
@@ -101,15 +149,49 @@ int main(int argc, char** argv) {
     (void)s.result();
     s.undo();
     (void)s.result();
+
+    // Daemon serving latency rides along in the timing section: mean
+    // round-trip of a short cached-query burst through an in-process
+    // daemon on a unix socket.
+    double roundtrip_ms = 0.0;
+    {
+      std::unique_ptr<net::Daemon> daemon = make_daemon(64);
+      net::SocketStream client(net::connect_endpoint(daemon->bound_endpoint()));
+      std::string line;
+      constexpr int kRounds = 50;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kRounds; ++i) {
+        client << "{\"id\":" << i + 1 << ",\"cmd\":\"violations\"}\n" << std::flush;
+        if (!std::getline(client, line)) break;
+      }
+      roundtrip_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count() /
+                     kRounds;
+      daemon->stop();
+    }
+    obs::MetricsSnapshot snap = s.metrics_snapshot();
+    obs::MetricSample rt;
+    rt.name = "daemon_roundtrip_ms";
+    rt.help = "mean JSONL round-trip through an in-process daemon (cached query)";
+    rt.unit = "ms";
+    rt.kind = obs::MetricSample::Kind::kGauge;
+    rt.deterministic = false;
+    rt.value = roundtrip_ms;
+    snap.samples.push_back(rt);
+
     std::ofstream f(path);
+    // The session's last analysis supplies the executor utilization the
+    // schema-v3 record requires.
     const std::pair<std::string, std::string> extra[] = {
-        {"bench", nw::bench::bench_record_json()}};
+        {"bench", nw::bench::bench_record_json()},
+        {"executor", noise::executor_stats_json(s.result())}};
     // Suite-case label, not the raw netlist name: bench_history.py
     // qualifies baseline metrics by design, and the session record must
     // not collide with bench_runtime's plain "bus64" record.
     obs::RunMeta meta = s.meta();
     meta.design = "bus64-session";
-    obs::write_stats_json(f, meta, s.metrics_snapshot(), extra);
+    obs::write_stats_json(f, meta, snap, extra);
   }
   return 0;
 }

@@ -1,0 +1,459 @@
+#include "net/daemon.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "noise/progress.hpp"
+#include "obs/profile.hpp"
+#include "obs/tracer.hpp"
+#include "session/json.hpp"
+#include "session/protocol.hpp"
+#include "session/reqobs.hpp"
+
+namespace nw::net {
+
+namespace {
+
+bool is_cancel_line(const std::string& line) {
+  if (line.find("cancel") == std::string::npos) return false;  // cheap reject
+  const std::optional<session::Json> req = session::json_parse(line);
+  if (!req || !req->is_object()) return false;
+  const session::Json* cmd = req->find("cmd");
+  return cmd != nullptr && cmd->is_string() && cmd->as_string() == "cancel";
+}
+
+/// Bounded request-line queue between a connection's reader and worker.
+/// `cancel` lines bypass the bound (force) — a client must always be able
+/// to cancel the analysis that is filling its own queue.
+class ConnQueue {
+ public:
+  ConnQueue(std::size_t max_queued, std::atomic<std::int64_t>& global_depth,
+            obs::Gauge& depth_gauge)
+      : max_queued_(max_queued), global_depth_(global_depth),
+        depth_gauge_(depth_gauge) {}
+
+  /// False when the queue is full (line left untouched for the reject
+  /// response); `force` bypasses the bound.
+  bool push(std::string& line, bool force) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return true;  // draining: swallow silently
+      if (!force && max_queued_ > 0 && lines_.size() >= max_queued_) return false;
+      lines_.push_back(std::move(line));
+      bump_depth(+1);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocking pop; false once closed and drained (EOF).
+  bool pop(std::string& line) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !lines_.empty() || closed_; });
+    if (lines_.empty()) return false;
+    line = std::move(lines_.front());
+    lines_.pop_front();
+    bump_depth(-1);
+    return true;
+  }
+
+  /// Remove and return the earliest queued `cancel` request, if any.
+  std::optional<std::string> take_cancel() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = lines_.begin(); it != lines_.end(); ++it) {
+      if (!is_cancel_line(*it)) continue;
+      std::string line = std::move(*it);
+      lines_.erase(it);
+      bump_depth(-1);
+      return line;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lines_.size();
+  }
+
+ private:
+  void bump_depth(std::int64_t delta) {
+    const std::int64_t now = global_depth_.fetch_add(delta) + delta;
+    depth_gauge_.set(static_cast<double>(now));
+  }
+
+  std::size_t max_queued_;
+  std::atomic<std::int64_t>& global_depth_;
+  obs::Gauge& depth_gauge_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  bool closed_ = false;
+};
+
+/// Write one line to a connection under its write mutex (responses,
+/// progress events, and reader-side rejects must never interleave).
+void write_line(std::ostream& out, std::mutex& write_mu, const std::string& line) {
+  const std::lock_guard<std::mutex> lock(write_mu);
+  out << line << '\n';
+  out.flush();
+}
+
+std::string overloaded_response(const session::Json& id, const std::string& message,
+                                int retry_after_ms) {
+  session::Json err = session::Json::object();
+  err.set("code", "overloaded");
+  err.set("message", message);
+  err.set("retry_after_ms", retry_after_ms);
+  session::Json resp = session::Json::object();
+  resp.set("id", id);
+  resp.set("ok", false);
+  resp.set("error", std::move(err));
+  return resp.dump();
+}
+
+session::Json request_id_of(const std::string& line) {
+  session::Json id;
+  if (const std::optional<session::Json> req = session::json_parse(line)) {
+    if (req->is_object()) {
+      if (const session::Json* rid = req->find("id")) id = *rid;
+    }
+  }
+  return id;
+}
+
+/// Per-connection progress sink: streams progress events (when enabled)
+/// and intercepts queued `cancel` requests mid-analyze. Runs on the
+/// connection's worker thread only; writes take the connection's write
+/// mutex so reader-side rejects never interleave with an event line.
+class ConnProgress final : public noise::ProgressSink {
+ public:
+  ConnProgress(ConnQueue& queue, std::ostream& out, std::mutex& write_mu,
+               bool emit_events)
+      : queue_(queue), out_(out), write_mu_(write_mu), emit_events_(emit_events) {}
+
+  void on_progress(const noise::Progress& p) override {
+    if (!emit_events_) return;
+    session::Json o = session::Json::object();
+    o.set("event", "progress");
+    o.set("phase", p.phase);
+    o.set("iteration", p.iteration);
+    o.set("completed", p.completed);
+    o.set("total", p.total);
+    o.set("level", p.level);
+    o.set("elapsed_ms", p.phase_elapsed_s * 1e3);
+    o.set("eta_ms", p.eta_s * 1e3);
+    write_line(out_, write_mu_, o.dump());
+  }
+
+  bool cancel_requested() override {
+    if (cancelled_) return true;
+    const std::optional<std::string> line = queue_.take_cancel();
+    if (!line) return false;
+    // Answer the cancel out-of-band, echoing its id; the analyzing request
+    // in flight gets its own "cancelled" error response from the protocol.
+    session::Json data = session::Json::object();
+    data.set("cancelled", true);
+    session::Json resp = session::Json::object();
+    resp.set("id", request_id_of(*line));
+    resp.set("ok", true);
+    resp.set("data", std::move(data));
+    write_line(out_, write_mu_, resp.dump());
+    cancelled_ = true;
+    return true;
+  }
+
+  /// Re-arm before each request: a consumed cancel only aborts the
+  /// analysis it was consumed against.
+  void begin_request() { cancelled_ = false; }
+
+ private:
+  ConnQueue& queue_;
+  std::ostream& out_;
+  std::mutex& write_mu_;
+  bool emit_events_;
+  bool cancelled_ = false;
+};
+
+}  // namespace
+
+/// One live client connection: socket stream, bounded request queue, and
+/// the reader/worker thread pair. Owned by the accept thread (conns_).
+struct Daemon::Connection {
+  Connection(std::uint64_t cid, int fd, int recv_timeout_ms, std::size_t max_queued,
+             std::atomic<std::int64_t>& global_depth, obs::Gauge& depth_gauge)
+      : id(cid),
+        stream(fd, recv_timeout_ms),
+        queue(max_queued, global_depth, depth_gauge) {}
+
+  std::uint64_t id;
+  SocketStream stream;
+  std::mutex write_mu;
+  ConnQueue queue;
+  std::thread reader;
+  std::thread worker;
+  std::atomic<bool> done{false};
+};
+
+Daemon::Daemon(DaemonConfig config, std::shared_ptr<const Design> design,
+               std::shared_ptr<const para::Parasitics> parasitics)
+    : cfg_(std::move(config)),
+      design_(std::move(design)),
+      para_(std::move(parasitics)),
+      governor_(LoadGovernor::Config{cfg_.analysis_slots, cfg_.max_waiters, 50.0},
+                reg_),
+      accepted_(reg_.counter(kMetricAccepted, "connections accepted",
+                             /*deterministic=*/false)),
+      rejected_(reg_.counter(kMetricRejected, "connections rejected at the cap",
+                             /*deterministic=*/false)),
+      idle_closed_(reg_.counter(kMetricIdleClosed, "connections closed for idleness",
+                                /*deterministic=*/false)),
+      handled_(reg_.counter(kMetricHandled, "requests answered across connections",
+                            /*deterministic=*/false)),
+      queue_rejected_(reg_.counter(kMetricQueueRejected,
+                                   "requests shed at a full per-connection queue",
+                                   /*deterministic=*/false)),
+      shed_(reg_.counter(LoadGovernor::kMetricShed, "requests shed with 'overloaded'",
+                         /*deterministic=*/false)),
+      active_g_(reg_.gauge(kMetricActive, "connections being served now", "",
+                           /*deterministic=*/false)),
+      queue_depth_g_(reg_.gauge(kMetricQueueDepth,
+                                "request lines queued across connections", "",
+                                /*deterministic=*/false)),
+      prewarm_ms_g_(reg_.gauge(kMetricPrewarmMs, "startup seed analysis wall time",
+                               "ms", /*deterministic=*/false)) {
+  if (design_ == nullptr || para_ == nullptr) {
+    throw std::invalid_argument("Daemon: design/parasitics must not be null");
+  }
+  if (cfg_.max_connections < 1) cfg_.max_connections = 1;
+}
+
+Daemon::~Daemon() {
+  if (started_) stop();
+}
+
+void Daemon::start() {
+  if (started_) throw std::logic_error("Daemon::start() called twice");
+  listener_.open(cfg_.listen);
+  // Prewarm: one full analysis on the shared base, exported as the seed
+  // every connection adopts — connect→query is then a cache hit, never a
+  // per-connection full analyze.
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    session::Session prewarm(design_, para_, cfg_.session);
+    seed_ = prewarm.export_seed();
+  }
+  prewarm_ms_g_.set(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Daemon::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void Daemon::stop() {
+  request_drain();
+  wait();
+}
+
+void Daemon::accept_loop() {
+  obs::Tracer::set_thread_name("daemon-accept");
+  while (!draining()) {
+    int fd = -1;
+    try {
+      fd = listener_.accept(/*timeout_ms=*/100);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "noisewin daemon: accept failed: %s\n", e.what());
+      break;
+    }
+    reap_finished(/*join_all=*/false);
+    if (fd < 0) continue;
+    if (static_cast<int>(conns_.size()) >= cfg_.max_connections) {
+      reject_connection(fd);
+      continue;
+    }
+    accepted_.add();
+    active_g_.set(static_cast<double>(active_.fetch_add(1) + 1));
+    const int timeout_ms = cfg_.idle_timeout_s > 0 ? cfg_.idle_timeout_s * 1000 : 0;
+    auto conn = std::make_unique<Connection>(next_conn_id_++, fd, timeout_ms,
+                                             cfg_.max_queued, queue_depth_,
+                                             queue_depth_g_);
+    Connection* c = conn.get();
+    c->worker = std::thread([this, c] { serve_connection(*c); });
+    c->reader = std::thread([this, c] { reader_loop(*c); });
+    conns_.push_back(std::move(conn));
+  }
+  // Drain: stop listening (unlinks a unix socket), wake every blocked
+  // reader via socket shutdown, then let workers finish what is queued.
+  listener_.close();
+  for (const auto& c : conns_) c->stream.shutdown_both();
+  reap_finished(/*join_all=*/true);
+}
+
+void Daemon::reader_loop(Connection& conn) {
+  obs::Tracer::set_thread_name("conn-" + std::to_string(conn.id) + "-rx");
+  std::string line;
+  while (std::getline(conn.stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF clients
+    if (line.empty()) continue;  // blank keep-alives get no response
+    const bool force = is_cancel_line(line);
+    if (!conn.queue.push(line, force)) {
+      // Queue full: shed here, on the reader, so a client flooding its own
+      // queue gets immediate structured backpressure while the worker keeps
+      // serving what was admitted.
+      queue_rejected_.add();
+      shed_.add();
+      const std::size_t depth = conn.queue.depth();
+      const int retry = static_cast<int>(std::max(
+          1.0, std::ceil(governor_.ewma_ms() * static_cast<double>(depth + 1))));
+      write_line(conn.stream, conn.write_mu,
+                 overloaded_response(
+                     request_id_of(line),
+                     "request queue full (" + std::to_string(depth) + " queued, cap " +
+                         std::to_string(cfg_.max_queued) + ")",
+                     retry));
+    }
+  }
+  if (conn.stream.timed_out()) idle_closed_.add();
+  conn.queue.close();
+}
+
+void Daemon::serve_connection(Connection& conn) {
+  const std::string name = "conn-" + std::to_string(conn.id);
+  obs::Tracer::set_thread_name(name);
+  obs::profile_set_thread_name(name);
+  try {
+    session::Session session(design_, para_, cfg_.session);
+    if (!session.adopt_seed(seed_)) {
+      std::fprintf(stderr, "noisewin daemon: connection %llu could not adopt seed\n",
+                   static_cast<unsigned long long>(conn.id));
+    }
+    session::RequestContext reqobs(session.registry(), cfg_.slow_ms);
+    session::Protocol proto(session, &reqobs);
+    session::ServerCaps caps;
+    caps.transport = bound_endpoint().kind == Endpoint::Kind::kUnix ? "unix" : "tcp";
+    caps.daemon = true;
+    caps.connection_id = conn.id;
+    caps.max_queued = cfg_.max_queued;
+    caps.max_connections = cfg_.max_connections;
+    caps.analysis_slots = cfg_.analysis_slots;
+    caps.idle_timeout_s = cfg_.idle_timeout_s;
+    proto.set_caps(std::move(caps));
+    proto.set_gate(&governor_);
+    proto.set_shutdown_handler([this] {
+      request_drain();
+      session::Json o = session::Json::object();
+      o.set("draining", true);
+      return o;
+    });
+    // Sink always installed: cancel interception must work even with
+    // progress events off (results are sink-invariant, tested property).
+    ConnProgress progress(conn.queue, conn.stream, conn.write_mu,
+                          cfg_.progress_events);
+    session.set_progress_sink(&progress);
+    std::string line;
+    while (conn.queue.pop(line)) {
+      progress.begin_request();
+      const std::string response = proto.handle_line(line);
+      write_line(conn.stream, conn.write_mu, response);
+      handled_.add();
+    }
+    session.set_progress_sink(nullptr);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "noisewin daemon: connection %llu failed: %s\n",
+                 static_cast<unsigned long long>(conn.id), e.what());
+  }
+  // Wake the reader if the worker died early; normal exit is a no-op.
+  conn.stream.shutdown_both();
+  active_g_.set(static_cast<double>(active_.fetch_sub(1) - 1));
+  conn.done.store(true, std::memory_order_release);
+}
+
+void Daemon::reap_finished(bool join_all) {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& c = **it;
+    if (!join_all && !c.done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (c.reader.joinable()) c.reader.join();
+    if (c.worker.joinable()) c.worker.join();
+    it = conns_.erase(it);
+  }
+}
+
+void Daemon::reject_connection(int fd) {
+  rejected_.add();
+  // One structured error line, then close — a client sees why instead of a
+  // silent RST. The stream dtor closes the fd.
+  SocketStream s(fd);
+  const int retry = static_cast<int>(std::max(1.0, std::ceil(governor_.ewma_ms())));
+  s << overloaded_response(session::Json{},
+                           "connection limit (" + std::to_string(cfg_.max_connections) +
+                               ") reached",
+                           retry)
+    << '\n';
+  s.flush();
+}
+
+std::string Daemon::stats_section_json() const {
+  session::Json o = session::Json::object();
+  o.set("accepted", static_cast<double>(accepted_.value()));
+  o.set("active", active_.load());
+  o.set("rejected", static_cast<double>(rejected_.value()));
+  o.set("idle_closed", static_cast<double>(idle_closed_.value()));
+  o.set("handled", static_cast<double>(handled_.value()));
+  o.set("shed", static_cast<double>(shed_.value()));
+  o.set("queue_rejected", static_cast<double>(queue_rejected_.value()));
+  o.set("queue_depth", static_cast<double>(queue_depth_.load()));
+  o.set("analyze_ewma_ms", governor_.ewma_ms());
+  o.set("max_connections", cfg_.max_connections);
+  o.set("analysis_slots", cfg_.analysis_slots);
+  o.set("max_queued", cfg_.max_queued);
+  return o.dump();
+}
+
+obs::RunMeta Daemon::meta() const {
+  obs::RunMeta m;
+  m.design = design_->name();
+  m.mode = noise::to_string(cfg_.session.noise.mode);
+  m.model = noise::to_string(cfg_.session.noise.model);
+  m.options_digest = noise::options_digest(cfg_.session.noise);
+  m.build = obs::build_version();
+  if (seed_.result) {
+    m.threads = seed_.result->run_meta.threads;
+    m.iterations = seed_.result->run_meta.iterations;
+  } else {
+    m.threads = cfg_.session.noise.threads;
+    m.iterations = 0;
+  }
+  return m;
+}
+
+std::uint64_t Daemon::connections_accepted() const noexcept {
+  return accepted_.value();
+}
+std::uint64_t Daemon::connections_rejected() const noexcept {
+  return rejected_.value();
+}
+std::uint64_t Daemon::requests_handled() const noexcept { return handled_.value(); }
+std::uint64_t Daemon::requests_shed() const noexcept { return shed_.value(); }
+
+}  // namespace nw::net

@@ -1,0 +1,284 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace nw::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("unix socket path too long (" +
+                                std::to_string(path.size()) + " bytes, max " +
+                                std::to_string(sizeof(addr.sun_path) - 1) + "): " +
+                                path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_tcp_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("tcp host must be an IPv4 address or 'localhost': " +
+                                host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) {
+      throw std::invalid_argument("endpoint 'unix:' needs a socket path");
+    }
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw std::invalid_argument("endpoint 'tcp:' needs <host>:<port>: " + spec);
+    }
+    ep.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || port < 0 || port > 65535) {
+      throw std::invalid_argument("bad tcp port '" + port_str + "' in " + spec);
+    }
+    ep.port = static_cast<int>(port);
+    return ep;
+  }
+  throw std::invalid_argument(
+      "endpoint must be unix:<path> or tcp:<host>:<port>, got '" + spec + "'");
+}
+
+// ---- Listener --------------------------------------------------------------
+
+Listener::~Listener() { close(); }
+
+void Listener::open(const Endpoint& endpoint, int backlog) {
+  close();
+  bound_ = endpoint;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = make_unix_addr(endpoint.path);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw_errno("socket(AF_UNIX)");
+    ::unlink(endpoint.path.c_str());  // stale socket from a crashed daemon
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      throw_errno("bind(" + endpoint.path + ")");
+    }
+    unlink_on_close_ = true;
+  } else {
+    const sockaddr_in addr = make_tcp_addr(endpoint.host, endpoint.port);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      throw_errno("bind(" + endpoint.to_string() + ")");
+    }
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const int saved = errno;
+    close();
+    errno = saved;
+    throw_errno("listen(" + endpoint.to_string() + ")");
+  }
+  if (bound_.kind == Endpoint::Kind::kTcp && bound_.port == 0) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof actual;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      bound_.port = ntohs(actual.sin_port);
+    }
+  }
+}
+
+int Listener::accept(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready == 0) return -1;
+  if (ready < 0) {
+    if (errno == EINTR) return -1;
+    throw_errno("poll(listener)");
+  }
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    // Transient per-connection failures (peer gone between poll and
+    // accept, fd pressure) are a skipped accept, not a dead daemon.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EMFILE || errno == ENFILE) {
+      return -1;
+    }
+    throw_errno("accept");
+  }
+  return conn;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (unlink_on_close_) {
+    ::unlink(bound_.path.c_str());
+    unlink_on_close_ = false;
+  }
+}
+
+int connect_endpoint(const Endpoint& endpoint) {
+  int fd = -1;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = make_unix_addr(endpoint.path);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("connect(" + endpoint.to_string() + ")");
+    }
+  } else {
+    const sockaddr_in addr = make_tcp_addr(endpoint.host, endpoint.port);
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("connect(" + endpoint.to_string() + ")");
+    }
+  }
+  return fd;
+}
+
+// ---- FdStreambuf -----------------------------------------------------------
+
+FdStreambuf::FdStreambuf(int fd, int recv_timeout_ms)
+    : fd_(fd),
+      recv_timeout_ms_(recv_timeout_ms),
+      in_(std::make_unique<char[]>(kBufSize)),
+      out_(std::make_unique<char[]>(kBufSize)) {
+  setg(in_.get(), in_.get(), in_.get());
+  setp(out_.get(), out_.get() + kBufSize);
+}
+
+FdStreambuf::~FdStreambuf() {
+  (void)flush_out();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FdStreambuf::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+FdStreambuf::int_type FdStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  if (fd_ < 0) return traits_type::eof();
+  if (recv_timeout_ms_ > 0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, recv_timeout_ms_);
+    } while (ready < 0 && errno == EINTR);
+    if (ready == 0) {
+      timed_out_ = true;
+      return traits_type::eof();
+    }
+    if (ready < 0) return traits_type::eof();
+  }
+  ssize_t n;
+  do {
+    n = ::recv(fd_, in_.get(), kBufSize, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_.get(), in_.get(), in_.get() + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreambuf::send_all(const char* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t sent;
+    do {
+      sent = ::send(fd_, data, n, MSG_NOSIGNAL);
+    } while (sent < 0 && errno == EINTR);
+    if (sent <= 0) return false;
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool FdStreambuf::flush_out() {
+  const std::size_t n = static_cast<std::size_t>(pptr() - pbase());
+  if (n == 0) return true;
+  const bool ok = fd_ >= 0 && send_all(pbase(), n);
+  setp(out_.get(), out_.get() + kBufSize);
+  return ok;
+}
+
+FdStreambuf::int_type FdStreambuf::overflow(int_type ch) {
+  if (!flush_out()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreambuf::sync() { return flush_out() ? 0 : -1; }
+
+std::streamsize FdStreambuf::xsputn(const char* s, std::streamsize n) {
+  std::streamsize written = 0;
+  while (written < n) {
+    const std::streamsize room = epptr() - pptr();
+    if (room == 0) {
+      if (!flush_out()) return written;
+      continue;
+    }
+    const std::streamsize chunk = std::min(room, n - written);
+    std::memcpy(pptr(), s + written, static_cast<std::size_t>(chunk));
+    pbump(static_cast<int>(chunk));
+    written += chunk;
+  }
+  return written;
+}
+
+}  // namespace nw::net

@@ -17,10 +17,44 @@ namespace nw::session {
 namespace {
 
 /// Internal control-flow error carrying a protocol error code. Caught at
-/// the handle_line boundary and rendered as a structured response.
+/// the handle_line boundary and rendered as a structured response. Detail
+/// keys (if any) are merged into the error object — `overloaded` carries
+/// "retry_after_ms" this way.
 struct ProtoError {
   std::string code;
   std::string message;
+  Json detail{};
+};
+
+/// RAII admission ticket: charges the gate only when the request would run
+/// an analysis, and releases the slot (with the held wall time) however
+/// dispatch exits. Denial throws `overloaded` before any work.
+class GateGuard {
+ public:
+  GateGuard(AnalysisGate* gate, Session& session, const std::string& cmd) {
+    if (gate == nullptr || !session.needs_analysis()) return;
+    AnalysisGate::Ticket t = gate->admit(cmd);
+    if (!t.admitted) {
+      Json detail = Json::object();
+      detail.set("retry_after_ms", t.retry_after_ms);
+      throw ProtoError{"overloaded", std::move(t.reason), std::move(detail)};
+    }
+    gate_ = gate;
+    t0_ = std::chrono::steady_clock::now();
+  }
+  ~GateGuard() {
+    if (gate_ != nullptr) {
+      gate_->release(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0_)
+                         .count());
+    }
+  }
+  GateGuard(const GateGuard&) = delete;
+  GateGuard& operator=(const GateGuard&) = delete;
+
+ private:
+  AnalysisGate* gate_ = nullptr;
+  std::chrono::steady_clock::time_point t0_;
 };
 
 [[noreturn]] void bad_args(std::string message) {
@@ -166,6 +200,18 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     o.set("version", obs::build_version());
     o.set("build", obs::build_type());
     o.set("stats_schema", obs::kStatsSchemaVersion);
+    o.set("transport", caps_.transport);
+    o.set("daemon", caps_.daemon);
+    if (caps_.daemon) {
+      o.set("connection", static_cast<double>(caps_.connection_id));
+    }
+    Json limits = Json::object();
+    limits.set("max_line_bytes", kMaxLineBytes);
+    limits.set("max_queued", caps_.max_queued);
+    limits.set("max_connections", caps_.max_connections);
+    limits.set("analysis_slots", caps_.analysis_slots);
+    limits.set("idle_timeout_s", caps_.idle_timeout_s);
+    o.set("limits", std::move(limits));
     return o;
   }
   if (cmd == "stats") {
@@ -233,8 +279,11 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
   }
 
   // ---- queries ------------------------------------------------------------
+  // Each query below may trigger an analysis; the guard charges the
+  // admission gate exactly when it will (cache hits pass free).
   if (cmd == "violations") {
     const std::size_t limit = arg_limit(args, 100);
+    const GateGuard gate(gate_, session_, cmd);
     const noise::Result& r = session_.result();
     Json list = Json::array();
     for (std::size_t i = 0; i < r.violations.size() && i < limit; ++i) {
@@ -250,6 +299,7 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
   }
   if (cmd == "net_noise") {
     const NetId id = session_.require_net(arg_string(args, "net"));
+    const GateGuard gate(gate_, session_, cmd);
     const noise::NetNoise& nn = session_.result().net(id);
     Json o = Json::object();
     o.set("net", session_.design().net(id).name);
@@ -263,6 +313,7 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
   }
   if (cmd == "trace_origin") {
     const NetId id = session_.require_net(arg_string(args, "net"));
+    const GateGuard gate(gate_, session_, cmd);
     const noise::NoiseTrace tr = session_.trace(id);
     Json path = Json::array();
     for (const noise::TraceStep& step : tr.path) {
@@ -283,6 +334,7 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
   }
   if (cmd == "explain") {
     const NetId id = session_.require_net(arg_string(args, "net"));
+    const GateGuard gate(gate_, session_, cmd);
     const noise::Result& r = session_.result();
     Json list = Json::array();
     for (std::size_t i = 0; i < r.violations.size(); ++i) {
@@ -299,6 +351,7 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
   }
   if (cmd == "slack") {
     const std::size_t limit = arg_limit(args, 20);
+    const GateGuard gate(gate_, session_, cmd);
     const std::vector<EndpointSlack> slacks = session_.endpoint_slacks();
     Json list = Json::array();
     for (std::size_t i = 0; i < slacks.size() && i < limit; ++i) {
@@ -377,6 +430,11 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     return o;
   }
 
+  // Daemon-only: begin a graceful drain. The handler (installed by the
+  // daemon) flips the drain flag; this response still goes out, then the
+  // connection winds down like any other.
+  if (cmd == "shutdown" && shutdown_) return shutdown_();
+
   throw ProtoError{"unknown_cmd", "unknown command '" + cmd + "'"};
 }
 
@@ -399,6 +457,7 @@ std::string Protocol::handle_line(std::string_view line) {
   Json id;  // null until the request supplies one
   std::string code;
   std::string message;
+  Json detail;  // extra error keys (overloaded's retry_after_ms)
   std::string response;
   try {
     if (line.size() > kMaxLineBytes) {
@@ -441,6 +500,7 @@ std::string Protocol::handle_line(std::string_view line) {
   } catch (const ProtoError& e) {
     code = e.code;
     message = e.message;
+    detail = e.detail;
   } catch (const NotFound& e) {
     code = "not_found";
     message = e.what();
@@ -460,6 +520,9 @@ std::string Protocol::handle_line(std::string_view line) {
     Json err = Json::object();
     err.set("code", code);
     err.set("message", message);
+    if (detail.is_object()) {
+      for (const auto& [k, v] : detail.members()) err.set(k, v);
+    }
     Json resp = Json::object();
     resp.set("id", std::move(id));
     resp.set("ok", false);

@@ -20,9 +20,13 @@
 //   not_found     a named net/instance/port does not exist
 //   cancelled     an in-flight analysis was cooperatively cancelled; the
 //                 session keeps its pre-analyze state (epoch unchanged)
+//   overloaded    the server shed the request under load (daemon admission
+//                 control); the error object carries "retry_after_ms"
 //   internal      unexpected failure (the message says what)
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -41,6 +45,41 @@ inline constexpr int kProtocolVersion = 1;
 /// bad_request before parsing (a hostile client cannot balloon the heap).
 inline constexpr std::size_t kMaxLineBytes = 1u << 20;
 
+/// Transport/limit facts the server advertises in `hello` so clients can
+/// feature-detect (daemon vs stdio, quotas) without out-of-band config.
+struct ServerCaps {
+  std::string transport = "stdio";  ///< "stdio" | "unix" | "tcp"
+  bool daemon = false;              ///< true when served by `noisewin daemon`
+  std::uint64_t connection_id = 0;  ///< daemon connection ordinal (0 on stdio)
+  std::size_t max_queued = 0;       ///< per-connection request-queue bound (0 = unbounded)
+  int max_connections = 0;          ///< daemon connection cap (0 = n/a)
+  int analysis_slots = 0;           ///< concurrent analyses admitted (0 = unlimited)
+  int idle_timeout_s = 0;           ///< idle disconnect, seconds (0 = never)
+};
+
+/// Admission control hook for analysis-triggering commands. The protocol
+/// consults it only when the session would actually run an analysis (cache
+/// hits are never charged); a denied ticket becomes a structured
+/// `overloaded` error carrying the retry-after hint.
+class AnalysisGate {
+ public:
+  struct Ticket {
+    bool admitted = true;
+    int retry_after_ms = 0;   ///< when denied: suggested client backoff
+    std::string reason;       ///< when denied: human-readable cause
+  };
+
+  virtual ~AnalysisGate() = default;
+
+  /// Reserve an analysis slot (may block briefly behind in-flight
+  /// analyses). Called from the connection's worker thread.
+  [[nodiscard]] virtual Ticket admit(const std::string& cmd) = 0;
+
+  /// Release the slot reserved by an admitted ticket; `analyze_ms` is the
+  /// wall time the slot was held (feeds the shedding policy's latency EWMA).
+  virtual void release(double analyze_ms) = 0;
+};
+
 class Protocol {
  public:
   /// Registers its request counters into the session's registry, so one
@@ -54,6 +93,21 @@ class Protocol {
   /// the trailing newline). Never throws on client input.
   [[nodiscard]] std::string handle_line(std::string_view line);
 
+  /// Transport facts advertised by `hello` (defaults to stdio, no limits).
+  void set_caps(ServerCaps caps) { caps_ = std::move(caps); }
+  [[nodiscard]] const ServerCaps& caps() const noexcept { return caps_; }
+
+  /// Install admission control for analysis-triggering commands (nullptr =
+  /// always admit — the stdio server's mode). Not owned.
+  void set_gate(AnalysisGate* gate) noexcept { gate_ = gate; }
+
+  /// Enable the `shutdown` command: the handler runs on the dispatching
+  /// thread and its return value becomes the response data. Without one,
+  /// `shutdown` is unknown_cmd (a stdio client just closes its pipe).
+  void set_shutdown_handler(std::function<Json()> handler) {
+    shutdown_ = std::move(handler);
+  }
+
   // Metric names (registered in the session's registry).
   static constexpr const char* kMetricRequests = "protocol_requests";
   static constexpr const char* kMetricErrors = "protocol_errors";
@@ -63,6 +117,9 @@ class Protocol {
 
   Session& session_;
   RequestContext* reqobs_;  ///< not owned; may be nullptr
+  ServerCaps caps_;
+  AnalysisGate* gate_ = nullptr;      ///< not owned; may be nullptr
+  std::function<Json()> shutdown_;    ///< empty unless the daemon installs one
   obs::Counter& requests_;
   obs::Counter& errors_;
 };

@@ -54,8 +54,23 @@ std::optional<noise::SimdMode> parse_simd(const std::string& s) {
 }  // namespace
 
 Session::Session(net::Design design, para::Parasitics para, SessionConfig config)
-    : design_(std::move(design)),
-      para_(std::move(para)),
+    : Session(nullptr, nullptr, std::make_unique<net::Design>(std::move(design)),
+              std::make_unique<para::Parasitics>(std::move(para)),
+              std::move(config)) {}
+
+Session::Session(std::shared_ptr<const net::Design> design,
+                 std::shared_ptr<const para::Parasitics> para, SessionConfig config)
+    : Session(std::move(design), std::move(para), nullptr, nullptr,
+              std::move(config)) {}
+
+Session::Session(std::shared_ptr<const net::Design> base_design,
+                 std::shared_ptr<const para::Parasitics> base_para,
+                 std::unique_ptr<net::Design> own_design,
+                 std::unique_ptr<para::Parasitics> own_para, SessionConfig config)
+    : base_design_(std::move(base_design)),
+      base_para_(std::move(base_para)),
+      own_design_(std::move(own_design)),
+      own_para_(std::move(own_para)),
       cfg_(std::move(config)),
       edits_(reg_.counter(kMetricEdits, "ECO edits applied")),
       undos_(reg_.counter(kMetricUndos, "edits reverted")),
@@ -64,14 +79,20 @@ Session::Session(net::Design design, para::Parasitics para, SessionConfig config
           reg_.counter(kMetricIncrementalAnalyses, "incremental re-analyses")),
       cache_hits_(reg_.counter(kMetricCacheHits, "queries served from the result cache")),
       cache_misses_(reg_.counter(kMetricCacheMisses, "queries that ran analysis")),
+      cow_copies_(reg_.counter(kMetricCowCopies,
+                               "shared-base halves copied privately on first edit")),
       dirty_hist_(reg_.histogram(kMetricDirtyNets,
                                  "dirty-set size per incremental re-analysis",
                                  {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512})) {
-  if (para_.net_count() != design_.net_count()) {
+  if ((own_design_ == nullptr && base_design_ == nullptr) ||
+      (own_para_ == nullptr && base_para_ == nullptr)) {
+    throw std::invalid_argument("Session: shared base design/parasitics are null");
+  }
+  if (parasitics().net_count() != design().net_count()) {
     throw std::invalid_argument("Session: parasitics cover " +
-                                std::to_string(para_.net_count()) +
+                                std::to_string(parasitics().net_count()) +
                                 " nets but the design has " +
-                                std::to_string(design_.net_count()));
+                                std::to_string(design().net_count()));
   }
   if (cfg_.undo_capacity == 0) cfg_.undo_capacity = 1;
   if (cfg_.cache_capacity == 0) cfg_.cache_capacity = 1;
@@ -94,13 +115,31 @@ Session::Session(net::Design design, para::Parasitics para, SessionConfig config
 // ---- name resolution ------------------------------------------------------
 
 NetId Session::require_net(const std::string& name) const {
-  if (const auto id = design_.find_net(name)) return *id;
+  if (const auto id = design().find_net(name)) return *id;
   throw NotFound("unknown net '" + name + "'");
 }
 
 InstId Session::require_instance(const std::string& name) const {
-  if (const auto id = design_.find_instance(name)) return *id;
+  if (const auto id = design().find_instance(name)) return *id;
   throw NotFound("unknown instance '" + name + "'");
+}
+
+// ---- copy-on-write overlay ------------------------------------------------
+
+net::Design& Session::mut_design() {
+  if (own_design_ == nullptr) {
+    own_design_ = std::make_unique<net::Design>(*base_design_);
+    cow_copies_.add();
+  }
+  return *own_design_;
+}
+
+para::Parasitics& Session::mut_para() {
+  if (own_para_ == nullptr) {
+    own_para_ = std::make_unique<para::Parasitics>(*base_para_);
+    cow_copies_.add();
+  }
+  return *own_para_;
 }
 
 // ---- queries --------------------------------------------------------------
@@ -111,7 +150,7 @@ const noise::Result& Session::result() {
 }
 
 noise::NoiseTrace Session::trace(NetId net) {
-  if (net.index() >= design_.net_count()) {
+  if (net.index() >= design().net_count()) {
     throw NotFound("net id " + std::to_string(net.value()) + " outside the design");
   }
   return noise::trace_origin(result(), net);
@@ -119,29 +158,29 @@ noise::NoiseTrace Session::trace(NetId net) {
 
 std::vector<EndpointSlack> Session::endpoint_slacks() {
   const noise::Result& r = result();
+  const net::Design& d = design();
   // Endpoint order mirrors the analyzer's: every sequential's data pins
   // (design.sequentials() order), then primary outputs.
   std::vector<EndpointSlack> out;
   out.reserve(r.endpoint_slacks.size());
   std::size_t k = 0;
-  for (const InstId s : design_.sequentials()) {
-    const net::Instance& inst = design_.instance(s);
-    const lib::Cell& cell = design_.cell_of(s);
+  for (const InstId s : d.sequentials()) {
+    const net::Instance& inst = d.instance(s);
+    const lib::Cell& cell = d.cell_of(s);
     for (std::size_t pi = 0; pi < cell.pins.size(); ++pi) {
       if (cell.pins[pi].role != lib::PinRole::kData) continue;
       const PinId pid = inst.pins[pi];
-      const net::Pin& p = design_.pin(pid);
+      const net::Pin& p = d.pin(pid);
       if (!p.net.valid()) continue;
       if (k >= r.endpoint_slacks.size()) break;
-      out.push_back({design_.pin_name(pid), design_.net(p.net).name,
-                     r.endpoint_slacks[k++]});
+      out.push_back({d.pin_name(pid), d.net(p.net).name, r.endpoint_slacks[k++]});
     }
   }
-  for (const PinId pid : design_.output_ports()) {
-    const net::Pin& p = design_.pin(pid);
+  for (const PinId pid : d.output_ports()) {
+    const net::Pin& p = d.pin(pid);
     if (!p.net.valid()) continue;
     if (k >= r.endpoint_slacks.size()) break;
-    out.push_back({p.port_name, design_.net(p.net).name, r.endpoint_slacks[k++]});
+    out.push_back({p.port_name, d.net(p.net).name, r.endpoint_slacks[k++]});
   }
   std::stable_sort(out.begin(), out.end(),
                    [](const EndpointSlack& a, const EndpointSlack& b) {
@@ -166,14 +205,14 @@ void Session::commit_edit(UndoEntry entry, bool bump_epoch) {
 void Session::set_driver_cell(const std::string& inst, const std::string& cell) {
   const InstId id = require_instance(inst);
   std::vector<NetId> touched;
-  for (const PinId pid : design_.instance(id).pins) {
-    const net::Pin& p = design_.pin(pid);
+  for (const PinId pid : design().instance(id).pins) {
+    const net::Pin& p = design().pin(pid);
     if (p.net.valid()) touched.push_back(p.net);
   }
-  const std::string old_cell = design_.set_instance_cell(id, cell);  // validates
+  const std::string old_cell = mut_design().set_instance_cell(id, cell);  // validates
   UndoEntry e;
   e.what = "set_driver_cell " + inst + " " + cell;
-  e.restore = [this, id, old_cell] { design_.set_instance_cell(id, old_cell); };
+  e.restore = [this, id, old_cell] { mut_design().set_instance_cell(id, old_cell); };
   e.dirty = std::move(touched);
   commit_edit(std::move(e), /*bump_epoch=*/true);
 }
@@ -184,11 +223,11 @@ void Session::scale_net_parasitics(const std::string& net, double cap_factor,
   if (cap_factor <= 0.0 || res_factor <= 0.0) {
     throw std::invalid_argument("scale_net_parasitics: factors must be positive");
   }
-  para::RcNet saved = para_.net(id);  // capture before mutating (bit-exact undo)
-  para_.net(id).scale(cap_factor, res_factor);
+  para::RcNet saved = parasitics().net(id);  // capture before mutating (bit-exact undo)
+  mut_para().net(id).scale(cap_factor, res_factor);
   UndoEntry e;
   e.what = "scale_net_parasitics " + net;
-  e.restore = [this, id, saved] { para_.replace_net(id, saved); };
+  e.restore = [this, id, saved] { mut_para().replace_net(id, saved); };
   e.dirty = {id};
   commit_edit(std::move(e), /*bump_epoch=*/true);
 }
@@ -205,23 +244,23 @@ void Session::set_coupling_cap(const std::string& net_a, const std::string& net_
     throw std::invalid_argument("set_coupling_cap: capacitance must be positive");
   }
   std::vector<std::pair<std::size_t, double>> existing;  // (index, old value)
-  for (const std::size_t ci : para_.couplings_of(a)) {
-    if (para_.coupling(ci).other_net(a) == b) {
-      existing.emplace_back(ci, para_.coupling(ci).c);
+  for (const std::size_t ci : parasitics().couplings_of(a)) {
+    if (parasitics().coupling(ci).other_net(a) == b) {
+      existing.emplace_back(ci, parasitics().coupling(ci).c);
     }
   }
   UndoEntry e;
   e.what = "set_coupling_cap " + net_a + " " + net_b;
   if (existing.empty()) {
-    para_.add_coupling(a, 0, b, 0, cap);  // between driver roots
-    e.restore = [this] { para_.pop_coupling(); };  // LIFO undo: still the last cap
+    mut_para().add_coupling(a, 0, b, 0, cap);  // between driver roots
+    e.restore = [this] { mut_para().pop_coupling(); };  // LIFO undo: still the last cap
   } else {
     double sum = 0.0;
     for (const auto& [ci, v] : existing) sum += v;
     const double factor = cap / sum;
-    for (const auto& [ci, v] : existing) para_.set_coupling_value(ci, v * factor);
+    for (const auto& [ci, v] : existing) mut_para().set_coupling_value(ci, v * factor);
     e.restore = [this, existing] {
-      for (const auto& [ci, v] : existing) para_.set_coupling_value(ci, v);
+      for (const auto& [ci, v] : existing) mut_para().set_coupling_value(ci, v);
     };
   }
   e.dirty = {a, b};
@@ -230,8 +269,8 @@ void Session::set_coupling_cap(const std::string& net_a, const std::string& net_
 
 void Session::set_arrival_window(const std::string& port, Interval window) {
   bool found = false;
-  for (const PinId pid : design_.input_ports()) {
-    if (design_.pin(pid).port_name == port) {
+  for (const PinId pid : design().input_ports()) {
+    if (design().pin(pid).port_name == port) {
       found = true;
       break;
     }
@@ -387,14 +426,51 @@ void Session::cache_insert(CacheEntry entry) {
       .set(static_cast<double>(cache_.size()));
 }
 
-void Session::ensure_current() {
+Session::StateKey Session::current_key() const {
   // `threads` never changes results (bit-identity guarantee), so it is
   // excluded from the cache identity: a result computed at 4 threads
   // serves a 1-thread query.
   noise::Options canonical = cfg_.noise;
   canonical.threads = 0;
-  const std::string digest = noise::options_digest(canonical);
-  const std::string key = digest + "#" + std::to_string(epoch_);
+  StateKey k;
+  k.digest = noise::options_digest(canonical);
+  k.key = k.digest + "#" + std::to_string(epoch_);
+  return k;
+}
+
+bool Session::needs_analysis() const {
+  const StateKey k = current_key();
+  if (base_result_ && base_key_ == k.key) return false;
+  return cache_find(k.key) == nullptr;
+}
+
+AnalysisSeed Session::export_seed() {
+  ensure_current();
+  return AnalysisSeed{base_result_, base_sta_, base_digest_};
+}
+
+bool Session::adopt_seed(const AnalysisSeed& seed) {
+  if (!seed.result || !seed.sta) return false;
+  // Only a pristine session adopts: no edits ever applied, nothing
+  // analyzed, nothing pending — the seed then IS this session's state.
+  if (epoch_ != 0 || base_result_ != nullptr || !journal_.empty() ||
+      !pending_dirty_.empty() || edits_.value() != 0) {
+    return false;
+  }
+  const StateKey k = current_key();
+  if (seed.digest != k.digest || seed.result->epoch != 0) return false;
+  base_result_ = seed.result;
+  base_sta_ = seed.sta;
+  base_key_ = k.key;
+  base_digest_ = k.digest;
+  cache_insert(CacheEntry{k.key, base_result_, base_sta_});
+  return true;
+}
+
+void Session::ensure_current() {
+  const StateKey sk = current_key();
+  const std::string& digest = sk.digest;
+  const std::string& key = sk.key;
   if (base_result_ && base_key_ == key) return;
 
   if (const CacheEntry* hit = cache_find(key)) {
@@ -411,7 +487,8 @@ void Session::ensure_current() {
   cache_misses_.add();
 
   cfg_.sta.clock_period = cfg_.noise.clock_period;
-  auto sta_now = std::make_shared<const sta::Result>(sta::run(design_, para_, cfg_.sta));
+  auto sta_now =
+      std::make_shared<const sta::Result>(sta::run(design(), parasitics(), cfg_.sta));
 
   noise::Result r;
   const bool can_incremental = base_result_ != nullptr && base_digest_ == digest &&
@@ -427,12 +504,12 @@ void Session::ensure_current() {
     // — counters, base state, cache, dirty set — is only reached when the
     // analysis ran to completion, so cancellation leaves the session
     // bit-identical to its pre-analyze state.
-    r = noise::analyze_incremental(design_, para_, *sta_now, cfg_.noise, *base_result_,
-                                   changed, progress_);
+    r = noise::analyze_incremental(design(), parasitics(), *sta_now, cfg_.noise,
+                                   *base_result_, changed, progress_);
     incremental_analyses_.add();
     dirty_hist_.observe(static_cast<double>(changed.size()));
   } else {
-    r = noise::analyze(design_, para_, *sta_now, cfg_.noise, progress_);
+    r = noise::analyze(design(), parasitics(), *sta_now, cfg_.noise, progress_);
     full_analyses_.add();
   }
   r.epoch = epoch_;
@@ -501,7 +578,7 @@ obs::MetricsSnapshot Session::metrics_snapshot() {
 
 obs::RunMeta Session::meta() const {
   obs::RunMeta m;
-  m.design = design_.name();
+  m.design = design().name();
   m.mode = noise::to_string(cfg_.noise.mode);
   m.model = noise::to_string(cfg_.noise.model);
   m.options_digest = noise::options_digest(cfg_.noise);

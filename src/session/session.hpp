@@ -53,6 +53,16 @@ struct SessionConfig {
   std::size_t cache_capacity = 16;  ///< cached (digest, epoch) results
 };
 
+/// A completed base analysis exported from one session and adopted by
+/// another that shares the same design state — the daemon prewarms one full
+/// analysis and every new connection starts from it, so connect→query never
+/// pays a full analyze. Shared immutably; adopt never copies.
+struct AnalysisSeed {
+  std::shared_ptr<const noise::Result> result;
+  std::shared_ptr<const sta::Result> sta;
+  std::string digest;  ///< canonical options digest the result was computed under
+};
+
 /// Per-endpoint noise slack with its identity (the Result only stores the
 /// slack values; the session re-derives the deterministic endpoint order).
 struct EndpointSlack {
@@ -66,6 +76,14 @@ class Session {
   /// Takes ownership of the design state. The library must outlive the
   /// session (same contract as Design itself).
   Session(net::Design design, para::Parasitics para, SessionConfig config = {});
+
+  /// Shares an immutable design state with other sessions (the daemon's
+  /// per-connection mode): reads go to the shared base, and the first
+  /// mutating ECO edit copies the touched half (design or parasitics) into
+  /// a private overlay — copy-on-write at object granularity. Sessions
+  /// that never edit never copy.
+  Session(std::shared_ptr<const net::Design> design,
+          std::shared_ptr<const para::Parasitics> para, SessionConfig config = {});
 
   // ---- queries (analysis runs lazily on first need) -----------------------
 
@@ -87,8 +105,33 @@ class Session {
   /// All endpoint noise slacks, ascending (worst first).
   [[nodiscard]] std::vector<EndpointSlack> endpoint_slacks();
 
-  [[nodiscard]] const net::Design& design() const noexcept { return design_; }
-  [[nodiscard]] const para::Parasitics& parasitics() const noexcept { return para_; }
+  [[nodiscard]] const net::Design& design() const noexcept {
+    return own_design_ ? *own_design_ : *base_design_;
+  }
+  [[nodiscard]] const para::Parasitics& parasitics() const noexcept {
+    return own_para_ ? *own_para_ : *base_para_;
+  }
+  /// True while the session still reads the shared base design AND the
+  /// shared base parasitics (no COW copy materialized yet).
+  [[nodiscard]] bool shares_base() const noexcept {
+    return base_design_ != nullptr && !own_design_ && !own_para_;
+  }
+
+  /// Would the next result() call run an analysis? False when the current
+  /// (digest, epoch) key is the base result or sits in the cache. Pure
+  /// query: no LRU reordering, no analysis. The daemon's admission gate
+  /// uses this to charge only requests that will actually occupy a slot.
+  [[nodiscard]] bool needs_analysis() const;
+
+  /// Export the current base analysis for seeding sibling sessions;
+  /// triggers an analysis if none ran yet.
+  [[nodiscard]] AnalysisSeed export_seed();
+
+  /// Adopt a seed as this session's base analysis. Only a pristine session
+  /// accepts (no edits, no prior analysis) and only when the seed's options
+  /// digest matches this session's — otherwise returns false and the
+  /// session is unchanged.
+  bool adopt_seed(const AnalysisSeed& seed);
   [[nodiscard]] const noise::Options& noise_options() const noexcept {
     return cfg_.noise;
   }
@@ -187,6 +230,7 @@ class Session {
       "session_incremental_analyses";
   static constexpr const char* kMetricCacheHits = "session_cache_hits";
   static constexpr const char* kMetricCacheMisses = "session_cache_misses";
+  static constexpr const char* kMetricCowCopies = "session_cow_copies";
   static constexpr const char* kMetricDirtyNets = "session_dirty_nets";
   static constexpr const char* kMetricEpoch = "session_epoch";
   static constexpr const char* kMetricCachedResults = "session_cached_results";
@@ -212,6 +256,25 @@ class Session {
     std::shared_ptr<const sta::Result> sta;
   };
 
+  /// Delegation target of both public ctors: exactly one of (base, own)
+  /// pairs is populated per half.
+  Session(std::shared_ptr<const net::Design> base_design,
+          std::shared_ptr<const para::Parasitics> base_para,
+          std::unique_ptr<net::Design> own_design,
+          std::unique_ptr<para::Parasitics> own_para, SessionConfig config);
+
+  /// Mutable design/parasitics for ECO edits: materializes the private
+  /// copy-on-write overlay on first use when sharing a base.
+  [[nodiscard]] net::Design& mut_design();
+  [[nodiscard]] para::Parasitics& mut_para();
+
+  /// Cache identity of the current (options, epoch) state.
+  struct StateKey {
+    std::string digest;  ///< canonical options digest (threads excluded)
+    std::string key;     ///< digest + "#" + epoch
+  };
+  [[nodiscard]] StateKey current_key() const;
+
   /// Allocate a fresh epoch, record the journal entry, count the edit.
   void commit_edit(UndoEntry entry, bool bump_epoch);
 
@@ -229,8 +292,12 @@ class Session {
   /// the result cache, undo journal, and trace buffers).
   void refresh_resource_gauges();
 
-  net::Design design_;
-  para::Parasitics para_;
+  // Design state: either owned outright (value ctor / after a COW copy) or
+  // read from an immutable base shared across sessions. own_* wins when set.
+  std::shared_ptr<const net::Design> base_design_;
+  std::shared_ptr<const para::Parasitics> base_para_;
+  std::unique_ptr<net::Design> own_design_;
+  std::unique_ptr<para::Parasitics> own_para_;
   SessionConfig cfg_;
 
   std::uint64_t epoch_ = 0;       ///< identifies the current design state
@@ -255,6 +322,7 @@ class Session {
   obs::Counter& incremental_analyses_;
   obs::Counter& cache_hits_;
   obs::Counter& cache_misses_;
+  obs::Counter& cow_copies_;
   obs::Histogram& dirty_hist_;
 };
 

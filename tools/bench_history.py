@@ -52,6 +52,7 @@ TIMING_KEYS = (
     "estimate_ms",
     "propagate_ms",
     "check_ms",
+    "daemon_roundtrip_ms",
 )
 # bench_kernels exports per-kernel scalar/vector wall times with this shape.
 KERNEL_KEY_PREFIX = "kernel_"

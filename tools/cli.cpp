@@ -1,7 +1,9 @@
 #include "tools/cli.hpp"
 
 #include <chrono>
+#include <csignal>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -25,6 +27,8 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/tracer.hpp"
+#include "net/daemon.hpp"
+#include "net/socket.hpp"
 #include "parasitics/spef.hpp"
 #include "session/server.hpp"
 #include "session/session.hpp"
@@ -36,7 +40,7 @@ namespace nw::cli {
 namespace {
 
 struct Args {
-  std::string command = "analyze";  ///< analyze | explain | serve | shell
+  std::string command = "analyze";  ///< analyze | explain | serve | shell | daemon
   std::string lib_path;
   std::string netlist_path;
   std::string spef_path;
@@ -49,6 +53,12 @@ struct Args {
   std::string profile_path;     ///< --profile-out: collapsed-stack profile
   int profile_hz = 97;          ///< --profile-hz: sampling rate (0 = off)
   std::string explain_net;      ///< explain: the net to explain
+  std::string listen = "unix:/tmp/noisewin.sock";  ///< daemon: --listen endpoint
+  int max_connections = 32;     ///< daemon: --max-connections
+  int max_queued = 16;          ///< daemon: --max-queued per connection
+  int analysis_slots = 2;       ///< daemon: --analysis-slots (0 = shed all)
+  int max_waiters = 8;          ///< daemon: --max-waiters behind busy slots
+  int idle_timeout_s = 300;     ///< daemon: --idle-timeout seconds (0 = never)
   noise::Options noise_opt;
   double slow_ms = 100.0;  ///< --slow-ms: serve slow-request threshold
   bool delay_impact = false;
@@ -65,6 +75,7 @@ const char kUsage[] =
     "       noisewin explain <net> --demo bus [options]   violation provenance\n"
     "       noisewin serve --demo bus [options]   JSONL session server (stdin/stdout)\n"
     "       noisewin shell --demo bus [options]   interactive session REPL\n"
+    "       noisewin daemon --demo bus [options]  concurrent JSONL socket server\n"
     "options:\n"
     "  --arrivals <file>   per-port arrival windows: '<port> <lo> <hi>' lines\n"
     "  --mode <m>          no-filtering | switching-windows | noise-windows\n"
@@ -82,6 +93,16 @@ const char kUsage[] =
     "                      each request gets its own span on the server track\n"
     "  --slow-ms <ms>      serve: requests slower than this land in the slow\n"
     "                      log (`slowlog` command, stats JSON; default 100)\n"
+    "daemon options:\n"
+    "  --listen <ep>       unix:<path> or tcp:<host>:<port>; tcp port 0 picks\n"
+    "                      an ephemeral port (default unix:/tmp/noisewin.sock)\n"
+    "  --max-connections <n> concurrent clients before accept-shed (default 32)\n"
+    "  --max-queued <n>    queued request lines per connection (default 16)\n"
+    "  --analysis-slots <n> concurrent analyses across clients; 0 sheds every\n"
+    "                      analysis ('maintenance mode'; default 2)\n"
+    "  --max-waiters <n>   admissions queued behind busy slots (default 8)\n"
+    "  --idle-timeout <s>  disconnect silent clients after s seconds; 0 keeps\n"
+    "                      them forever (default 300)\n"
     "  --profile-out <file> write a collapsed-stack ('folded') sampling\n"
     "                      profile of the run — one 'thread;span;span N' line\n"
     "                      per stack, ready for flamegraph tooling; results\n"
@@ -124,7 +145,7 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
   std::size_t start = 0;
   if (!argv.empty() && !argv[0].empty() && argv[0][0] != '-') {
     if (argv[0] == "serve" || argv[0] == "shell" || argv[0] == "analyze" ||
-        argv[0] == "explain") {
+        argv[0] == "explain" || argv[0] == "daemon") {
       a.command = argv[0];
       start = 1;
     } else {
@@ -247,6 +268,30 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
       const auto v = need_value();
       if (!v) return std::nullopt;
       a.slow_ms = nw::parse_double(*v);
+    } else if (arg == "--listen") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.listen = *v;
+    } else if (arg == "--max-connections") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.max_connections = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--max-queued") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.max_queued = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--analysis-slots") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.analysis_slots = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--max-waiters") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.max_waiters = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--idle-timeout") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.idle_timeout_s = static_cast<int>(nw::parse_uint(*v));
     } else if (arg == "--verbose" || arg == "-v") {
       ++a.verbose;
     } else if (arg == "--delay-impact") {
@@ -517,6 +562,81 @@ int run_session(const Args& a, std::istream& in, std::ostream& out) {
   return 0;
 }
 
+// SIGTERM/SIGINT → graceful drain. request_drain() only flips an atomic, so
+// the handler is async-signal-safe; plain function pointers because
+// std::signal takes no context.
+net::Daemon* g_signal_daemon = nullptr;
+
+extern "C" void daemon_signal_handler(int) {
+  if (g_signal_daemon != nullptr) g_signal_daemon->request_drain();
+}
+
+/// The `daemon` subcommand: serve many concurrent socket clients from one
+/// shared immutable design state until SIGTERM or a `shutdown` request.
+int run_daemon(const Args& a, std::ostream& out) {
+  lib::Library library;
+  std::optional<net::Design> design;
+  std::optional<para::Parasitics> parasitics;
+  sta::Options sta_opt;
+  load_inputs(a, library, design, parasitics, sta_opt);
+
+  net::DaemonConfig cfg;
+  cfg.listen = net::parse_endpoint(a.listen);
+  cfg.max_connections = a.max_connections;
+  cfg.max_queued = static_cast<std::size_t>(a.max_queued);
+  cfg.analysis_slots = a.analysis_slots;
+  cfg.max_waiters = a.max_waiters;
+  cfg.idle_timeout_s = a.idle_timeout_s;
+  cfg.slow_ms = a.slow_ms;
+  cfg.progress_events = a.progress;
+  cfg.session.noise = a.noise_opt;
+  cfg.session.sta = sta_opt;
+
+  if (!a.trace_path.empty()) {
+    obs::Tracer::clear();
+    obs::Tracer::enable();
+  }
+  start_profiler(a, "daemon");
+
+  net::Daemon daemon(cfg, std::make_shared<const net::Design>(std::move(*design)),
+                     std::make_shared<const para::Parasitics>(std::move(*parasitics)));
+  daemon.start();
+  // Readiness line: scripts wait for this before connecting (the prewarm
+  // analysis inside start() can take a while on big designs).
+  out << "daemon listening on " << daemon.bound_endpoint().to_string() << "\n"
+      << std::flush;
+
+  g_signal_daemon = &daemon;
+  const auto prev_term = std::signal(SIGTERM, daemon_signal_handler);
+  const auto prev_int = std::signal(SIGINT, daemon_signal_handler);
+  daemon.wait();
+  std::signal(SIGTERM, prev_term);
+  std::signal(SIGINT, prev_int);
+  g_signal_daemon = nullptr;
+
+  if (!a.trace_path.empty()) {
+    obs::Tracer::disable();
+    std::ofstream tf = open_output(a.trace_path, "--trace-out");
+    obs::Tracer::write_chrome(tf);
+    require_written(tf, "--trace-out", a.trace_path);
+    NW_LOG(kInfo) << "daemon trace written to " << a.trace_path;
+  }
+  write_profile(a);
+
+  if (!a.stats_json_path.empty()) {
+    std::ofstream sf = open_output(a.stats_json_path, "--stats-json");
+    const std::pair<std::string, std::string> extra[] = {
+        {"daemon", daemon.stats_section_json()}};
+    obs::write_stats_json(sf, daemon.meta(), daemon.registry().snapshot(), extra);
+    require_written(sf, "--stats-json", a.stats_json_path);
+    NW_LOG(kInfo) << "daemon stats written to " << a.stats_json_path;
+  }
+  out << "daemon drained: " << daemon.connections_accepted() << " connections, "
+      << daemon.requests_handled() << " requests ("
+      << daemon.requests_shed() << " shed)\n";
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& out,
@@ -540,11 +660,12 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
 
   const LogScope log_scope(err, a.verbose);
 
-  if (a.command == "serve" || a.command == "shell") {
+  if (a.command == "serve" || a.command == "shell" || a.command == "daemon") {
     try {
       require_writable(a.trace_path, "--trace-out");
       require_writable(a.stats_json_path, "--stats-json");
       require_writable(a.profile_path, "--profile-out");
+      if (a.command == "daemon") return run_daemon(a, out);
       return run_session(a, in, out);
     } catch (const std::exception& e) {
       if (!a.trace_path.empty()) obs::Tracer::disable();

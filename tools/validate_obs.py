@@ -4,6 +4,7 @@
 Usage:
     validate_obs.py --trace trace.json --stats stats.json
     validate_obs.py --server-trace strace.json --server-stats sstats.json
+    validate_obs.py --daemon-stats dstats.json
     validate_obs.py --bench-record record.json
     validate_obs.py --html-report report.html
     validate_obs.py --profile run.folded
@@ -329,6 +330,60 @@ def validate_profile(path, require_phases=True):
     print(f"validate_obs: profile OK ({len(stacks)} stacks, {total} samples)")
 
 
+DAEMON_SECTION_KEYS = ["accepted", "active", "rejected", "idle_closed",
+                       "handled", "shed", "queue_rejected", "queue_depth",
+                       "analyze_ewma_ms", "max_connections", "analysis_slots",
+                       "max_queued"]
+
+
+def validate_daemon_stats(path):
+    """Stats written by `noisewin daemon` at drain: schema-v3 meta plus the
+    "daemon" serving section (admission/shedding counters, governor EWMA).
+    The counters here are the daemon's serving-layer registry — per-client
+    analysis metrics live in each connection's session — so the analyzer
+    metric requirements of --stats do not apply."""
+    doc = load(path)
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        fail("daemon stats: no meta object")
+    for key in REQUIRED_META:
+        if key not in meta:
+            fail(f"daemon stats: meta missing '{key}'")
+    if meta["schema_version"] != STATS_SCHEMA_VERSION:
+        fail(f"daemon stats: unexpected schema_version "
+             f"{meta['schema_version']} (expected {STATS_SCHEMA_VERSION})")
+    for section in ("counters", "gauges", "histograms", "resources", "timing"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"daemon stats: no {section} object")
+    for name, h in iter_histograms(doc):
+        check_histogram(name, h)
+
+    d = doc.get("daemon")
+    if not isinstance(d, dict):
+        fail("daemon stats: no 'daemon' section")
+    for key in DAEMON_SECTION_KEYS:
+        if key not in d:
+            fail(f"daemon stats: daemon section missing '{key}'")
+        if not isinstance(d[key], (int, float)) or d[key] < 0:
+            fail(f"daemon stats: daemon.{key} not a non-negative number: "
+                 f"{d[key]!r}")
+    if d["accepted"] < 1:
+        fail("daemon stats: no connections were ever accepted")
+    if d["handled"] < 1:
+        fail("daemon stats: no requests were ever handled")
+    if d["active"] != 0:
+        fail(f"daemon stats: {d['active']} connections still active at drain")
+    if d["queue_depth"] != 0:
+        fail(f"daemon stats: {d['queue_depth']} requests still queued at drain")
+    if d["max_connections"] < 1 or d["max_queued"] < 1:
+        fail("daemon stats: admission limits not exported")
+    if "daemon_prewarm_ms" not in doc["timing"]:
+        fail("daemon stats: no daemon_prewarm_ms in timing (seed analysis "
+             "wall time)")
+    print(f"validate_obs: daemon stats OK ({int(d['accepted'])} connections, "
+          f"{int(d['handled'])} requests, {int(d['shed'])} shed)")
+
+
 HTML_SECTION_IDS = ["meta", "summary", "timelines", "pareto", "slack",
                     "executor", "flame", "phases"]
 HTML_BANNED = ["http://", "https://", "<script", "<link", "url(", "src="]
@@ -362,6 +417,7 @@ def main():
     ap.add_argument("--stats")
     ap.add_argument("--server-trace")
     ap.add_argument("--server-stats")
+    ap.add_argument("--daemon-stats")
     ap.add_argument("--bench-record", action="append", default=[])
     ap.add_argument("--html-report")
     ap.add_argument("--profile", help="folded sampling profile to validate")
@@ -370,9 +426,11 @@ def main():
                          "captures, partial runs)")
     args = ap.parse_args()
     if not any([args.trace, args.stats, args.server_trace, args.server_stats,
-                args.bench_record, args.html_report, args.profile]):
+                args.daemon_stats, args.bench_record, args.html_report,
+                args.profile]):
         ap.error("give --trace, --stats, --server-trace, --server-stats, "
-                 "--bench-record, --html-report, and/or --profile")
+                 "--daemon-stats, --bench-record, --html-report, and/or "
+                 "--profile")
     if args.trace:
         validate_trace(args.trace)
     if args.stats:
@@ -381,6 +439,8 @@ def main():
         validate_trace(args.server_trace, server=True)
     if args.server_stats:
         validate_stats(args.server_stats, server=True)
+    if args.daemon_stats:
+        validate_daemon_stats(args.daemon_stats)
     for path in args.bench_record:
         validate_bench_record(path)
     if args.html_report:
