@@ -1,17 +1,21 @@
 #include "net/daemon.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "noise/progress.hpp"
+#include "obs/log.hpp"
 #include "obs/profile.hpp"
+#include "obs/resource.hpp"
 #include "obs/tracer.hpp"
 #include "session/json.hpp"
 #include "session/protocol.hpp"
@@ -20,6 +24,23 @@
 namespace nw::net {
 
 namespace {
+
+/// Telemetry series, in ring order. Counters stay cumulative (consumers
+/// difference them for trends); gauges/quantiles are instantaneous.
+constexpr const char* kSeriesNames[] = {
+    "queue_depth",     "active",          "accepted",        "handled",
+    "shed",            "inflight",        "waiting",         "analyze_ewma_ms",
+    "analyze_p50_ms",  "analyze_p95_ms",  "rss_mb",
+};
+
+std::vector<std::string> series_names() {
+  return {std::begin(kSeriesNames), std::end(kSeriesNames)};
+}
+
+/// Sub-windows of the rotating analyze-latency quantile. One rotation per
+/// sampler tick, so the horizon is kLatencyWindows x sample_interval
+/// (~10 s at the 250 ms default) — "p95 lately", not "p95 since boot".
+constexpr std::size_t kLatencyWindows = 40;
 
 bool is_cancel_line(const std::string& line) {
   if (line.find("cancel") == std::string::npos) return false;  // cheap reject
@@ -207,6 +228,16 @@ struct Daemon::Connection {
   std::thread reader;
   std::thread worker;
   std::atomic<bool> done{false};
+
+  // `watch` streamer state. Started/stopped only from the worker thread
+  // (the dispatching thread) and the worker's teardown, so start/stop
+  // never race each other; the mutex/cv just wake the streamer.
+  std::thread watcher;
+  std::mutex watch_mu;
+  std::condition_variable watch_cv;
+  bool watch_stop = false;
+  int watch_period_ms = 0;
+  std::uint64_t watch_seq = 0;
 };
 
 Daemon::Daemon(DaemonConfig config, std::shared_ptr<const Design> design,
@@ -216,6 +247,9 @@ Daemon::Daemon(DaemonConfig config, std::shared_ptr<const Design> design,
       para_(std::move(parasitics)),
       governor_(LoadGovernor::Config{cfg_.analysis_slots, cfg_.max_waiters, 50.0},
                 reg_),
+      analyze_window_({1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 5000},
+                      kLatencyWindows),
+      ring_(series_names(), cfg_.sample_capacity),
       accepted_(reg_.counter(kMetricAccepted, "connections accepted",
                              /*deterministic=*/false)),
       rejected_(reg_.counter(kMetricRejected, "connections rejected at the cap",
@@ -240,6 +274,12 @@ Daemon::Daemon(DaemonConfig config, std::shared_ptr<const Design> design,
     throw std::invalid_argument("Daemon: design/parasitics must not be null");
   }
   if (cfg_.max_connections < 1) cfg_.max_connections = 1;
+  if (cfg_.min_watch_period_ms < 1) cfg_.min_watch_period_ms = 1;
+  governor_.set_latency_window(&analyze_window_);
+  if (cfg_.sample_interval_ms > 0) {
+    sampler_ = std::make_unique<obs::Sampler>(
+        ring_, [this] { return sample_now(); }, cfg_.sample_interval_ms);
+  }
 }
 
 Daemon::~Daemon() {
@@ -261,6 +301,8 @@ void Daemon::start() {
                         std::chrono::steady_clock::now() - t0)
                         .count());
   started_ = true;
+  start_tp_ = std::chrono::steady_clock::now();
+  if (sampler_) sampler_->start();
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -305,10 +347,13 @@ void Daemon::accept_loop() {
   listener_.close();
   for (const auto& c : conns_) c->stream.shutdown_both();
   reap_finished(/*join_all=*/true);
+  // Sampler stops last so the drain itself lands in the timeseries.
+  if (sampler_) sampler_->stop();
 }
 
 void Daemon::reader_loop(Connection& conn) {
   obs::Tracer::set_thread_name("conn-" + std::to_string(conn.id) + "-rx");
+  obs::set_log_connection(conn.id);
   std::string line;
   while (std::getline(conn.stream, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF clients
@@ -339,6 +384,7 @@ void Daemon::serve_connection(Connection& conn) {
   const std::string name = "conn-" + std::to_string(conn.id);
   obs::Tracer::set_thread_name(name);
   obs::profile_set_thread_name(name);
+  obs::set_log_connection(conn.id);
   try {
     session::Session session(design_, para_, cfg_.session);
     if (!session.adopt_seed(seed_)) {
@@ -346,6 +392,11 @@ void Daemon::serve_connection(Connection& conn) {
                    static_cast<unsigned long long>(conn.id));
     }
     session::RequestContext reqobs(session.registry(), cfg_.slow_ms);
+    // Correlation + aggregation: slowlog entries carry this connection's
+    // id, and latency observations mirror into the daemon registry so the
+    // `stats` command sees fleet-wide request_ms_* histograms.
+    reqobs.set_connection(conn.id);
+    reqobs.set_aggregate(&reg_);
     session::Protocol proto(session, &reqobs);
     session::ServerCaps caps;
     caps.transport = bound_endpoint().kind == Endpoint::Kind::kUnix ? "unix" : "tcp";
@@ -362,6 +413,11 @@ void Daemon::serve_connection(Connection& conn) {
       session::Json o = session::Json::object();
       o.set("draining", true);
       return o;
+    });
+    proto.set_stats_augmenter(
+        [this](const session::Json& args) { return stats_sections(args); });
+    proto.set_watch_handler([this, &conn](const session::Json& args) {
+      return watch_command(conn, args);
     });
     // Sink always installed: cancel interception must work even with
     // progress events off (results are sink-invariant, tested property).
@@ -380,7 +436,9 @@ void Daemon::serve_connection(Connection& conn) {
     std::fprintf(stderr, "noisewin daemon: connection %llu failed: %s\n",
                  static_cast<unsigned long long>(conn.id), e.what());
   }
-  // Wake the reader if the worker died early; normal exit is a no-op.
+  // Teardown order: stop any watch streamer first (it writes to the
+  // stream), then wake the reader if the worker died early.
+  stop_watch(conn);
   conn.stream.shutdown_both();
   active_g_.set(static_cast<double>(active_.fetch_sub(1) - 1));
   conn.done.store(true, std::memory_order_release);
@@ -413,7 +471,7 @@ void Daemon::reject_connection(int fd) {
   s.flush();
 }
 
-std::string Daemon::stats_section_json() const {
+session::Json Daemon::daemon_section() const {
   session::Json o = session::Json::object();
   o.set("accepted", static_cast<double>(accepted_.value()));
   o.set("active", active_.load());
@@ -427,7 +485,189 @@ std::string Daemon::stats_section_json() const {
   o.set("max_connections", cfg_.max_connections);
   o.set("analysis_slots", cfg_.analysis_slots);
   o.set("max_queued", cfg_.max_queued);
-  return o.dump();
+  return o;
+}
+
+std::string Daemon::stats_section_json() const { return daemon_section().dump(); }
+
+std::string Daemon::timeseries_section_json(std::size_t last_n) const {
+  return ring_.snapshot(last_n).json();
+}
+
+obs::TimeSeriesSnapshot Daemon::timeseries_snapshot(std::size_t last_n) const {
+  return ring_.snapshot(last_n);
+}
+
+std::vector<double> Daemon::sample_now() {
+  // Read-only against serving state: the determinism property (analysis
+  // results identical with sampling on/off) depends on it.
+  const obs::ResourceSample rss = obs::sample_resources();
+  const double queue_depth = static_cast<double>(queue_depth_.load());
+  const double active = active_.load();
+  const double inflight = governor_.inflight();
+  std::vector<double> v;
+  v.reserve(std::size(kSeriesNames));
+  v.push_back(queue_depth);
+  v.push_back(active);
+  v.push_back(static_cast<double>(accepted_.value()));
+  v.push_back(static_cast<double>(handled_.value()));
+  v.push_back(static_cast<double>(shed_.value()));
+  v.push_back(inflight);
+  v.push_back(governor_.waiting());
+  v.push_back(governor_.ewma_ms());
+  v.push_back(analyze_window_.quantile(0.5));
+  v.push_back(analyze_window_.quantile(0.95));
+  v.push_back(static_cast<double>(rss.rss_bytes) / (1024.0 * 1024.0));
+  analyze_window_.rotate();
+  if (obs::trace_enabled()) {
+    obs::Tracer::counter("queue_depth", queue_depth);
+    obs::Tracer::counter("active_connections", active);
+    obs::Tracer::counter("analyses_inflight", inflight);
+  }
+  return v;
+}
+
+session::Json Daemon::live_json() {
+  // One fresh sample keyed by series name (not recorded into the ring —
+  // the sampler owns the ring's cadence; watch events are per-client).
+  const obs::ResourceSample rss = obs::sample_resources();
+  session::Json o = session::Json::object();
+  o.set("queue_depth", static_cast<double>(queue_depth_.load()));
+  o.set("active", active_.load());
+  o.set("accepted", static_cast<double>(accepted_.value()));
+  o.set("handled", static_cast<double>(handled_.value()));
+  o.set("shed", static_cast<double>(shed_.value()));
+  o.set("inflight", governor_.inflight());
+  o.set("waiting", governor_.waiting());
+  o.set("analyze_ewma_ms", governor_.ewma_ms());
+  o.set("analyze_p50_ms", analyze_window_.quantile(0.5));
+  o.set("analyze_p95_ms", analyze_window_.quantile(0.95));
+  o.set("rss_mb", static_cast<double>(rss.rss_bytes) / (1024.0 * 1024.0));
+  return o;
+}
+
+session::Json Daemon::stats_sections(const session::Json& args) {
+  // Last-N samples on demand: {"samples": N} (default 60, clamped to the
+  // ring bound; 0 = just the section metadata).
+  std::size_t samples = 60;
+  if (const session::Json* n = args.find("samples")) {
+    if (!n->is_number() || n->as_number() < 0) {
+      throw std::invalid_argument("'samples' must be a non-negative number");
+    }
+    samples = static_cast<std::size_t>(n->as_number());
+  }
+  samples = std::min(samples, ring_.capacity());
+  session::Json o = session::Json::object();
+  o.set("daemon", daemon_section());
+  std::string err;
+  std::optional<session::Json> ts = session::json_parse(
+      samples == 0 ? ring_.snapshot(1).json() : ring_.snapshot(samples).json(),
+      &err);
+  if (samples == 0 && ts) {
+    // Metadata only: strip the samples array down to empty.
+    session::Json meta = session::Json::object();
+    for (const auto& [k, v] : ts->members()) {
+      if (k == "samples") continue;
+      meta.set(k, v);
+    }
+    meta.set("samples", session::Json::array());
+    ts = std::move(meta);
+  }
+  o.set("timeseries", ts ? std::move(*ts) : session::Json::object());
+  // Fleet-wide per-command latency (aggregated request_ms_* histograms
+  // mirrored by every connection's RequestContext).
+  session::Json latency = session::Json::object();
+  const std::string prefix = session::RequestContext::kLatencyPrefix;
+  for (const obs::MetricSample& s : reg_.snapshot().samples) {
+    if (s.kind != obs::MetricSample::Kind::kHistogram) continue;
+    if (s.name.rfind(prefix, 0) != 0) continue;
+    session::Json h = session::Json::object();
+    h.set("count", static_cast<double>(s.hist.count));
+    h.set("p50", obs::histogram_quantile(s.hist, 0.5));
+    h.set("p95", obs::histogram_quantile(s.hist, 0.95));
+    h.set("p99", obs::histogram_quantile(s.hist, 0.99));
+    h.set("max", s.hist.max);
+    latency.set(s.name.substr(prefix.size()), std::move(h));
+  }
+  o.set("latency", std::move(latency));
+  return o;
+}
+
+session::Json Daemon::watch_command(Connection& conn, const session::Json& args) {
+  std::string action = "start";
+  if (const session::Json* a = args.find("action")) {
+    if (!a->is_string()) {
+      throw std::invalid_argument("'action' must be a string");
+    }
+    action = a->as_string();
+  }
+  int period_ms = 500;
+  if (const session::Json* p = args.find("period_ms")) {
+    if (!p->is_number() || p->as_number() < 1 || p->as_number() > 60000) {
+      throw std::invalid_argument("'period_ms' must be a number in [1, 60000]");
+    }
+    period_ms = static_cast<int>(p->as_number());
+  }
+  // Per-connection rate cap: a client asking for a 1 ms firehose gets the
+  // daemon's floor instead (reported back, not errored — the client can
+  // see what it actually subscribed to).
+  period_ms = std::max(period_ms, cfg_.min_watch_period_ms);
+  if (action == "start") {
+    start_watch(conn, period_ms);
+  } else if (action == "stop") {
+    stop_watch(conn);
+  } else {
+    throw std::invalid_argument("'action' must be start|stop");
+  }
+  session::Json o = session::Json::object();
+  o.set("watching", conn.watcher.joinable());
+  o.set("period_ms", action == "start" ? period_ms : 0);
+  o.set("min_period_ms", cfg_.min_watch_period_ms);
+  return o;
+}
+
+void Daemon::start_watch(Connection& conn, int period_ms) {
+  stop_watch(conn);  // restart replaces the previous subscription
+  conn.watch_stop = false;
+  conn.watch_period_ms = period_ms;
+  conn.watch_seq = 0;
+  conn.watcher = std::thread([this, &conn] { watch_loop(conn); });
+}
+
+void Daemon::stop_watch(Connection& conn) {
+  if (!conn.watcher.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(conn.watch_mu);
+    conn.watch_stop = true;
+  }
+  conn.watch_cv.notify_all();
+  conn.watcher.join();
+}
+
+void Daemon::watch_loop(Connection& conn) {
+  obs::Tracer::set_thread_name("conn-" + std::to_string(conn.id) + "-watch");
+  obs::set_log_connection(conn.id);
+  std::unique_lock<std::mutex> lock(conn.watch_mu);
+  while (!conn.watch_stop) {
+    if (conn.watch_cv.wait_for(lock,
+                               std::chrono::milliseconds(conn.watch_period_ms),
+                               [&] { return conn.watch_stop; })) {
+      return;
+    }
+    const std::uint64_t seq = conn.watch_seq++;
+    lock.unlock();
+    session::Json ev = session::Json::object();
+    ev.set("event", "stats");
+    ev.set("seq", static_cast<double>(seq));
+    ev.set("t_ms", std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start_tp_)
+                       .count());
+    ev.set("daemon", live_json());
+    write_line(conn.stream, conn.write_mu, ev.dump());
+    const bool dead = !conn.stream;  // peer gone: stop streaming quietly
+    lock.lock();
+    if (dead) return;
+  }
 }
 
 obs::RunMeta Daemon::meta() const {

@@ -8,6 +8,11 @@
 //                        with `overloaded` (cancel lines bypass the bound)
 //   per-conn worker      Session (COW overlay over the shared base) +
 //                        Protocol; pops the queue, writes responses
+//   sampler thread       fixed-interval telemetry (obs/timeseries.hpp):
+//                        reads daemon gauges into the bounded ring, rotates
+//                        the analyze-latency window, emits trace counters
+//   per-conn watcher     optional, started by the `watch` command: streams
+//                        {"event":"stats",...} lines at a rate-capped period
 //
 // The design and parasitics load once; every connection's Session reads
 // them through shared_ptr<const> and copies privately only on its first
@@ -22,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,7 +38,9 @@
 #include "net/socket.hpp"
 #include "netlist/design.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "parasitics/rcnet.hpp"
+#include "session/json.hpp"
 #include "session/session.hpp"
 
 namespace nw::net {
@@ -46,6 +54,9 @@ struct DaemonConfig {
   int idle_timeout_s = 300;       ///< silent-client disconnect (0 = never)
   double slow_ms = 100.0;         ///< per-connection slowlog threshold
   bool progress_events = true;    ///< stream progress event lines to clients
+  int sample_interval_ms = 250;   ///< telemetry sampler period (0 = off)
+  std::size_t sample_capacity = 512;  ///< timeseries ring bound (samples kept)
+  int min_watch_period_ms = 50;   ///< per-connection `watch` rate cap (floor)
   session::SessionConfig session; ///< per-connection session settings
 };
 
@@ -93,6 +104,14 @@ class Daemon {
   /// latency EWMA.
   [[nodiscard]] std::string stats_section_json() const;
 
+  /// The "timeseries" extra section of the stats JSON (schema v4): the
+  /// sampler's ring, last `last_n` samples (0 = everything retained).
+  [[nodiscard]] std::string timeseries_section_json(std::size_t last_n = 0) const;
+
+  /// Snapshot of the telemetry ring (tests + the live stats/watch paths).
+  [[nodiscard]] obs::TimeSeriesSnapshot timeseries_snapshot(
+      std::size_t last_n = 0) const;
+
   /// Identity block for the stats export (design/options of the shared base).
   [[nodiscard]] obs::RunMeta meta() const;
 
@@ -121,6 +140,23 @@ class Daemon {
   void reap_finished(bool join_all);
   void reject_connection(int fd);
 
+  /// One telemetry sample (sampler thread): reads every live gauge, feeds
+  /// the ring, rotates the latency window, emits trace counter events.
+  [[nodiscard]] std::vector<double> sample_now();
+  /// Current live gauges as an object keyed by series name (watch events).
+  [[nodiscard]] session::Json live_json();
+  /// The "daemon" section as a Json value (stats_section_json dumps it).
+  [[nodiscard]] session::Json daemon_section() const;
+  /// The `stats` command's daemon-side sections ("daemon", "timeseries",
+  /// "latency"), merged into the response by the protocol's augmenter.
+  [[nodiscard]] session::Json stats_sections(const session::Json& args);
+  /// The `watch` command: subscribe/unsubscribe this connection's streamer.
+  [[nodiscard]] session::Json watch_command(Connection& conn,
+                                            const session::Json& args);
+  void start_watch(Connection& conn, int period_ms);
+  void stop_watch(Connection& conn);
+  void watch_loop(Connection& conn);
+
   DaemonConfig cfg_;
   std::shared_ptr<const Design> design_;
   std::shared_ptr<const para::Parasitics> para_;
@@ -130,6 +166,7 @@ class Daemon {
   std::thread accept_thread_;
   std::atomic<bool> drain_{false};
   bool started_ = false;
+  std::chrono::steady_clock::time_point start_tp_{};  ///< watch t_ms epoch
 
   std::vector<std::unique_ptr<Connection>> conns_;
   std::uint64_t next_conn_id_ = 1;
@@ -138,6 +175,9 @@ class Daemon {
 
   obs::Registry reg_;
   LoadGovernor governor_;
+  obs::RotatingQuantile analyze_window_;  ///< fed by the governor's release
+  obs::TimeSeriesRing ring_;
+  std::unique_ptr<obs::Sampler> sampler_;
   obs::Counter& accepted_;
   obs::Counter& rejected_;
   obs::Counter& idle_closed_;

@@ -64,6 +64,7 @@ void LoadGovernor::release(double analyze_ms) {
       constexpr double kAlpha = 0.3;  // responsive but not jumpy
       ewma_ms_ = (1.0 - kAlpha) * ewma_ms_ + kAlpha * analyze_ms;
       analyze_ms_.observe(analyze_ms);
+      if (latency_window_ != nullptr) latency_window_->observe(analyze_ms);
     }
   }
   cv_.notify_one();
@@ -72,6 +73,21 @@ void LoadGovernor::release(double analyze_ms) {
 double LoadGovernor::ewma_ms() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ewma_ms_;
+}
+
+int LoadGovernor::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+int LoadGovernor::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+void LoadGovernor::set_latency_window(obs::RotatingQuantile* window) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_window_ = window;
 }
 
 }  // namespace nw::net

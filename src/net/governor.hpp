@@ -18,6 +18,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "session/protocol.hpp"
 
 namespace nw::net {
@@ -43,6 +44,16 @@ class LoadGovernor final : public session::AnalysisGate {
 
   [[nodiscard]] double ewma_ms() const;
 
+  /// Live occupancy, for the telemetry sampler (thread-safe reads).
+  [[nodiscard]] int inflight() const;
+  [[nodiscard]] int waiting() const;
+
+  /// Also feed each released analysis latency into a rotating window (the
+  /// daemon's, so the timeseries can report p50/p95 over the last few
+  /// seconds instead of since-start). nullptr disables. Not owned; install
+  /// before serving starts and keep alive while the governor runs.
+  void set_latency_window(obs::RotatingQuantile* window) noexcept;
+
   // Metric names (in the daemon registry; surfaced by the "daemon"
   // stats-JSON section and tools/validate_obs.py).
   static constexpr const char* kMetricAdmitted = "daemon_analyses_admitted";
@@ -58,6 +69,7 @@ class LoadGovernor final : public session::AnalysisGate {
   int inflight_ = 0;
   int waiting_ = 0;
   double ewma_ms_;
+  obs::RotatingQuantile* latency_window_ = nullptr;
 
   obs::Counter& admitted_;
   obs::Counter& shed_;

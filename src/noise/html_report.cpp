@@ -331,6 +331,63 @@ void write_flame(std::ostream& os, const std::vector<obs::FoldedEntry>& profile)
   os << "</svg>\n</section>\n";
 }
 
+void write_live(std::ostream& os, const obs::TimeSeriesSnapshot& ts) {
+  os << "<section id=\"live\">\n<h2>Live telemetry</h2>\n";
+  if (ts.samples.empty()) {
+    os << "<p>Sampling disabled — rerun with <code>--sample-ms 250</code> to "
+       << "record periodic telemetry samples for this panel.</p>\n"
+       << "</section>\n";
+    return;
+  }
+  os << "<p class=\"legend\">" << ts.samples.size() << " samples every "
+     << ts.interval_ms << " ms (" << ts.total
+     << " recorded, ring keeps " << ts.capacity
+     << "); one sparkline per series over the retained window.</p>\n";
+  static constexpr double kW = 320.0;
+  static constexpr double kH = 26.0;
+  static constexpr double kPad = 2.0;
+  os << "<table>\n<tr><th>series</th><th>trend</th><th>min</th><th>last</th>"
+     << "<th>max</th></tr>\n";
+  const std::size_t n = ts.samples.size();
+  for (std::size_t si = 0; si < ts.series.size(); ++si) {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool first = true;
+    for (const obs::TimeSample& s : ts.samples) {
+      if (si >= s.v.size()) continue;
+      const double v = s.v[si];
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    const double span = (hi > lo) ? (hi - lo) : 1.0;
+    os << "<tr><td>" << html_escape(ts.series[si]) << "</td><td>"
+       << "<svg class=\"sparkbox\" width=\"" << kW << "\" height=\"" << kH
+       << "\" viewBox=\"0 0 " << kW << " " << kH << "\"><polyline class=\"spark\" "
+       << "points=\"";
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = si < ts.samples[i].v.size() ? ts.samples[i].v[si] : 0.0;
+      const double x =
+          n > 1 ? kPad + (kW - 2.0 * kPad) * static_cast<double>(i) /
+                             static_cast<double>(n - 1)
+                : kW / 2.0;
+      const double y = kH - kPad - (kH - 2.0 * kPad) * (v - lo) / span;
+      if (i != 0) os << ' ';
+      os << report::fmt_fixed(x, 1) << ',' << report::fmt_fixed(y, 1);
+    }
+    const double last =
+        si < ts.samples.back().v.size() ? ts.samples.back().v[si] : 0.0;
+    os << "\"/></svg></td><td>" << report::fmt_sci(lo) << "</td><td>"
+       << report::fmt_sci(last) << "</td><td>" << report::fmt_sci(hi)
+       << "</td></tr>\n";
+  }
+  os << "</table>\n</section>\n";
+}
+
 void write_phases(std::ostream& os, const Result& r) {
   os << "<section id=\"phases\">\n<h2>Phases &amp; request latency</h2>\n";
   os << "<table>\n<tr><th>metric</th><th>kind</th><th>value</th>"
@@ -391,6 +448,9 @@ svg .cumline { stroke: #e0a030; stroke-width: 2; }
         border: 1px solid #ddd; vertical-align: middle; }
 .ufill { height: 100%; background: #4878a8; }
 svg .flabel { font: 10px system-ui, sans-serif; fill: #fff; }
+svg.sparkbox { display: inline-block; background: #f8f9fa;
+               border: 1px solid #e3e6ea; vertical-align: middle; }
+.spark, svg .spark { fill: none; stroke: #4878a8; stroke-width: 1.5; }
 )css";
 
 }  // namespace
@@ -430,6 +490,7 @@ void write_html_report(std::ostream& os, const net::Design& design,
   write_slack_hist(os, r, hopt.slack_bins);
   write_executor(os, r);
   write_flame(os, hopt.profile);
+  write_live(os, hopt.timeseries);
   write_phases(os, r);
 
   os << "</body>\n</html>\n";

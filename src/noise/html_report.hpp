@@ -10,6 +10,7 @@
 //   #slack      endpoint noise-slack histogram (violations left of zero)
 //   #executor   per-worker utilization, per-region imbalance, attribution
 //   #flame      static SVG flamegraph of the sampled span stacks
+//   #live       telemetry sparklines from the timeseries ring (--sample-ms)
 //   #phases     stats-v2 phase/latency tables from the metrics snapshot
 #pragma once
 
@@ -20,6 +21,7 @@
 #include "netlist/design.hpp"
 #include "noise/analyzer.hpp"
 #include "obs/profile.hpp"
+#include "obs/timeseries.hpp"
 
 namespace nw::noise {
 
@@ -30,6 +32,9 @@ struct HtmlReportOptions {
   /// Collapsed-stack samples for the #flame panel (obs::Profiler::snapshot).
   /// Empty = profiling off; the panel renders a "profiling disabled" note.
   std::vector<obs::FoldedEntry> profile;
+  /// Telemetry ring snapshot for the #live panel (one sparkline per series).
+  /// Empty = sampling off; the panel renders a "sampling disabled" note.
+  obs::TimeSeriesSnapshot timeseries;
 };
 
 /// Render the dashboard for one analysis run. Chart content is derived

@@ -1,7 +1,10 @@
 #include "obs/log.hpp"
 
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+#include <string>
 
 namespace nw::obs {
 
@@ -12,6 +15,26 @@ std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
 namespace {
 std::mutex g_sink_mutex;
 std::ostream* g_sink = nullptr;  ///< nullptr = std::cerr
+
+// Per-thread origin labels; plain thread_locals, read only by the owning
+// thread when it assembles a line.
+thread_local std::string t_thread_label;
+thread_local std::uint64_t t_conn_id = 0;
+
+/// "[HH:MM:SS.mmm] " from the wall clock (local time, same as an operator's
+/// terminal); millisecond resolution is enough to line lines up with the
+/// trace's microsecond spans.
+void append_wall_clock(std::string& out) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  const std::time_t secs = ts.tv_sec;
+  localtime_r(&secs, &tm);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "[%02d:%02d:%02d.%03ld] ", tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ts.tv_nsec / 1000000);
+  out += buf;
+}
 }  // namespace
 
 const char* to_string(LogLevel l) noexcept {
@@ -38,13 +61,32 @@ void set_log_sink(std::ostream* os) noexcept {
   g_sink = os;
 }
 
+void set_log_thread_name(std::string_view name) {
+  t_thread_label.assign(name);
+}
+
+void set_log_connection(std::uint64_t id) noexcept { t_conn_id = id; }
+
 namespace detail {
 
 LogLine::~LogLine() {
   if (suppressed_ < 0) return;
-  std::string line = "[nw:";
+  std::string line;
+  append_wall_clock(line);
+  line += "[nw:";
   line += to_string(level_);
-  line += "] ";
+  line += "]";
+  if (!t_thread_label.empty()) {
+    line += " [";
+    line += t_thread_label;
+    line += "]";
+  }
+  if (t_conn_id != 0) {
+    line += " [conn ";
+    line += std::to_string(t_conn_id);
+    line += "]";
+  }
+  line += " ";
   line += os_.str();
   if (suppressed_ > 0) {
     line += " (";

@@ -15,11 +15,18 @@
 // The sink defaults to std::cerr and can be redirected (the CLI points it
 // at its own error stream; tests capture it). `set_log_level` picks the
 // most verbose level that still logs (default kWarn).
+//
+// Line format (origin segments appear only when set for the thread):
+//   [HH:MM:SS.mmm] [nw:<level>] [<thread>] [conn <id>] <message>
+// The wall-clock stamp and per-thread origin make one daemon log usable
+// for cross-connection forensics; the `[nw:<level>]` token stays intact
+// for grep.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <sstream>
+#include <string_view>
 
 namespace nw::obs {
 
@@ -41,6 +48,16 @@ void set_log_level(LogLevel l) noexcept;
 /// Redirect the sink (nullptr restores std::cerr). The caller keeps the
 /// stream alive while it is installed.
 void set_log_sink(std::ostream* os) noexcept;
+
+/// Label the calling thread's log lines (e.g. "conn-3"). Empty clears.
+/// Tracer::set_thread_name forwards here, so one call names the trace
+/// track, the profiler root frame, and the log origin together.
+void set_log_thread_name(std::string_view name);
+
+/// Attribute the calling thread's log lines to a daemon connection
+/// (0 clears). Lines render "... [conn N] ..." while set, which is what
+/// ties a slow-request warning back to the client that sent it.
+void set_log_connection(std::uint64_t id) noexcept;
 
 namespace detail {
 

@@ -33,9 +33,13 @@ namespace nw::obs {
 /// p50/p95/p99 quantile summaries. v3 adds the "executor" section
 /// (per-worker busy/idle, per-region utilization and imbalance, work
 /// attribution — rendered by noise::executor_stats_json and passed through
-/// `extra`). Clients feature-detect it through the `stats_schema` field of
-/// the server's `hello` response.
-inline constexpr int kStatsSchemaVersion = 3;
+/// `extra`). v4 adds the "timeseries" section (bounded ring of periodic
+/// live-telemetry samples, rendered by obs::TimeSeriesSnapshot::json and
+/// passed through `extra`), a "conn" field on slowlog entries, and the
+/// daemon's aggregated request_ms_* latency histograms. Clients
+/// feature-detect it through the `stats_schema` field of the server's
+/// `hello` response.
+inline constexpr int kStatsSchemaVersion = 4;
 
 /// Monotone event count.
 class Counter {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
 #include "obs/profile.hpp"
 #include <chrono>
 #include <cstdio>
@@ -52,6 +53,18 @@ std::chrono::steady_clock::time_point epoch() {
   return t0;
 }
 
+/// Counter samples arrive from one low-rate sampler thread, so a single
+/// mutex-guarded vector (leaked like the registry) is plenty.
+struct CounterStore {
+  std::mutex mutex;
+  std::vector<CounterEvent> events;
+};
+
+CounterStore& counter_store() {
+  static CounterStore* s = new CounterStore;
+  return *s;
+}
+
 }  // namespace
 
 const char* to_string(SpanKind k) noexcept {
@@ -100,12 +113,33 @@ void Tracer::clear() {
     std::lock_guard<std::mutex> blk(buf->mutex);
     buf->events.clear();
   }
+  CounterStore& cs = counter_store();
+  std::lock_guard<std::mutex> clk(cs.mutex);
+  cs.events.clear();
+}
+
+void Tracer::counter(std::string_view name, double value) {
+  if (!trace_enabled()) return;
+  CounterEvent ev;
+  ev.name = std::string(name);
+  ev.value = value;
+  ev.ts_ns = detail::now_ns();
+  CounterStore& cs = counter_store();
+  std::lock_guard<std::mutex> lock(cs.mutex);
+  cs.events.push_back(std::move(ev));
+}
+
+std::vector<CounterEvent> Tracer::counters() {
+  CounterStore& cs = counter_store();
+  std::lock_guard<std::mutex> lock(cs.mutex);
+  return cs.events;
 }
 
 void Tracer::set_thread_name(std::string name) {
-  // One call labels both consumers: the trace track and the profiler's
-  // folded-stack root frame.
+  // One call labels every consumer: the trace track, the profiler's
+  // folded-stack root frame, and the log-line origin segment.
   profile_set_thread_name(name);
+  set_log_thread_name(name);
   Buffer& buf = local_buffer();
   std::lock_guard<std::mutex> lock(buf.mutex);
   buf.thread_name = std::move(name);
@@ -200,6 +234,14 @@ void Tracer::write_chrome(std::ostream& os) {
        << json_escape(ev.name) << R"(","cat":")" << to_string(ev.kind) << R"(","ts":)"
        << static_cast<double>(ev.start_ns) / 1e3 << R"(,"dur":)"
        << static_cast<double>(ev.dur_ns) / 1e3 << "}";
+  }
+  // Counter samples render as value tracks. Chrome keys each track by
+  // (pid, name); tid 0 keeps them grouped above the span threads.
+  for (const CounterEvent& ev : Tracer::counters()) {
+    sep();
+    os << R"({"ph":"C","pid":0,"tid":0,"name":")" << json_escape(ev.name)
+       << R"(","ts":)" << static_cast<double>(ev.ts_ns) / 1e3 << R"(,"args":{")"
+       << json_escape(ev.name) << "\":" << ev.value << "}}";
   }
   os.flags(flags);
   os.precision(precision);

@@ -48,6 +48,15 @@ struct TraceEvent {
   std::int64_t dur_ns = 0;
 };
 
+/// One counter sample (Chrome trace phase "C"): a named scalar at a point
+/// in time. Rendered as a track alongside the span tracks, so queue depth
+/// and active-analysis counts line up with the requests that caused them.
+struct CounterEvent {
+  std::string name;
+  double value = 0.0;
+  std::int64_t ts_ns = 0;
+};
+
 namespace detail {
 /// One consumer-enable mask shared by every span site: bit 0 = the tracer
 /// (record completed events), bit 1 = the sampling profiler (maintain the
@@ -95,6 +104,14 @@ class Tracer {
 
   /// Snapshot of all recorded events, ordered by (tid, start).
   [[nodiscard]] static std::vector<TraceEvent> events();
+
+  /// Record one counter sample at "now". No-op while tracing is disabled
+  /// (same guard as spans). Safe from any thread; the expected caller is
+  /// a low-rate sampler (a few Hz), so the shared store is one mutex.
+  static void counter(std::string_view name, double value);
+
+  /// Snapshot of all recorded counter samples, in record order.
+  [[nodiscard]] static std::vector<CounterEvent> counters();
 
   /// Chrome trace-event JSON: {"traceEvents":[...]} with complete ("X")
   /// events in microseconds plus thread_name metadata — loads directly in

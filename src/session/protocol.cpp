@@ -205,6 +205,15 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     if (caps_.daemon) {
       o.set("connection", static_cast<double>(caps_.connection_id));
     }
+    // Optional-command discovery: clients check membership instead of
+    // probing with unknown_cmd round trips.
+    Json features = Json::array();
+    features.push_back("stats");
+    features.push_back("slowlog");
+    features.push_back("profile");
+    if (watch_) features.push_back("watch");
+    if (shutdown_) features.push_back("shutdown");
+    o.set("features", std::move(features));
     Json limits = Json::object();
     limits.set("max_line_bytes", kMaxLineBytes);
     limits.set("max_queued", caps_.max_queued);
@@ -218,6 +227,12 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     Json o = metrics_json(session_.metrics_snapshot());
     o.set("epoch", static_cast<double>(session_.epoch()));
     o.set("undo_depth", session_.undo_depth());
+    if (stats_extra_) {
+      const Json extra = stats_extra_(args);
+      if (extra.is_object()) {
+        for (const auto& [k, v] : extra.members()) o.set(k, v);
+      }
+    }
     return o;
   }
   if (cmd == "slowlog") {
@@ -430,6 +445,10 @@ Json Protocol::dispatch(const std::string& cmd, const Json& args) {
     return o;
   }
 
+  // Daemon-only: subscribe/unsubscribe this connection to periodic
+  // {"event":"stats",...} lines (the handler owns the streamer thread).
+  if (cmd == "watch" && watch_) return watch_(args);
+
   // Daemon-only: begin a graceful drain. The handler (installed by the
   // daemon) flips the drain flag; this response still goes out, then the
   // connection winds down like any other.
@@ -485,9 +504,16 @@ std::string Protocol::handle_line(std::string_view line) {
     // The request span encloses dispatch — and with it any analysis the
     // command triggers on this thread, so phase spans nest inside it (and
     // the profiler's samples attribute to this request's stack).
+    // Daemon spans carry "<connection>.<request>" so one trace of many
+    // concurrent clients still attributes each request end to end (the
+    // same "conn.req" key the slowlog and NW_LOG warnings use).
     std::optional<obs::Span> span;
     if (reqobs_ != nullptr && obs::spans_active()) {
-      span.emplace("request " + std::to_string(req_id) + ": " + cmd_name,
+      const std::string req_key =
+          caps_.connection_id != 0
+              ? std::to_string(caps_.connection_id) + "." + std::to_string(req_id)
+              : std::to_string(req_id);
+      span.emplace("request " + req_key + ": " + cmd_name,
                    obs::SpanKind::kRequest);
     }
     const Json* args = req->find("args");

@@ -108,6 +108,23 @@ class Protocol {
     shutdown_ = std::move(handler);
   }
 
+  /// Merge extra members into the `stats` response (the daemon installs one
+  /// returning its "daemon"/"timeseries"/"latency" sections; `args` is the
+  /// request's args object, so clients can ask for the last-N samples via
+  /// {"samples": N}). The returned object's members are merged over the
+  /// base response.
+  void set_stats_augmenter(std::function<Json(const Json& args)> augmenter) {
+    stats_extra_ = std::move(augmenter);
+  }
+
+  /// Enable the `watch` command (streaming stats events over the event-line
+  /// channel). The handler runs on the dispatching thread; its return value
+  /// becomes the response data. Without one, `watch` is unknown_cmd (the
+  /// stdio server has no event streamer).
+  void set_watch_handler(std::function<Json(const Json& args)> handler) {
+    watch_ = std::move(handler);
+  }
+
   // Metric names (registered in the session's registry).
   static constexpr const char* kMetricRequests = "protocol_requests";
   static constexpr const char* kMetricErrors = "protocol_errors";
@@ -120,6 +137,8 @@ class Protocol {
   ServerCaps caps_;
   AnalysisGate* gate_ = nullptr;      ///< not owned; may be nullptr
   std::function<Json()> shutdown_;    ///< empty unless the daemon installs one
+  std::function<Json(const Json&)> stats_extra_;  ///< daemon stats sections
+  std::function<Json(const Json&)> watch_;        ///< daemon stats streaming
   obs::Counter& requests_;
   obs::Counter& errors_;
 };

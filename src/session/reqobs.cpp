@@ -46,9 +46,17 @@ void RequestContext::observe(std::uint64_t id, const std::string& cmd, double ms
       .histogram(std::string(kLatencyPrefix) + cmd, "request latency",
                  kLatencyBoundsMs, "ms", /*deterministic=*/false)
       .observe(ms);
+  if (aggregate_ != nullptr) {
+    aggregate_
+        ->histogram(std::string(kLatencyPrefix) + cmd,
+                    "request latency (all connections)", kLatencyBoundsMs, "ms",
+                    /*deterministic=*/false)
+        .observe(ms);
+  }
   if (ms < slow_ms_) return;
   SlowRequest slow;
   slow.id = id;
+  slow.connection = connection_;
   slow.cmd = cmd;
   slow.ms = ms;
   slow.ok = ok;
@@ -59,8 +67,13 @@ void RequestContext::observe(std::uint64_t id, const std::string& cmd, double ms
   if (profile.size() > kMaxProfileLines) profile.resize(kMaxProfileLines);
   slow.profile = std::move(profile);
   slow_log_.record(std::move(slow));
-  NW_LOG(kWarn) << "slow request " << id << " (" << cmd << "): " << ms
-                << " ms >= " << slow_ms_ << " ms threshold";
+  if (connection_ != 0) {
+    NW_LOG(kWarn) << "slow request " << connection_ << "." << id << " (" << cmd
+                  << "): " << ms << " ms >= " << slow_ms_ << " ms threshold";
+  } else {
+    NW_LOG(kWarn) << "slow request " << id << " (" << cmd << "): " << ms
+                  << " ms >= " << slow_ms_ << " ms threshold";
+  }
 }
 
 Json RequestContext::slowlog_json() const {
@@ -68,6 +81,7 @@ Json RequestContext::slowlog_json() const {
   for (const SlowRequest& r : slow_log_.entries()) {
     Json e = Json::object();
     e.set("id", static_cast<double>(r.id));
+    if (r.connection != 0) e.set("conn", static_cast<double>(r.connection));
     e.set("cmd", r.cmd);
     e.set("ms", r.ms);
     e.set("ok", r.ok);

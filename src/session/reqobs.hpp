@@ -44,6 +44,7 @@ struct RequestPhases {
 /// One remembered over-threshold request.
 struct SlowRequest {
   std::uint64_t id = 0;   ///< request id (monotonic per context)
+  std::uint64_t connection = 0;  ///< daemon connection id (0 = stdio serve)
   std::string cmd;        ///< resolved command ("_invalid" pre-resolution)
   double ms = 0.0;        ///< wall time of handle_line
   bool ok = true;         ///< false when the response was an error
@@ -86,6 +87,18 @@ class RequestContext {
   [[nodiscard]] std::uint64_t next_id() noexcept;
   [[nodiscard]] double slow_ms() const noexcept { return slow_ms_; }
 
+  /// Attribute this context to a daemon connection: slow-log entries gain
+  /// a "conn" field and the slow-request warning names the connection.
+  /// 0 (the default) marks a stdio conversation and renders nothing.
+  void set_connection(std::uint64_t id) noexcept { connection_ = id; }
+  [[nodiscard]] std::uint64_t connection() const noexcept { return connection_; }
+
+  /// Also mirror latency observations into a second registry (the
+  /// daemon's), aggregating request_ms_* across every connection so the
+  /// `stats` command and nwtop see fleet-wide latency, not one client's.
+  /// nullptr (the default) disables mirroring.
+  void set_aggregate(obs::Registry* reg) noexcept { aggregate_ = reg; }
+
   /// Record one handled request: feeds the command's latency histogram and,
   /// when over threshold, the slow log + a rate-limited warning. `cmd` must
   /// already be cardinality-bounded (see header comment). `phases` is
@@ -112,7 +125,9 @@ class RequestContext {
 
  private:
   obs::Registry& registry_;
+  obs::Registry* aggregate_ = nullptr;
   double slow_ms_;
+  std::uint64_t connection_ = 0;
   std::atomic<std::uint64_t> next_id_{1};
   SlowLog slow_log_;
 };

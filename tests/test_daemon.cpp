@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -536,6 +537,199 @@ TEST(Daemon, StatsSectionCarriesServingCounters) {
   ASSERT_NE(stats.find("shed"), nullptr);
   ASSERT_NE(stats.find("analyze_ewma_ms"), nullptr);
   EXPECT_EQ(d.meta().design, base.design->name());
+}
+
+// ---- live telemetry (stats / watch) ----------------------------------------
+
+TEST(Daemon, HelloAdvertisesWatchFeatureAndSchemaV4) {
+  const Base base = make_base();
+  Daemon d(daemon_config(base, unique_socket_path("feat")), base.design, base.para);
+  d.start();
+  {
+    Client c(d.bound_endpoint());
+    const session::Json resp = parse(c.request("{\"id\":1,\"cmd\":\"hello\"}"));
+    ASSERT_TRUE(is_ok(resp));
+    const session::Json& data = *resp.find("data");
+    EXPECT_EQ(data.find("stats_schema")->as_number(),
+              static_cast<double>(obs::kStatsSchemaVersion));
+    EXPECT_EQ(data.find("stats_schema")->as_number(), 4.0);
+    const session::Json* features = data.find("features");
+    ASSERT_NE(features, nullptr);
+    bool has_watch = false;
+    bool has_stats = false;
+    for (const session::Json& f : features->items()) {
+      has_watch |= f.is_string() && f.as_string() == "watch";
+      has_stats |= f.is_string() && f.as_string() == "stats";
+    }
+    EXPECT_TRUE(has_watch);
+    EXPECT_TRUE(has_stats);
+  }
+  d.stop();
+}
+
+TEST(Daemon, StatsCommandServesDaemonTimeseriesAndLatencySections) {
+  const Base base = make_base();
+  DaemonConfig cfg = daemon_config(base, unique_socket_path("livestats"));
+  cfg.sample_interval_ms = 5;  // fast ticks so several samples accumulate
+  Daemon d(cfg, base.design, base.para);
+  d.start();
+  {
+    Client c(d.bound_endpoint());
+    ASSERT_TRUE(is_ok(parse(c.request("{\"id\":1,\"cmd\":\"violations\"}"))));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const session::Json resp =
+        parse(c.request("{\"id\":2,\"cmd\":\"stats\",\"args\":{\"samples\":8}}"));
+    ASSERT_TRUE(is_ok(resp));
+    const session::Json& data = *resp.find("data");
+
+    // The per-session sections are still there; the daemon augments them.
+    ASSERT_NE(data.find("counters"), nullptr);
+    const session::Json* daemon = data.find("daemon");
+    ASSERT_NE(daemon, nullptr);
+    EXPECT_GE(daemon->find("accepted")->as_number(), 1.0);
+
+    const session::Json* ts = data.find("timeseries");
+    ASSERT_NE(ts, nullptr);
+    const session::Json* series = ts->find("series");
+    const session::Json* samples = ts->find("samples");
+    ASSERT_NE(series, nullptr);
+    ASSERT_NE(samples, nullptr);
+    ASSERT_FALSE(samples->items().empty());
+    EXPECT_LE(samples->items().size(), 8u);
+    double prev_t = -1.0;
+    for (const session::Json& row : samples->items()) {
+      ASSERT_NE(row.find("t_ms"), nullptr);
+      ASSERT_NE(row.find("v"), nullptr);
+      EXPECT_EQ(row.find("v")->items().size(), series->items().size());
+      EXPECT_GE(row.find("t_ms")->as_number(), prev_t);  // monotone times
+      prev_t = row.find("t_ms")->as_number();
+    }
+
+    const session::Json* latency = data.find("latency");
+    ASSERT_NE(latency, nullptr);
+    const session::Json* vio = latency->find("violations");
+    ASSERT_NE(vio, nullptr);
+    EXPECT_GE(vio->find("count")->as_number(), 1.0);
+    EXPECT_GE(vio->find("p95")->as_number(), 0.0);
+
+    // samples:0 = section metadata only, samples stripped.
+    const session::Json meta_only =
+        parse(c.request("{\"id\":3,\"cmd\":\"stats\",\"args\":{\"samples\":0}}"));
+    ASSERT_TRUE(is_ok(meta_only));
+    const session::Json* mts = meta_only.find("data")->find("timeseries");
+    ASSERT_NE(mts, nullptr);
+    EXPECT_TRUE(mts->find("samples")->items().empty());
+    EXPECT_GT(mts->find("capacity")->as_number(), 0.0);
+
+    // Bad args are a structured error, not a dropped connection.
+    const session::Json bad = parse(
+        c.request("{\"id\":4,\"cmd\":\"stats\",\"args\":{\"samples\":-1}}"));
+    EXPECT_FALSE(is_ok(bad));
+    EXPECT_EQ(error_code(bad), "bad_args");
+  }
+  d.stop();
+}
+
+TEST(Daemon, WatchStreamsStatsEventsAndStopsCleanly) {
+  const Base base = make_base();
+  DaemonConfig cfg = daemon_config(base, unique_socket_path("watch"));
+  cfg.min_watch_period_ms = 5;
+  Daemon d(cfg, base.design, base.para);
+  d.start();
+  {
+    Client c(d.bound_endpoint());
+    const session::Json sub = parse(c.request(
+        "{\"id\":1,\"cmd\":\"watch\",\"args\":{\"action\":\"start\","
+        "\"period_ms\":10}}"));
+    ASSERT_TRUE(is_ok(sub));
+    const session::Json* data = sub.find("data");
+    ASSERT_NE(data, nullptr);
+    EXPECT_TRUE(data->find("watching")->as_bool());
+    EXPECT_EQ(data->find("period_ms")->as_number(), 10.0);
+
+    // Three events: seq increments from 0, each carries the live gauges.
+    double expect_seq = 0.0;
+    for (int i = 0; i < 3;) {
+      const std::string line = c.next_line();
+      ASSERT_FALSE(line.empty());
+      if (line.find("\"event\":\"stats\"") == std::string::npos) continue;
+      const session::Json ev = parse(line);
+      EXPECT_EQ(ev.find("seq")->as_number(), expect_seq);
+      expect_seq += 1.0;
+      EXPECT_GE(ev.find("t_ms")->as_number(), 0.0);
+      const session::Json* live = ev.find("daemon");
+      ASSERT_NE(live, nullptr);
+      EXPECT_NE(live->find("queue_depth"), nullptr);
+      EXPECT_NE(live->find("rss_mb"), nullptr);
+      ++i;
+    }
+
+    const session::Json stop = parse(
+        c.request("{\"id\":2,\"cmd\":\"watch\",\"args\":{\"action\":\"stop\"}}"));
+    ASSERT_TRUE(is_ok(stop));
+    EXPECT_FALSE(stop.find("data")->find("watching")->as_bool());
+    EXPECT_EQ(stop.find("data")->find("period_ms")->as_number(), 0.0);
+
+    // The stop response is written after the watcher joined, so nothing may
+    // stream past it: the very next line must be the hello response.
+    c.send("{\"id\":3,\"cmd\":\"hello\"}");
+    const std::string after = c.next_line();
+    EXPECT_EQ(after.find("\"event\":"), std::string::npos) << after;
+    EXPECT_NE(after.find("\"id\":3"), std::string::npos) << after;
+  }
+  d.stop();
+}
+
+TEST(Daemon, WatchRateCapClampsFirehosePeriods) {
+  const Base base = make_base();
+  DaemonConfig cfg = daemon_config(base, unique_socket_path("watchcap"));
+  cfg.min_watch_period_ms = 40;
+  Daemon d(cfg, base.design, base.para);
+  d.start();
+  {
+    Client c(d.bound_endpoint());
+    const session::Json sub = parse(c.request(
+        "{\"id\":1,\"cmd\":\"watch\",\"args\":{\"period_ms\":1}}"));
+    ASSERT_TRUE(is_ok(sub));
+    // Clamped to the floor and reported back, not errored.
+    EXPECT_EQ(sub.find("data")->find("period_ms")->as_number(), 40.0);
+    EXPECT_EQ(sub.find("data")->find("min_period_ms")->as_number(), 40.0);
+  }
+  d.stop();
+}
+
+TEST(Daemon, WatchTearsDownOnAbruptDisconnect) {
+  const Base base = make_base();
+  DaemonConfig cfg = daemon_config(base, unique_socket_path("watchdrop"));
+  cfg.min_watch_period_ms = 5;
+  Daemon d(cfg, base.design, base.para);
+  d.start();
+  {
+    Client c(d.bound_endpoint());
+    ASSERT_TRUE(is_ok(parse(
+        c.request("{\"id\":1,\"cmd\":\"watch\",\"args\":{\"period_ms\":5}}"))));
+    ASSERT_FALSE(c.next_line().empty());  // the stream is live
+  }  // socket drops with the subscription still active
+  // Connection teardown joins the watcher; a drain afterwards must not hang.
+  d.stop();
+  EXPECT_TRUE(d.draining());
+}
+
+TEST(Daemon, TimeseriesRingStaysBoundedUnderSamplerLoad) {
+  const Base base = make_base();
+  DaemonConfig cfg = daemon_config(base, unique_socket_path("ringbound"));
+  cfg.sample_interval_ms = 1;
+  cfg.sample_capacity = 4;
+  Daemon d(cfg, base.design, base.para);
+  d.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  const obs::TimeSeriesSnapshot snap = d.timeseries_snapshot();
+  EXPECT_LE(snap.samples.size(), 4u);
+  EXPECT_GT(snap.total, snap.samples.size());  // wrapped, memory stayed put
+  for (std::size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_GE(snap.samples[i].t_ms, snap.samples[i - 1].t_ms);
+  }
+  d.stop();
 }
 
 TEST(Daemon, TcpTransportServesTheSameProtocol) {

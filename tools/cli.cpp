@@ -26,6 +26,8 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/resource.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
 #include "net/daemon.hpp"
 #include "net/socket.hpp"
@@ -59,6 +61,8 @@ struct Args {
   int analysis_slots = 2;       ///< daemon: --analysis-slots (0 = shed all)
   int max_waiters = 8;          ///< daemon: --max-waiters behind busy slots
   int idle_timeout_s = 300;     ///< daemon: --idle-timeout seconds (0 = never)
+  int sample_ms = -1;           ///< --sample-ms: telemetry period (-1 = default)
+  int sample_cap = 512;         ///< --sample-cap: timeseries ring bound
   noise::Options noise_opt;
   double slow_ms = 100.0;  ///< --slow-ms: serve slow-request threshold
   bool delay_impact = false;
@@ -103,6 +107,12 @@ const char kUsage[] =
     "  --max-waiters <n>   admissions queued behind busy slots (default 8)\n"
     "  --idle-timeout <s>  disconnect silent clients after s seconds; 0 keeps\n"
     "                      them forever (default 300)\n"
+    "  --sample-ms <ms>    live-telemetry sampling period: the daemon records\n"
+    "                      queue depth/connections/latency into the bounded\n"
+    "                      'timeseries' stats ring (default 250; 0 disables).\n"
+    "                      Under analyze: sample RSS during the run (default\n"
+    "                      off); results are bit-identical either way\n"
+    "  --sample-cap <n>    telemetry samples retained (ring bound, default 512)\n"
     "  --profile-out <file> write a collapsed-stack ('folded') sampling\n"
     "                      profile of the run — one 'thread;span;span N' line\n"
     "                      per stack, ready for flamegraph tooling; results\n"
@@ -292,6 +302,18 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
       const auto v = need_value();
       if (!v) return std::nullopt;
       a.idle_timeout_s = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--sample-ms") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.sample_ms = static_cast<int>(nw::parse_uint(*v));
+    } else if (arg == "--sample-cap") {
+      const auto v = need_value();
+      if (!v) return std::nullopt;
+      a.sample_cap = static_cast<int>(nw::parse_uint(*v));
+      if (a.sample_cap < 1) {
+        err << "noisewin: --sample-cap must be at least 1\n";
+        return std::nullopt;
+      }
     } else if (arg == "--verbose" || arg == "-v") {
       ++a.verbose;
     } else if (arg == "--delay-impact") {
@@ -589,6 +611,8 @@ int run_daemon(const Args& a, std::ostream& out) {
   cfg.idle_timeout_s = a.idle_timeout_s;
   cfg.slow_ms = a.slow_ms;
   cfg.progress_events = a.progress;
+  if (a.sample_ms >= 0) cfg.sample_interval_ms = a.sample_ms;
+  cfg.sample_capacity = static_cast<std::size_t>(a.sample_cap);
   cfg.session.noise = a.noise_opt;
   cfg.session.sta = sta_opt;
 
@@ -626,7 +650,8 @@ int run_daemon(const Args& a, std::ostream& out) {
   if (!a.stats_json_path.empty()) {
     std::ofstream sf = open_output(a.stats_json_path, "--stats-json");
     const std::pair<std::string, std::string> extra[] = {
-        {"daemon", daemon.stats_section_json()}};
+        {"daemon", daemon.stats_section_json()},
+        {"timeseries", daemon.timeseries_section_json()}};
     obs::write_stats_json(sf, daemon.meta(), daemon.registry().snapshot(), extra);
     require_written(sf, "--stats-json", a.stats_json_path);
     NW_LOG(kInfo) << "daemon stats written to " << a.stats_json_path;
@@ -698,11 +723,31 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
 
     const sta::Result timing = sta::run(*design, *parasitics, sta_opt);
     start_profiler(a, "main");
+    // --sample-ms under analyze: record the run's memory trajectory into a
+    // bounded ring (read-only sampling; results are bit-identical with it
+    // on or off). Feeds the stats "timeseries" section and the dashboard's
+    // #live panel.
+    obs::TimeSeriesRing live_ring({"rss_mb", "peak_rss_mb"},
+                                  static_cast<std::size_t>(a.sample_cap));
+    std::optional<obs::Sampler> live_sampler;
+    if (a.sample_ms > 0) {
+      live_sampler.emplace(
+          live_ring,
+          [] {
+            const obs::ResourceSample r = obs::sample_resources();
+            return std::vector<double>{
+                static_cast<double>(r.rss_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0)};
+          },
+          a.sample_ms);
+      live_sampler->start();
+    }
     std::optional<StderrProgress> meter;
     if (a.progress) meter.emplace(err);
     const noise::Result result = noise::analyze(*design, *parasitics, timing,
                                                 a.noise_opt, meter ? &*meter : nullptr);
     if (meter) meter->finish();
+    if (live_sampler) live_sampler->stop();
     // Stop sampling before report rendering so the profile covers exactly
     // the analysis; the folded artifact is written with the other outputs.
     obs::Profiler::stop();
@@ -730,6 +775,7 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
       std::ostringstream hs;
       noise::HtmlReportOptions hopt;
       if (!a.profile_path.empty()) hopt.profile = obs::Profiler::snapshot();
+      if (a.sample_ms > 0) hopt.timeseries = live_ring.snapshot();
       noise::write_html_report(hs, *design, a.noise_opt, result, hopt);
       html = hs.str();
       html_ms = std::chrono::duration<double, std::milli>(
@@ -756,8 +802,11 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
         snap.samples.push_back(
             timing_sample("explain_ms", "provenance rendering time", explain_ms));
       }
-      const std::pair<std::string, std::string> extra[] = {
+      std::vector<std::pair<std::string, std::string>> extra = {
           {"executor", noise::executor_stats_json(result)}};
+      if (a.sample_ms > 0) {
+        extra.emplace_back("timeseries", live_ring.snapshot().json());
+      }
       obs::write_stats_json(sf, result.run_meta, snap, extra);
       require_written(sf, "--stats-json", a.stats_json_path);
       NW_LOG(kInfo) << "stats written to " << a.stats_json_path;

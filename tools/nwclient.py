@@ -194,14 +194,17 @@ def check_hello(c: NwClient, daemon: bool) -> dict:
     hello = c.request("hello")
     check(hello["protocol"] == 1, f"protocol v1, design '{hello['design']}'")
     check(
-        hello.get("stats_schema") == 3,
+        hello.get("stats_schema") == 4,
         f"server {hello.get('version', '?')} ({hello.get('build', '?')}) "
         f"speaks stats schema v{hello.get('stats_schema')}",
     )
+    features = hello.get("features", [])
+    check("stats" in features, f"hello advertises features {features}")
     limits = hello.get("limits", {})
     check(limits.get("max_line_bytes", 0) > 0, "hello advertises max_line_bytes")
     if daemon:
         check(hello.get("daemon") is True, "hello advertises daemon mode")
+        check("watch" in features, "daemon advertises the watch feature")
         check(hello.get("transport") in ("unix", "tcp"),
               f"transport is {hello.get('transport')!r}")
         check(hello.get("connection", 0) >= 1, "hello carries the connection id")
@@ -560,6 +563,71 @@ def run_progress_cancel(args) -> None:
     print("nwclient progress/cancel: all checks passed")
 
 
+def run_watch(args) -> None:
+    """The streaming-telemetry scenario: subscribe, collect N stats events,
+    unsubscribe, and verify the stream went quiet.
+
+    The daemon's contract makes "quiet" checkable without sleeping: the
+    watch-stop response is only written after the streamer thread joined,
+    so every line after it belongs to request/response traffic. We still
+    idle a few periods before probing, so a leaky streamer would have had
+    every chance to emit."""
+    check(bool(args.connect), "--watch needs --connect")
+    t = SocketTransport(args.connect)
+
+    def send(req: dict) -> None:
+        t.send_line(json.dumps(req))
+
+    period_ms = 50
+    want_events = 5
+    send({"id": 1, "cmd": "watch",
+          "args": {"action": "start", "period_ms": period_ms}})
+    events = []
+    sub = None
+    while sub is None or len(events) < want_events:
+        line = t.recv_line()
+        if not line:
+            check(False, "daemon closed mid-watch")
+        msg = json.loads(line)
+        if msg.get("event") == "stats":
+            events.append(msg)
+            continue
+        if msg.get("event"):
+            continue
+        sub = msg
+        check(sub.get("ok") and sub["data"].get("watching") is True,
+              f"watch subscribed at {sub['data'].get('period_ms')} ms "
+              f"(floor {sub['data'].get('min_period_ms')} ms)")
+    seqs = [e.get("seq") for e in events]
+    check(seqs == sorted(seqs) and len(set(seqs)) == len(seqs),
+          f"event seq strictly increases ({seqs})")
+    times = [e.get("t_ms", -1.0) for e in events]
+    check(all(b >= a for a, b in zip(times, times[1:])),
+          "event t_ms is nondecreasing")
+    for e in events:
+        live = e.get("daemon", {})
+        for key in ("queue_depth", "active", "inflight", "rss_mb"):
+            check(key in live, f"stats event carries '{key}'")
+
+    send({"id": 2, "cmd": "watch", "args": {"action": "stop"}})
+    while True:
+        msg = json.loads(t.recv_line())
+        if msg.get("event"):
+            continue
+        break
+    check(msg.get("ok") and msg["data"].get("watching") is False,
+          "watch unsubscribed")
+
+    time.sleep(3 * period_ms / 1000.0)
+    send({"id": 3, "cmd": "hello"})
+    line = t.recv_line()
+    msg = json.loads(line)
+    check("event" not in msg and msg.get("id") == 3,
+          "no further events after unsubscribe (next line is the response)")
+    t.close()
+    print(f"nwclient watch: {len(events)} events streamed, clean teardown")
+
+
 def run_shutdown(args) -> None:
     """Ask the daemon to drain and verify the connection winds down."""
     check(bool(args.connect), "--shutdown needs --connect")
@@ -598,12 +666,18 @@ def main() -> None:
     ap.add_argument("--progress-cancel", action="store_true",
                     help="run the streaming progress + mid-analyze cancel "
                          "scenario instead of the ECO conversation")
+    ap.add_argument("--watch", action="store_true",
+                    help="run the streaming-telemetry scenario: subscribe, "
+                         "collect stats events, unsubscribe, verify silence")
     ap.add_argument("--shutdown", action="store_true",
                     help="send the daemon a shutdown request and exit")
     args = ap.parse_args()
 
     if args.shutdown:
         run_shutdown(args)
+        return
+    if args.watch:
+        run_watch(args)
         return
     if args.progress_cancel:
         run_progress_cancel(args)

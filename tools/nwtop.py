@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""nwtop: live terminal monitor for a running noisewin daemon (stdlib only).
+
+Connects to the daemon's JSONL endpoint and renders a top-style frame:
+utilization bars (connections, analysis slots), queue/shed trends from the
+telemetry ring, and the slowest commands from the aggregated per-command
+latency histograms. No shutdown, no interference — everything comes from
+the `stats` and `watch` commands a serving daemon answers live.
+
+    python3 tools/nwtop.py --connect unix:/tmp/noisewin.sock
+    python3 tools/nwtop.py --connect tcp:127.0.0.1:9191 --period-ms 500
+    python3 tools/nwtop.py --connect unix:/tmp/noisewin.sock --once
+
+--once renders a single frame from one `stats` round-trip and exits 0
+(the CI smoke check); live mode subscribes with `watch` and redraws on
+every {"event":"stats"} line until Ctrl-C, then unsubscribes cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import time
+
+SPARK_CHARS = " .:-=+*#%@"
+BAR_WIDTH = 24
+SPARK_WIDTH = 30
+
+
+class Conn:
+    """One line-oriented daemon connection over unix:<path> or tcp:<host>:<port>."""
+
+    def __init__(self, spec: str, timeout_s: float = 30.0):
+        if spec.startswith("unix:"):
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self.sock.connect(spec[len("unix:"):])
+        elif spec.startswith("tcp:"):
+            host, _, port = spec[len("tcp:"):].rpartition(":")
+            self.sock = socket.create_connection((host, int(port)))
+        else:
+            raise ValueError(
+                f"--connect wants unix:<path> or tcp:<host>:<port>, got {spec!r}")
+        self.sock.settimeout(timeout_s)
+        self.rfile = self.sock.makefile("r", encoding="utf-8", newline="\n")
+        self.next_id = 0
+
+    def request(self, cmd: str, args: dict | None = None) -> dict:
+        """One request, one response (events skipped); raises on ok=false."""
+        self.next_id += 1
+        req = {"id": self.next_id, "cmd": cmd}
+        if args:
+            req["args"] = args
+        self.sock.sendall((json.dumps(req) + "\n").encode("utf-8"))
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                raise RuntimeError(f"daemon closed the connection during '{cmd}'")
+            msg = json.loads(line)
+            if "event" in msg:
+                continue
+            if not msg.get("ok"):
+                err = msg.get("error", {})
+                raise RuntimeError(
+                    f"'{cmd}' failed: {err.get('code')}: {err.get('message')}")
+            return msg["data"]
+
+    def next_event(self, name: str) -> dict:
+        """Block until the next {"event": name, ...} line."""
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                raise RuntimeError("daemon closed the connection mid-watch")
+            msg = json.loads(line)
+            if msg.get("event") == name:
+                return msg
+
+    def close(self) -> None:
+        try:
+            self.rfile.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def bar(used: float, cap: float, width: int = BAR_WIDTH) -> str:
+    """`[#####.....] 5/32` — a utilization bar with the raw numbers."""
+    cap = max(cap, 0.0)
+    frac = 0.0 if cap <= 0 else min(max(used / cap, 0.0), 1.0)
+    filled = int(round(frac * width))
+    return (f"[{'#' * filled}{'.' * (width - filled)}] "
+            f"{used:.0f}/{cap:.0f}" if cap > 0 else f"{used:.0f} (uncapped)")
+
+
+def sparkline(values: list[float], width: int = SPARK_WIDTH) -> str:
+    """ASCII sparkline of the last `width` values, scaled to their range."""
+    vals = values[-width:]
+    if not vals:
+        return "(no samples)"
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_CHARS[1] * len(vals) + f"  ({hi:.3g})"
+    steps = len(SPARK_CHARS) - 1
+    out = "".join(
+        SPARK_CHARS[1 + int((v - lo) / span * (steps - 1))] for v in vals)
+    return out + f"  ({lo:.3g}..{hi:.3g})"
+
+
+def deltas(values: list[float]) -> list[float]:
+    """Per-sample increments of a cumulative counter series (floored at 0)."""
+    return [max(b - a, 0.0) for a, b in zip(values, values[1:])]
+
+
+def series_column(ts: dict, name: str) -> list[float]:
+    try:
+        idx = ts["series"].index(name)
+    except (KeyError, ValueError):
+        return []
+    return [float(s["v"][idx]) for s in ts.get("samples", [])
+            if idx < len(s.get("v", []))]
+
+
+def last_sample_gauges(ts: dict) -> dict:
+    """The newest ring sample as {series_name: value} — fills the live
+    gauges (inflight, rss, window quantiles) the cumulative daemon section
+    does not carry."""
+    samples = ts.get("samples", [])
+    if not samples:
+        return {}
+    return dict(zip(ts.get("series", []), samples[-1].get("v", [])))
+
+
+def render_frame(hello: dict, daemon: dict, ts: dict, latency: dict,
+                 note: str = "") -> str:
+    lines = []
+    design = hello.get("design", "?")
+    transport = hello.get("transport", "?")
+    lines.append(f"nwtop — {design} via {transport}"
+                 f"{('  ' + note) if note else ''}")
+    lines.append("")
+    lines.append("  utilization")
+    lines.append(f"    connections   {bar(daemon.get('active', 0.0), daemon.get('max_connections', 0.0))}")
+    lines.append(f"    analyses      {bar(daemon.get('inflight', 0.0), daemon.get('analysis_slots', 0.0))}"
+                 f"   waiting {daemon.get('waiting', 0):.0f}")
+    lines.append(f"    analyze ewma  {daemon.get('analyze_ewma_ms', 0.0):8.2f} ms"
+                 f"   p50 {daemon.get('analyze_p50_ms', 0.0):.2f}"
+                 f"   p95 {daemon.get('analyze_p95_ms', 0.0):.2f}")
+    lines.append(f"    rss           {daemon.get('rss_mb', 0.0):8.1f} MB")
+    lines.append("")
+    lines.append("  totals")
+    lines.append(f"    accepted {daemon.get('accepted', 0):.0f}"
+                 f"   handled {daemon.get('handled', 0):.0f}"
+                 f"   shed {daemon.get('shed', 0):.0f}"
+                 f"   queue_rejected {daemon.get('queue_rejected', 0):.0f}")
+    if ts.get("samples"):
+        lines.append("")
+        lines.append(f"  trends (ring: {len(ts['samples'])} samples"
+                     f" @ {ts.get('interval_ms', 0)} ms)")
+        lines.append(f"    queue depth   {sparkline(series_column(ts, 'queue_depth'))}")
+        lines.append(f"    active conns  {sparkline(series_column(ts, 'active'))}")
+        lines.append(f"    shed/tick     {sparkline(deltas(series_column(ts, 'shed')))}")
+        lines.append(f"    handled/tick  {sparkline(deltas(series_column(ts, 'handled')))}")
+        lines.append(f"    rss MB        {sparkline(series_column(ts, 'rss_mb'))}")
+    if latency:
+        lines.append("")
+        lines.append("  slowest commands (all connections)")
+        lines.append(f"    {'command':<22} {'count':>7} {'p50 ms':>9} "
+                     f"{'p95 ms':>9} {'max ms':>9}")
+        ranked = sorted(latency.items(),
+                        key=lambda kv: kv[1].get("p95", 0.0), reverse=True)
+        for cmd, h in ranked[:8]:
+            lines.append(f"    {cmd:<22} {h.get('count', 0):>7.0f} "
+                         f"{h.get('p50', 0.0):>9.3f} {h.get('p95', 0.0):>9.3f} "
+                         f"{h.get('max', 0.0):>9.3f}")
+    return "\n".join(lines)
+
+
+def run_once(conn: Conn, samples: int) -> None:
+    hello = conn.request("hello")
+    if "watch" not in hello.get("features", []):
+        raise RuntimeError("server does not stream telemetry (no 'watch' feature)"
+                           " — is this a daemon?")
+    stats = conn.request("stats", {"samples": samples})
+    ts = stats.get("timeseries", {})
+    daemon = {**last_sample_gauges(ts), **stats.get("daemon", {})}
+    frame = render_frame(
+        hello, daemon, ts, stats.get("latency", {}),
+        note=time.strftime("%H:%M:%S"),
+    )
+    print(frame)
+
+
+def run_live(conn: Conn, args) -> None:
+    hello = conn.request("hello")
+    sub = conn.request("watch", {"action": "start", "period_ms": args.period_ms})
+    period = sub.get("period_ms", args.period_ms)
+    refresh_stats_every = max(1, int(args.stats_every_ms / max(period, 1)))
+    stats = conn.request("stats", {"samples": args.samples})
+    n = 0
+    try:
+        while True:
+            ev = conn.next_event("stats")
+            daemon = {**stats.get("daemon", {}), **ev.get("daemon", {})}
+            daemon.setdefault("max_connections",
+                              hello.get("limits", {}).get("max_connections", 0))
+            daemon.setdefault("analysis_slots",
+                              hello.get("limits", {}).get("analysis_slots", 0))
+            n += 1
+            if n % refresh_stats_every == 0:
+                # The ring and latency tables move slower than the gauges:
+                # refresh them on a longer cadence than the event stream.
+                stats = conn.request("stats", {"samples": args.samples})
+            frame = render_frame(
+                hello, daemon, stats.get("timeseries", {}),
+                stats.get("latency", {}),
+                note=f"every {period} ms — seq {ev.get('seq', 0):.0f} — ^C quits",
+            )
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        try:
+            conn.request("watch", {"action": "stop"})
+        except (RuntimeError, OSError):
+            pass  # daemon went away first; nothing to unsubscribe
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--connect", required=True,
+                    help="daemon endpoint (unix:<path> | tcp:<host>:<port>)")
+    ap.add_argument("--once", action="store_true",
+                    help="render one frame from a single stats round-trip and exit")
+    ap.add_argument("--period-ms", type=int, default=500,
+                    help="watch refresh period (live mode; daemon may clamp)")
+    ap.add_argument("--stats-every-ms", type=int, default=2000,
+                    help="ring/latency refresh cadence (live mode)")
+    ap.add_argument("--samples", type=int, default=120,
+                    help="telemetry samples requested per stats call")
+    args = ap.parse_args()
+
+    conn = Conn(args.connect)
+    try:
+        if args.once:
+            run_once(conn, args.samples)
+        else:
+            run_live(conn, args)
+    finally:
+        conn.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,7 @@ PHASE_KEYS = (
 )
 KERNEL_PREFIX = "kernel_"
 EXECUTOR_PREFIX = "executor/"
+DAEMON_PREFIX = "daemon_"
 QUANTILES = ("p50", "p95", "p99")
 
 
@@ -66,15 +67,18 @@ def load(path: str):
 def extract_metrics(record: dict) -> dict:
     """Flatten one stats-JSON record into {name: lower-is-better scalar}.
 
-    Covers the "timing" section (phase gauges, kernel gauges, histogram
-    quantiles), "resources", and the schema-v3 "executor" section
+    Covers the "timing" section (phase gauges, kernel gauges, daemon
+    timings like daemon_roundtrip_ms / daemon_prewarm_ms, histogram
+    quantiles), "resources", the daemon serving section's shed/queue
+    counters and latency EWMA, and the schema-v3 "executor" section
     (per-worker idle fraction, per-region wall/imbalance/wait).
     """
     out = {}
     timing = record.get("timing", {})
     for k, v in sorted(timing.items()):
         if is_num(v):
-            if k in PHASE_KEYS or k.startswith(KERNEL_PREFIX):
+            if (k in PHASE_KEYS or k.startswith(KERNEL_PREFIX)
+                    or k.startswith(DAEMON_PREFIX)):
                 out[k] = v
         elif isinstance(v, dict) and v.get("count"):
             for q in QUANTILES:
@@ -83,6 +87,11 @@ def extract_metrics(record: dict) -> dict:
     for k, v in sorted(record.get("resources", {}).items()):
         if is_num(v) and v > 0:
             out[k] = v
+    d = record.get("daemon", {})
+    if isinstance(d, dict):
+        for k in ("shed", "queue_rejected", "analyze_ewma_ms"):
+            if is_num(d.get(k)) and d[k] > 0:
+                out[f"{DAEMON_PREFIX}{k}"] = d[k]
     ex = record.get("executor", {})
     if isinstance(ex, dict) and ex.get("enabled"):
         busy = sum(w.get("busy_s", 0.0) for w in ex.get("workers", []))
@@ -141,18 +150,24 @@ def diff_rows(before: dict, after: dict, threshold: float = 0.02) -> list:
 
 
 def top_movers(rows: list) -> dict:
-    """The biggest |Δ| row per category: 'phase', 'executor', 'other'.
+    """The biggest |Δ| row per category: 'phase', 'executor', 'daemon',
+    'other'.
 
     This is the "which phase and which worker-utilization signal moved"
-    summary bench_history.py attaches to baseline comparisons.
+    summary bench_history.py attaches to baseline comparisons; daemon
+    serving signals (daemon_roundtrip_ms, shed/queue counters) get their
+    own category rather than hiding in 'other'.
     """
     movers = {}
     for name, b, a, ratio, _ in rows:
         # Tolerate "<design>/"-qualified names (bench_history baselines).
+        unqualified = name.split("/")[-1]
         if EXECUTOR_PREFIX in name:
             cat = "executor"
-        elif name.split("/")[-1] in PHASE_KEYS:
+        elif unqualified in PHASE_KEYS:
             cat = "phase"
+        elif unqualified.startswith(DAEMON_PREFIX):
+            cat = "daemon"
         else:
             cat = "other"
         delta = abs(ratio - 1)
@@ -175,7 +190,7 @@ def render_markdown(rows: list, label_before: str, label_after: str) -> str:
                      f"{(ratio - 1) * 100:+.1f}% | {verdict} |")
     movers = top_movers(rows)
     lines.append("")
-    for cat in ("phase", "executor", "other"):
+    for cat in ("phase", "executor", "daemon", "other"):
         if cat in movers:
             name, b, a, ratio = movers[cat]
             lines.append(f"- top {cat} mover: `{name}` "

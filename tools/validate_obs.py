@@ -4,15 +4,18 @@
 Usage:
     validate_obs.py --trace trace.json --stats stats.json
     validate_obs.py --server-trace strace.json --server-stats sstats.json
-    validate_obs.py --daemon-stats dstats.json
+    validate_obs.py --daemon-stats dstats.json --daemon-trace dtrace.json
     validate_obs.py --bench-record record.json
     validate_obs.py --html-report report.html
     validate_obs.py --profile run.folded
 
 Checks the Chrome trace-event JSON (parses, per-thread spans well-nested,
-required keys present) and the stats JSON (schema v3 meta, required
-metrics, histogram bucket counts + quantile summaries consistent,
-"resources" and "executor" sections present and internally consistent).
+required keys present, counter events well-formed) and the stats JSON
+(schema v4 meta, required metrics, histogram bucket counts + quantile
+summaries consistent, "resources" and "executor" sections present and
+internally consistent, "timeseries" ring invariants when sampling ran).
+--daemon-trace additionally requires the sampler's counter tracks
+(queue depth, active connections, in-flight analyses).
 Server-mode artifacts additionally need the request track: request spans
 on the "server" thread enclosing analyzer phase spans, per-command latency
 histograms, and the slow log. Bench run records need the "bench" section
@@ -27,7 +30,7 @@ import argparse
 import json
 import sys
 
-STATS_SCHEMA_VERSION = 3  # obs::kStatsSchemaVersion
+STATS_SCHEMA_VERSION = 4  # obs::kStatsSchemaVersion
 
 REQUIRED_COUNTERS = ["victims_estimated", "aggressor_pairs", "executor_tasks"]
 REQUIRED_GAUGES = ["propagation_levels", "endpoints_checked", "violations"]
@@ -123,12 +126,37 @@ def iter_histograms(doc):
                 yield name, v
 
 
-def validate_trace(path, server=False):
+def check_counter_events(events, required=False):
+    """Chrome counter ('C') events: the sampler's gauge tracks. Always
+    well-formed when present; a daemon trace must actually have them."""
+    counters = [e for e in events if e.get("ph") == "C"]
+    names = set()
+    for e in counters:
+        for key in ("pid", "tid", "name", "ts", "args"):
+            if key not in e:
+                fail(f"trace: counter event missing '{key}': {e}")
+        if not isinstance(e["args"], dict) or not e["args"]:
+            fail(f"trace: counter event has no args values: {e}")
+        if not any(isinstance(v, (int, float)) for v in e["args"].values()):
+            fail(f"trace: counter event args carry no numeric value: {e}")
+        names.add(e["name"])
+    if required:
+        if not counters:
+            fail("daemon trace: no counter ('C') events — was the sampler "
+                 "off (--sample-ms 0)?")
+        for name in ("queue_depth", "active_connections", "analyses_inflight"):
+            if name not in names:
+                fail(f"daemon trace: no '{name}' counter track")
+    return counters
+
+
+def validate_trace(path, server=False, counters=False):
     doc = load(path)
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("trace: no traceEvents")
 
+    counter_events = check_counter_events(events, required=counters)
     spans = [e for e in events if e.get("ph") == "X"]
     if not spans:
         fail("trace: no complete ('X') events")
@@ -193,7 +221,8 @@ def validate_trace(path, server=False):
             fail("server trace: no request span encloses the analyzer phases")
         print(f"validate_obs: server trace OK ({len(requests)} request spans, "
               f"{enclosing} enclosing a full analysis)")
-    print(f"validate_obs: trace OK ({len(spans)} spans, {len(by_tid)} threads)")
+    print(f"validate_obs: trace OK ({len(spans)} spans, {len(by_tid)} threads, "
+          f"{len(counter_events)} counter events)")
 
 
 def validate_stats(path, server=False):
@@ -230,6 +259,7 @@ def validate_stats(path, server=False):
     for name, h in iter_histograms(doc):
         check_histogram(name, h)
     check_executor(doc, "server stats" if server else "stats")
+    check_timeseries(doc, "server stats" if server else "stats")  # if sampled
 
     resources = doc["resources"]
     if not any(isinstance(v, (int, float)) and v > 0 for v in resources.values()):
@@ -330,6 +360,48 @@ def validate_profile(path, require_phases=True):
     print(f"validate_obs: profile OK ({len(stacks)} stacks, {total} samples)")
 
 
+def check_timeseries(doc, context, required=False):
+    """The schema-v4 "timeseries" section: the telemetry ring snapshot.
+    Bounded length, per-sample arity matching the series list, and monotone
+    nondecreasing sample times."""
+    ts = doc.get("timeseries")
+    if ts is None:
+        if required:
+            fail(f"{context}: no timeseries section (schema v4)")
+        return
+    if not isinstance(ts, dict):
+        fail(f"{context}: timeseries is not an object")
+    for key in ("interval_ms", "capacity", "total", "series", "samples"):
+        if key not in ts:
+            fail(f"{context}: timeseries missing '{key}'")
+    if not isinstance(ts["series"], list) or not ts["series"]:
+        fail(f"{context}: timeseries series list empty")
+    if not isinstance(ts["samples"], list):
+        fail(f"{context}: timeseries samples is not a list")
+    if ts["capacity"] < 1:
+        fail(f"{context}: timeseries capacity {ts['capacity']} < 1")
+    if len(ts["samples"]) > ts["capacity"]:
+        fail(f"{context}: timeseries holds {len(ts['samples'])} samples, "
+             f"more than its capacity {ts['capacity']} (ring unbounded?)")
+    if ts["total"] < len(ts["samples"]):
+        fail(f"{context}: timeseries total {ts['total']} < retained "
+             f"{len(ts['samples'])}")
+    prev_t = -1.0
+    for s in ts["samples"]:
+        if "t_ms" not in s or "v" not in s:
+            fail(f"{context}: timeseries sample missing t_ms/v: {s}")
+        if len(s["v"]) != len(ts["series"]):
+            fail(f"{context}: timeseries sample arity {len(s['v'])} != "
+                 f"{len(ts['series'])} series")
+        if s["t_ms"] < prev_t:
+            fail(f"{context}: timeseries sample times not monotone "
+                 f"({s['t_ms']} after {prev_t})")
+        prev_t = s["t_ms"]
+    if required and not ts["samples"]:
+        fail(f"{context}: timeseries recorded no samples")
+    return ts
+
+
 DAEMON_SECTION_KEYS = ["accepted", "active", "rejected", "idle_closed",
                        "handled", "shed", "queue_rejected", "queue_depth",
                        "analyze_ewma_ms", "max_connections", "analysis_slots",
@@ -380,12 +452,18 @@ def validate_daemon_stats(path):
     if "daemon_prewarm_ms" not in doc["timing"]:
         fail("daemon stats: no daemon_prewarm_ms in timing (seed analysis "
              "wall time)")
+    ts = check_timeseries(doc, "daemon stats", required=True)
+    latencies = [k for k in doc["timing"] if k.startswith("request_ms_")]
+    if not latencies:
+        fail("daemon stats: no aggregated request_ms_* latency histograms "
+             "(schema v4: connections mirror into the daemon registry)")
     print(f"validate_obs: daemon stats OK ({int(d['accepted'])} connections, "
-          f"{int(d['handled'])} requests, {int(d['shed'])} shed)")
+          f"{int(d['handled'])} requests, {int(d['shed'])} shed, "
+          f"{len(ts['samples'])} telemetry samples)")
 
 
 HTML_SECTION_IDS = ["meta", "summary", "timelines", "pareto", "slack",
-                    "executor", "flame", "phases"]
+                    "executor", "flame", "live", "phases"]
 HTML_BANNED = ["http://", "https://", "<script", "<link", "url(", "src="]
 
 
@@ -418,6 +496,8 @@ def main():
     ap.add_argument("--server-trace")
     ap.add_argument("--server-stats")
     ap.add_argument("--daemon-stats")
+    ap.add_argument("--daemon-trace",
+                    help="daemon-side Chrome trace: counter tracks required")
     ap.add_argument("--bench-record", action="append", default=[])
     ap.add_argument("--html-report")
     ap.add_argument("--profile", help="folded sampling profile to validate")
@@ -426,11 +506,11 @@ def main():
                          "captures, partial runs)")
     args = ap.parse_args()
     if not any([args.trace, args.stats, args.server_trace, args.server_stats,
-                args.daemon_stats, args.bench_record, args.html_report,
-                args.profile]):
+                args.daemon_stats, args.daemon_trace, args.bench_record,
+                args.html_report, args.profile]):
         ap.error("give --trace, --stats, --server-trace, --server-stats, "
-                 "--daemon-stats, --bench-record, --html-report, and/or "
-                 "--profile")
+                 "--daemon-stats, --daemon-trace, --bench-record, "
+                 "--html-report, and/or --profile")
     if args.trace:
         validate_trace(args.trace)
     if args.stats:
@@ -441,6 +521,8 @@ def main():
         validate_stats(args.server_stats, server=True)
     if args.daemon_stats:
         validate_daemon_stats(args.daemon_stats)
+    if args.daemon_trace:
+        validate_trace(args.daemon_trace, counters=True)
     for path in args.bench_record:
         validate_bench_record(path)
     if args.html_report:
