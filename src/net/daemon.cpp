@@ -9,11 +9,13 @@
 #include <iterator>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "noise/progress.hpp"
 #include "obs/log.hpp"
+#include "obs/memtrack.hpp"
 #include "obs/profile.hpp"
 #include "obs/resource.hpp"
 #include "obs/tracer.hpp"
@@ -30,7 +32,8 @@ namespace {
 constexpr const char* kSeriesNames[] = {
     "queue_depth",     "active",          "accepted",        "handled",
     "shed",            "inflight",        "waiting",         "analyze_ewma_ms",
-    "analyze_p50_ms",  "analyze_p95_ms",  "rss_mb",
+    "analyze_p50_ms",  "analyze_p95_ms",  "rss_mb",          "session_cache_bytes",
+    "journal_bytes",   "tracked_mb",
 };
 
 std::vector<std::string> series_names() {
@@ -60,6 +63,11 @@ class ConnQueue {
       : max_queued_(max_queued), global_depth_(global_depth),
         depth_gauge_(depth_gauge) {}
 
+  ~ConnQueue() {
+    // Lines still queued at teardown (drain swallowed them) release here.
+    obs::MemTracker::account(obs::MemAccountId::kDaemonQueues).release(charged_);
+  }
+
   /// False when the queue is full (line left untouched for the reject
   /// response); `force` bypasses the bound.
   bool push(std::string& line, bool force) {
@@ -67,6 +75,7 @@ class ConnQueue {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return true;  // draining: swallow silently
       if (!force && max_queued_ > 0 && lines_.size() >= max_queued_) return false;
+      charge_bytes(line.size());
       lines_.push_back(std::move(line));
       bump_depth(+1);
     }
@@ -89,6 +98,7 @@ class ConnQueue {
     if (lines_.empty()) return false;
     line = std::move(lines_.front());
     lines_.pop_front();
+    release_bytes(line.size());
     bump_depth(-1);
     return true;
   }
@@ -100,6 +110,7 @@ class ConnQueue {
       if (!is_cancel_line(*it)) continue;
       std::string line = std::move(*it);
       lines_.erase(it);
+      release_bytes(line.size());
       bump_depth(-1);
       return line;
     }
@@ -117,12 +128,26 @@ class ConnQueue {
     depth_gauge_.set(static_cast<double>(now));
   }
 
+  // Queued-line payload accounting (called under mutex_): the global
+  // "daemon_queues" account aggregates across connections; the per-queue
+  // charged total lets the destructor release exactly what this queue
+  // still holds.
+  void charge_bytes(std::size_t n) {
+    obs::MemTracker::account(obs::MemAccountId::kDaemonQueues).charge(n);
+    charged_ += n;
+  }
+  void release_bytes(std::size_t n) {
+    obs::MemTracker::account(obs::MemAccountId::kDaemonQueues).release(n);
+    charged_ -= n;
+  }
+
   std::size_t max_queued_;
   std::atomic<std::int64_t>& global_depth_;
   obs::Gauge& depth_gauge_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::string> lines_;
+  std::size_t charged_ = 0;  ///< queued-line bytes currently charged
   bool closed_ = false;
 };
 
@@ -518,11 +543,24 @@ std::vector<double> Daemon::sample_now() {
   v.push_back(analyze_window_.quantile(0.5));
   v.push_back(analyze_window_.quantile(0.95));
   v.push_back(static_cast<double>(rss.rss_bytes) / (1024.0 * 1024.0));
+  // Tracked-heap series: the session accounts aggregate every live
+  // connection's cache/journal footprint; tracked_mb sums all accounts.
+  const double cache_bytes = static_cast<double>(
+      obs::MemTracker::account(obs::MemAccountId::kSessionCache).current());
+  const double journal_bytes = static_cast<double>(
+      obs::MemTracker::account(obs::MemAccountId::kUndoJournal).current());
+  const double tracked_bytes = static_cast<double>(obs::MemTracker::total_current());
+  v.push_back(cache_bytes);
+  v.push_back(journal_bytes);
+  v.push_back(tracked_bytes / (1024.0 * 1024.0));
   analyze_window_.rotate();
   if (obs::trace_enabled()) {
     obs::Tracer::counter("queue_depth", queue_depth);
     obs::Tracer::counter("active_connections", active);
     obs::Tracer::counter("analyses_inflight", inflight);
+    obs::Tracer::counter("tracked_bytes", tracked_bytes);
+    obs::Tracer::counter("session_cache_bytes", cache_bytes);
+    obs::Tracer::counter("journal_bytes", journal_bytes);
   }
   return v;
 }
@@ -543,6 +581,14 @@ session::Json Daemon::live_json() {
   o.set("analyze_p50_ms", analyze_window_.quantile(0.5));
   o.set("analyze_p95_ms", analyze_window_.quantile(0.95));
   o.set("rss_mb", static_cast<double>(rss.rss_bytes) / (1024.0 * 1024.0));
+  o.set("session_cache_bytes",
+        static_cast<double>(
+            obs::MemTracker::account(obs::MemAccountId::kSessionCache).current()));
+  o.set("journal_bytes",
+        static_cast<double>(
+            obs::MemTracker::account(obs::MemAccountId::kUndoJournal).current()));
+  o.set("tracked_mb",
+        static_cast<double>(obs::MemTracker::total_current()) / (1024.0 * 1024.0));
   return o;
 }
 
@@ -590,6 +636,12 @@ session::Json Daemon::stats_sections(const session::Json& args) {
     latency.set(s.name.substr(prefix.size()), std::move(h));
   }
   o.set("latency", std::move(latency));
+  // Live per-account heap breakdown — the same section shape the stats
+  // JSON carries, so nwtop renders identical data online and offline.
+  std::ostringstream mem;
+  obs::write_memory_json(mem);
+  std::optional<session::Json> mj = session::json_parse(mem.str());
+  o.set("memory", mj ? std::move(*mj) : session::Json::object());
   return o;
 }
 

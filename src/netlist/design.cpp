@@ -263,4 +263,43 @@ std::vector<InstId> Design::topological_order() const {
   return order;
 }
 
+std::size_t Design::memory_bytes() const noexcept {
+  // Capacity-based, like the other subsystem estimators: counts the heap
+  // the containers hold, not just the bytes in use, because capacity is
+  // what the process actually pays for.
+  const auto string_bytes = [](const std::string& s) {
+    return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+  };
+  // unordered_map nodes: payload + hash-node overhead (next pointer +
+  // cached hash), plus one bucket pointer each.
+  constexpr std::size_t kMapNodeOverhead = 2 * sizeof(void*);
+  std::size_t bytes = string_bytes(name_);
+  bytes += nets_.capacity() * sizeof(Net);
+  for (const Net& n : nets_) {
+    bytes += string_bytes(n.name) + n.loads.capacity() * sizeof(PinId);
+  }
+  bytes += insts_.capacity() * sizeof(Instance);
+  for (const Instance& i : insts_) {
+    bytes += string_bytes(i.name) + i.pins.capacity() * sizeof(PinId);
+  }
+  bytes += pins_.capacity() * sizeof(Pin);
+  for (const Pin& p : pins_) bytes += string_bytes(p.port_name);
+  bytes += in_ports_.capacity() * sizeof(PinId);
+  bytes += out_ports_.capacity() * sizeof(PinId);
+  bytes += seqs_.capacity() * sizeof(InstId);
+  for (const auto& [name, id] : net_index_) {
+    bytes += string_bytes(name) + sizeof(name) + sizeof(id) + kMapNodeOverhead;
+  }
+  for (const auto& [name, id] : inst_index_) {
+    bytes += string_bytes(name) + sizeof(name) + sizeof(id) + kMapNodeOverhead;
+  }
+  bytes += net_index_.bucket_count() * sizeof(void*);
+  bytes += inst_index_.bucket_count() * sizeof(void*);
+  bytes += port_drives_.size() * (sizeof(PinId::value_type) + sizeof(PortDrive) + kMapNodeOverhead);
+  bytes += port_caps_.size() * (sizeof(PinId::value_type) + sizeof(double) + kMapNodeOverhead);
+  bytes += port_drives_.bucket_count() * sizeof(void*);
+  bytes += port_caps_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
 }  // namespace nw::net

@@ -144,6 +144,12 @@ class Design {
   /// combinational loop, naming an instance on the cycle.
   [[nodiscard]] std::vector<InstId> topological_order() const;
 
+  /// Capacity-based estimate of the heap bytes this design owns (nets,
+  /// instances, pins, name indexes). Feeds the "design" memory account via
+  /// a size-accounting hook — the connectivity containers keep their plain
+  /// allocators.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
  private:
   PinId make_pin(Pin p);
 

@@ -13,6 +13,7 @@
 #include "noise/context.hpp"
 #include "noise/kernels.hpp"
 #include "obs/log.hpp"
+#include "obs/memtrack.hpp"
 #include "obs/resource.hpp"
 #include "obs/tracer.hpp"
 #include "util/executor.hpp"
@@ -200,6 +201,12 @@ class Pipeline {
         // Per-pair scenario operands pack lazily in estimate_injected.
         kb_ = KernelBuffers::build(design, ctx_);
       }
+      // The arena self-charges the adjacency rows and the kernel slabs
+      // charge through their allocator; the hook covers the rest of the
+      // context plus this pipeline's window copy.
+      ctx_charge_ = obs::ScopedMemCharge(
+          obs::MemAccountId::kAnalysisContext,
+          ctx_.hook_bytes() + switch_win_.capacity() * sizeof(Interval));
     }
     reg_.counter(kMetricPairsFilteredCap, "").add(ctx_.pairs_filtered_cap);
     auto& level_width = reg_.histogram(kMetricLevelWidth, "", {});
@@ -589,7 +596,7 @@ class Pipeline {
     es.peak.resize(m);
     es.width.resize(m);
     es.delay.resize(m);
-    const auto sub = [&](const std::vector<double>& v) {
+    const auto sub = [&](const KbVec<double>& v) {
       return std::span<const double>(v).subspan(row, m);
     };
     switch (opt_.model) {
@@ -1188,6 +1195,8 @@ class Pipeline {
   /// when vector_ is false).
   KernelBuffers kb_;
   std::vector<Interval> switch_win_;  ///< per-pass inflated windows
+  /// Hook charge for the context members the arena does not back.
+  obs::ScopedMemCharge ctx_charge_;
   /// Per-level propagate wall time [s], summed over refinement passes —
   /// the input of the top-levels work attribution.
   std::vector<double> level_walls_;

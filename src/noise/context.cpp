@@ -20,8 +20,11 @@ AnalysisContext AnalysisContext::build(const net::Design& design,
   const std::size_t n = design.net_count();
 
   // Coupling-graph adjacency: per victim, coupling caps grouped by
-  // aggressor and pre-filtered against the threshold.
-  ctx.aggressors.resize(n);
+  // aggressor and pre-filtered against the threshold. Rows live in the
+  // context arena; each row reserves its exact surviving-edge count first,
+  // so the bump allocator never strands a reallocation ghost.
+  ctx.arena = std::make_shared<obs::Arena>(obs::MemAccountId::kAnalysisContext);
+  ctx.aggressors.reserve(n);
   for (std::size_t vi = 0; vi < n; ++vi) {
     const NetId victim{vi};
     std::unordered_map<NetId::value_type, double> agg_cap;
@@ -29,8 +32,15 @@ AnalysisContext AnalysisContext::build(const net::Design& design,
       const auto& cc = para.coupling(ci);
       agg_cap[cc.other_net(victim).value()] += cc.c;
     }
-    auto& edges = ctx.aggressors[vi];
-    edges.reserve(agg_cap.size());
+    std::size_t kept = 0;
+    for (const auto& [agg_value, c_total] : agg_cap) {
+      if (c_total >= opt.min_coupling_cap) ++kept;
+    }
+    ctx.aggressors.emplace_back(
+        obs::ArenaAllocator<AggressorEdge, obs::MemAccountId::kAnalysisContext>(
+            ctx.arena.get()));
+    AggRow& edges = ctx.aggressors.back();
+    edges.reserve(kept);
     for (const auto& [agg_value, c_total] : agg_cap) {
       if (c_total < opt.min_coupling_cap) {
         ++ctx.pairs_filtered_cap;
@@ -130,6 +140,17 @@ std::size_t AnalysisContext::aggressor_pair_count() const noexcept {
   std::size_t pairs = 0;
   for (const auto& row : aggressors) pairs += row.size();
   return pairs;
+}
+
+std::size_t AnalysisContext::hook_bytes() const noexcept {
+  std::size_t bytes = aggressors.capacity() * sizeof(AggRow);
+  bytes += load_cap.capacity() * sizeof(double);
+  bytes += switch_window.capacity() * sizeof(Interval);
+  bytes += port_nets.capacity() * sizeof(NetId);
+  bytes += levels.capacity() * sizeof(std::vector<InstId>);
+  for (const auto& level : levels) bytes += level.capacity() * sizeof(InstId);
+  bytes += endpoints.capacity() * sizeof(EndpointRef);
+  return bytes;
 }
 
 std::vector<NetId> AnalysisContext::dirty_closure(const para::Parasitics& para,

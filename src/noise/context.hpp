@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "netlist/design.hpp"
+#include "obs/memtrack.hpp"
 #include "parasitics/rcnet.hpp"
 #include "sta/sta.hpp"
 #include "util/interval.hpp"
@@ -40,11 +42,26 @@ struct EndpointRef {
   Interval sensitivity;
 };
 
+/// One victim's adjacency row. The element storage comes from the context's
+/// bump arena (charged to the "analysis_context" memory account); rows are
+/// built once at context-build time and freed together with the arena, the
+/// exact lifetime a bump allocator wants. A default-constructed row (null
+/// arena) falls back to the heap and still charges the account.
+using AggRow =
+    std::vector<AggressorEdge,
+                obs::ArenaAllocator<AggressorEdge, obs::MemAccountId::kAnalysisContext>>;
+
 struct AnalysisContext {
   double vdd = 0.0;
 
+  /// Backing storage for the adjacency rows. Declared before `aggressors`
+  /// so the rows (whose arena deallocate is a no-op) are destroyed before
+  /// their blocks are released. shared_ptr keeps the rows' allocator
+  /// pointers stable when the context itself is moved.
+  std::shared_ptr<obs::Arena> arena;
+
   /// victim -> aggressors above the coupling threshold (sorted by net id).
-  std::vector<std::vector<AggressorEdge>> aggressors;
+  std::vector<AggRow> aggressors;
   std::size_t pairs_filtered_cap = 0;  ///< pairs dropped by the threshold
 
   /// Total capacitive load a net presents to its driver (ground + coupling
@@ -71,6 +88,12 @@ struct AnalysisContext {
   /// (CSR) size of the aggressor graph. KernelBuffers (noise/kernels.hpp)
   /// sizes its packed slabs from this.
   [[nodiscard]] std::size_t aggressor_pair_count() const noexcept;
+
+  /// Capacity-based bytes of the members the arena does NOT back (levels,
+  /// windows, endpoints, the row-header vector). The Pipeline charges this
+  /// to the "analysis_context" account via a size-accounting hook; adding
+  /// it to the arena's self-charged blocks gives the context's footprint.
+  [[nodiscard]] std::size_t hook_bytes() const noexcept;
 
   /// Derive the context. `sta_result` must match the design (checked).
   [[nodiscard]] static AnalysisContext build(const net::Design& design,

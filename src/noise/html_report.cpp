@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/memtrack.hpp"
+#include "obs/resource.hpp"
 #include "report/svg.hpp"
 #include "report/table.hpp"
 
@@ -388,6 +390,64 @@ void write_live(std::ostream& os, const obs::TimeSeriesSnapshot& ts) {
   os << "</table>\n</section>\n";
 }
 
+/// "12.3 MB" rendering for the memory panel; JSON consumers get raw bytes
+/// from the stats document instead.
+std::string fmt_bytes(double v) {
+  const char* unit = "B";
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    v /= 1024.0 * 1024.0 * 1024.0;
+    unit = "GB";
+  } else if (v >= 1024.0 * 1024.0) {
+    v /= 1024.0 * 1024.0;
+    unit = "MB";
+  } else if (v >= 1024.0) {
+    v /= 1024.0;
+    unit = "KB";
+  }
+  return report::fmt_fixed(v, 1) + " " + unit;
+}
+
+void write_memory(std::ostream& os) {
+  os << "<section id=\"memory\">\n<h2>Memory accounting</h2>\n";
+  const std::vector<obs::MemAccountSample> snap = obs::MemTracker::snapshot();
+  double total_peak = 0.0;
+  for (const obs::MemAccountSample& a : snap) {
+    total_peak += static_cast<double>(a.peak_bytes);
+  }
+  if (!obs::memtrack_enabled() || total_peak <= 0.0) {
+    os << "<p>Memory tracking disabled or no tracked allocations — the "
+       << "per-subsystem accounts in the stats JSON carry the same data.</p>\n"
+       << "</section>\n";
+    return;
+  }
+  os << "<p class=\"legend\">Per-subsystem heap accounts at render time; the "
+     << "bar is each account's share of the summed peaks.</p>\n";
+  os << "<table>\n<tr><th>account</th><th>current</th><th>peak</th>"
+     << "<th>allocs</th><th>frees</th><th>share of peak</th></tr>\n";
+  for (const obs::MemAccountSample& a : snap) {
+    if (a.peak_bytes == 0 && a.allocs == 0) continue;
+    const double pct =
+        100.0 * static_cast<double>(a.peak_bytes) / total_peak;
+    os << "<tr><td>" << html_escape(std::string(a.name)) << "</td><td>"
+       << fmt_bytes(static_cast<double>(a.current_bytes)) << "</td><td>"
+       << fmt_bytes(static_cast<double>(a.peak_bytes)) << "</td><td>"
+       << a.allocs << "</td><td>" << a.frees
+       << "</td><td><span class=\"ubar\"><span class=\"ufill\" style=\"width:"
+       << report::fmt_fixed(pct, 1) << "%\"></span></span> "
+       << report::fmt_fixed(pct, 1) << "%</td></tr>\n";
+  }
+  const obs::ResourceSample rss = obs::sample_resources();
+  os << "<tr><th>tracked total</th><td>"
+     << fmt_bytes(static_cast<double>(obs::MemTracker::total_current()))
+     << "</td><td>" << fmt_bytes(total_peak)
+     << "</td><td>-</td><td>-</td><td>-</td></tr>\n"
+     << "<tr><th>process rss</th><td>"
+     << fmt_bytes(static_cast<double>(rss.rss_bytes)) << "</td><td>"
+     << fmt_bytes(static_cast<double>(rss.peak_rss_bytes))
+     << "</td><td>-</td><td>-</td><td>-</td></tr>\n";
+  os << "</table>\n</section>\n";
+}
+
 void write_phases(std::ostream& os, const Result& r) {
   os << "<section id=\"phases\">\n<h2>Phases &amp; request latency</h2>\n";
   os << "<table>\n<tr><th>metric</th><th>kind</th><th>value</th>"
@@ -491,6 +551,7 @@ void write_html_report(std::ostream& os, const net::Design& design,
   write_executor(os, r);
   write_flame(os, hopt.profile);
   write_live(os, hopt.timeseries);
+  write_memory(os);
   write_phases(os, r);
 
   os << "</body>\n</html>\n";

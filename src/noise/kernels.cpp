@@ -156,7 +156,7 @@ KernelBuffers KernelBuffers::build(const net::Design& design,
   }
   kb.pair_slew.assign(pairs, 0.0);
 
-  kb.load_cap = ctx.load_cap;
+  kb.load_cap.assign(ctx.load_cap.begin(), ctx.load_cap.end());
   kb.switch_lo.resize(n);
   kb.switch_hi.resize(n);
 

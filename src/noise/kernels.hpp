@@ -41,6 +41,7 @@
 #include "netlist/design.hpp"
 #include "noise/analyzer.hpp"
 #include "noise/context.hpp"
+#include "obs/memtrack.hpp"
 #include "util/interval.hpp"
 #include "util/scanline.hpp"
 
@@ -123,6 +124,14 @@ void extend_right(std::span<const double> hi, std::span<const double> delay,
 
 }  // namespace kernels
 
+/// Kernel-buffer slab storage: every slab allocates through the tracking
+/// allocator bound to the "kernel_buffers" memory account, so the CSR +
+/// scenario footprint shows up exactly (current/peak/allocs/frees) in the
+/// schema-v5 stats "memory" section. Stateless allocator — the vectors
+/// move/swap exactly like std::vector.
+template <class T>
+using KbVec = std::vector<T, obs::TrackedAlloc<T, obs::MemAccountId::kKernelBuffers>>;
+
 /// Flat mirror of the AnalysisContext structures the stage kernels read,
 /// plus packed per-pair estimation operands. Immutable structure after
 /// build(); set_switch_windows() and pack_scenarios() fill the mutable
@@ -131,34 +140,34 @@ struct KernelBuffers {
   double vdd = 0.0;
 
   // --- CSR aggressor adjacency (victim-major; row vi = net vi) ---
-  std::vector<std::uint32_t> agg_offsets;  ///< net_count+1 row starts
-  std::vector<NetId> agg_net;              ///< aggressor id per pair slot
-  std::vector<double> agg_cap;             ///< summed coupling per pair slot
+  KbVec<std::uint32_t> agg_offsets;  ///< net_count+1 row starts
+  KbVec<NetId> agg_net;              ///< aggressor id per pair slot
+  KbVec<double> agg_cap;             ///< summed coupling per pair slot
 
   // --- per-pair estimation operands (slot-parallel to agg_net) ---
   /// Aggressor slew after the STA/default/floor rule — the raw input the
   /// MNA models take. Packed by pack_scenarios() for every model.
-  std::vector<double> pair_slew;
+  KbVec<double> pair_slew;
   /// scenario_for()'s electrical abstract, packed only for the analytic
   /// models (the MNA models rebuild circuits from the design per pair).
-  std::vector<double> sc_r_hold, sc_c_ground, sc_c_couple, sc_slew;
+  KbVec<double> sc_r_hold, sc_c_ground, sc_c_couple, sc_slew;
 
   // --- flat per-net arrays ---
-  std::vector<double> switch_lo, switch_hi;  ///< current pass's windows
-  std::vector<double> load_cap;              ///< gate-delay lookup loads
+  KbVec<double> switch_lo, switch_hi;  ///< current pass's windows
+  KbVec<double> load_cap;              ///< gate-delay lookup loads
 
   // --- per-level contiguous instance slabs (level-major "slab position") ---
-  std::vector<std::uint32_t> level_offsets;  ///< levels+1 starts into slabs
-  std::vector<const lib::Cell*> slab_cell;
-  std::vector<std::uint8_t> slab_seq;        ///< 1 = sequential cell
-  std::vector<std::uint32_t> in_offsets;     ///< slab+1: CSR of input nets
-  std::vector<NetId> in_net;                 ///< valid input nets, pin order
-  std::vector<std::uint32_t> out_offsets;    ///< slab+1: CSR of output nets
-  std::vector<NetId> out_net;                ///< valid output nets, pin order
+  KbVec<std::uint32_t> level_offsets;  ///< levels+1 starts into slabs
+  KbVec<const lib::Cell*> slab_cell;
+  KbVec<std::uint8_t> slab_seq;        ///< 1 = sequential cell
+  KbVec<std::uint32_t> in_offsets;     ///< slab+1: CSR of input nets
+  KbVec<NetId> in_net;                 ///< valid input nets, pin order
+  KbVec<std::uint32_t> out_offsets;    ///< slab+1: CSR of output nets
+  KbVec<NetId> out_net;                ///< valid output nets, pin order
 
   // --- flat endpoints ---
-  std::vector<double> sens_lo, sens_hi;
-  std::vector<NetId> ep_net;
+  KbVec<double> sens_lo, sens_hi;
+  KbVec<NetId> ep_net;
 
   /// Derive every structural slab from the context (O(nets + pairs +
   /// instances); no floating-point transformation, values are copied).

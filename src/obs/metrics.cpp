@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/memtrack.hpp"
 #include "obs/tracer.hpp"  // json_escape
 
 #ifndef NW_GIT_DESCRIBE
@@ -280,6 +281,10 @@ void write_stats_json(std::ostream& os, const RunMeta& meta,
   os << ",\n";
   section("timing",
           [](const MetricSample& s) { return !s.deterministic && !s.resource; });
+  // v5: memory accounting travels with every stats document, so it is
+  // rendered here rather than threaded through `extra` by each caller.
+  os << ",\n\"memory\":";
+  write_memory_json(os);
   for (const auto& [title, json] : extra) {
     os << ",\n\"" << json_escape(title) << "\":" << json;
   }

@@ -36,10 +36,13 @@ namespace nw::obs {
 /// `extra`). v4 adds the "timeseries" section (bounded ring of periodic
 /// live-telemetry samples, rendered by obs::TimeSeriesSnapshot::json and
 /// passed through `extra`), a "conn" field on slowlog entries, and the
-/// daemon's aggregated request_ms_* latency histograms. Clients
-/// feature-detect it through the `stats_schema` field of the server's
-/// `hello` response.
-inline constexpr int kStatsSchemaVersion = 4;
+/// daemon's aggregated request_ms_* latency histograms. v5 adds the
+/// "memory" section (per-account heap accounting from obs::MemTracker —
+/// current/peak bytes and alloc/free counts per named subsystem account,
+/// rendered directly by write_stats_json so every stats writer carries
+/// it). Clients feature-detect it through the `stats_schema` field of
+/// the server's `hello` response.
+inline constexpr int kStatsSchemaVersion = 5;
 
 /// Monotone event count.
 class Counter {

@@ -232,6 +232,20 @@ std::uint64_t Profiler::torn_samples() {
   return p.torn;
 }
 
+std::uint64_t Profiler::approx_bytes() {
+  ProfState& p = prof();
+  std::lock_guard<std::mutex> lock(p.mutex);
+  std::uint64_t bytes = 0;
+  for (const auto& [stack, count] : p.counts) {
+    // One map node (two pointers of red-black overhead is close enough) plus
+    // the key's heap storage when it outgrew the SSO buffer.
+    bytes += sizeof(std::pair<const std::string, std::uint64_t>) + 3 * sizeof(void*);
+    if (stack.capacity() > sizeof(std::string)) bytes += stack.capacity();
+    (void)count;
+  }
+  return bytes;
+}
+
 std::vector<FoldedEntry> Profiler::snapshot() {
   ProfState& p = prof();
   std::lock_guard<std::mutex> lock(p.mutex);

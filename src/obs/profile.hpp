@@ -78,6 +78,10 @@ class Profiler {
   /// Snapshots discarded because a push raced the ticker (diagnostic).
   [[nodiscard]] static std::uint64_t torn_samples();
 
+  /// Approximate bytes held by the folded-stack aggregate (string storage +
+  /// map nodes). Feeds the memtrack "trace_buffers" sampled account.
+  [[nodiscard]] static std::uint64_t approx_bytes();
+
   /// Aggregated folded stacks, sorted by stack string (stable across
   /// identical sample sets). Safe while the ticker runs.
   [[nodiscard]] static std::vector<FoldedEntry> snapshot();

@@ -141,4 +141,13 @@ double Parasitics::total_cap(NetId id, double miller) const {
   return net(id).total_ground_cap() + miller * coupling_cap_of(id);
 }
 
+std::size_t Parasitics::memory_bytes() const noexcept {
+  std::size_t bytes = nets_.capacity() * sizeof(RcNet) +
+                      caps_.capacity() * sizeof(CouplingCap) +
+                      incident_.capacity() * sizeof(std::vector<std::size_t>);
+  for (const RcNet& n : nets_) bytes += n.memory_bytes();
+  for (const auto& inc : incident_) bytes += inc.capacity() * sizeof(std::size_t);
+  return bytes;
+}
+
 }  // namespace nw::para

@@ -66,6 +66,11 @@ class RcNet {
   /// Make a single-node net (driver == load node) with a lumped cap.
   [[nodiscard]] static RcNet lumped(double cap);
 
+  /// Capacity-based heap bytes of this RC network.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return nodes_.capacity() * sizeof(RcNode) + ress_.capacity() * sizeof(RcRes);
+  }
+
  private:
   std::vector<RcNode> nodes_;
   std::vector<RcRes> ress_;
@@ -133,6 +138,11 @@ class Parasitics {
   /// Grounded + `miller` x coupling cap of a net [F]. miller = 1 treats the
   /// far side as quiet AC ground (the standard noise/delay lumping).
   [[nodiscard]] double total_cap(NetId id, double miller = 1.0) const;
+
+  /// Capacity-based estimate of the heap bytes the parasitics own (RC
+  /// trees, coupling list, incidence index). Feeds the "parasitics" memory
+  /// account via a size-accounting hook.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
  private:
   std::vector<RcNet> nets_;

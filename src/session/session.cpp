@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/memtrack.hpp"
 #include "obs/resource.hpp"
 #include "obs/tracer.hpp"
 
@@ -112,6 +113,12 @@ Session::Session(std::shared_ptr<const net::Design> base_design,
              /*deterministic=*/false, /*resource=*/true);
 }
 
+Session::~Session() {
+  cache_.clear();
+  journal_.clear();
+  update_memory_accounts();
+}
+
 // ---- name resolution ------------------------------------------------------
 
 NetId Session::require_net(const std::string& name) const {
@@ -198,6 +205,7 @@ void Session::commit_edit(UndoEntry entry, bool bump_epoch) {
   journal_.push_back(std::move(entry));
   while (journal_.size() > cfg_.undo_capacity) journal_.pop_front();
   edits_.add();
+  update_memory_accounts();
   reg_.gauge(kMetricEpoch, "current design-state epoch", kUnit)
       .set(static_cast<double>(epoch_));
 }
@@ -385,6 +393,7 @@ bool Session::undo() {
   epoch_ = e.epoch_before;
   pending_dirty_.insert(pending_dirty_.end(), e.dirty.begin(), e.dirty.end());
   undos_.add();
+  update_memory_accounts();
   reg_.gauge(kMetricEpoch, "current design-state epoch", kUnit)
       .set(static_cast<double>(epoch_));
   return true;
@@ -422,6 +431,7 @@ void Session::cache_insert(CacheEntry entry) {
   }
   cache_.push_back(std::move(entry));
   while (cache_.size() > cfg_.cache_capacity) cache_.erase(cache_.begin());
+  update_memory_accounts();
   reg_.gauge(kMetricCachedResults, "results held in the cache", kUnit)
       .set(static_cast<double>(cache_.size()));
 }
@@ -527,24 +537,7 @@ void Session::ensure_current() {
 
 // ---- observability --------------------------------------------------------
 
-namespace {
-
-std::size_t sta_bytes(const sta::Result& r) noexcept {
-  return sizeof(sta::Result) + r.pins.capacity() * sizeof(sta::PinTiming) +
-         r.nets.capacity() * sizeof(sta::NetTiming) +
-         r.endpoints.capacity() * sizeof(sta::Endpoint) +
-         r.clock_arrivals.capacity() * sizeof(Interval);
-}
-
-}  // namespace
-
-void Session::refresh_resource_gauges() {
-  const obs::ResourceSample rs = obs::sample_resources();
-  reg_.gauge(kMetricRssBytes, "", "B", false, true)
-      .set(static_cast<double>(rs.rss_bytes));
-  reg_.gauge(kMetricPeakRssBytes, "", "B", false, true)
-      .set(static_cast<double>(rs.peak_rss_bytes));
-
+std::size_t Session::cache_bytes() const noexcept {
   // Cache footprint: per-slot retained bytes. Results shared between slots
   // (or with base_result_) are counted once per holder — an upper-bound
   // estimate, cheap and stable.
@@ -552,11 +545,12 @@ void Session::refresh_resource_gauges() {
   for (const CacheEntry& e : cache_) {
     cache += e.key.capacity();
     if (e.result) cache += noise::memory_bytes(*e.result);
-    if (e.sta) cache += sta_bytes(*e.sta);
+    if (e.sta) cache += sizeof(sta::Result) + sta::memory_bytes(*e.sta);
   }
-  reg_.gauge(kMetricCacheBytes, "", "B", false, true)
-      .set(static_cast<double>(cache));
+  return cache;
+}
 
+std::size_t Session::journal_bytes() const noexcept {
   // Journal footprint: entry storage + captured labels and dirty lists.
   // std::function capture state is opaque; sizeof(UndoEntry) covers its
   // inline buffer, so small captures are exact and large ones undercounted.
@@ -564,9 +558,44 @@ void Session::refresh_resource_gauges() {
   for (const UndoEntry& e : journal_) {
     journal += e.what.capacity() + e.dirty.capacity() * sizeof(NetId);
   }
-  reg_.gauge(kMetricJournalBytes, "", "B", false, true)
-      .set(static_cast<double>(journal));
+  return journal;
+}
 
+void Session::update_memory_accounts() noexcept {
+  // Delta-charge so concurrent sessions each own exactly their footprint
+  // of the global accounts; currents sum across sessions and return to
+  // zero as each destructs.
+  const std::size_t cache = cache_bytes();
+  obs::MemAccount& cache_acct = obs::MemTracker::account(obs::MemAccountId::kSessionCache);
+  if (cache > mem_cache_charged_) {
+    cache_acct.charge(cache - mem_cache_charged_);
+  } else if (cache < mem_cache_charged_) {
+    cache_acct.release(mem_cache_charged_ - cache);
+  }
+  mem_cache_charged_ = cache;
+
+  const std::size_t journal = journal_bytes();
+  obs::MemAccount& journal_acct =
+      obs::MemTracker::account(obs::MemAccountId::kUndoJournal);
+  if (journal > mem_journal_charged_) {
+    journal_acct.charge(journal - mem_journal_charged_);
+  } else if (journal < mem_journal_charged_) {
+    journal_acct.release(mem_journal_charged_ - journal);
+  }
+  mem_journal_charged_ = journal;
+}
+
+void Session::refresh_resource_gauges() {
+  const obs::ResourceSample rs = obs::sample_resources();
+  reg_.gauge(kMetricRssBytes, "", "B", false, true)
+      .set(static_cast<double>(rs.rss_bytes));
+  reg_.gauge(kMetricPeakRssBytes, "", "B", false, true)
+      .set(static_cast<double>(rs.peak_rss_bytes));
+  update_memory_accounts();
+  reg_.gauge(kMetricCacheBytes, "", "B", false, true)
+      .set(static_cast<double>(mem_cache_charged_));
+  reg_.gauge(kMetricJournalBytes, "", "B", false, true)
+      .set(static_cast<double>(mem_journal_charged_));
   reg_.gauge(kMetricTraceBufferBytes, "", "B", false, true)
       .set(static_cast<double>(obs::Tracer::buffered_bytes()));
 }

@@ -85,6 +85,13 @@ class Session {
   Session(std::shared_ptr<const net::Design> design,
           std::shared_ptr<const para::Parasitics> para, SessionConfig config = {});
 
+  /// Releases this session's share of the "session_cache"/"undo_journal"
+  /// memory accounts (each session delta-charges only its own footprint, so
+  /// concurrent daemon sessions never fight over the global accounts).
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
   // ---- queries (analysis runs lazily on first need) -----------------------
 
   /// Current noise result; triggers STA + (usually incremental) noise
@@ -292,6 +299,16 @@ class Session {
   /// the result cache, undo journal, and trace buffers).
   void refresh_resource_gauges();
 
+  /// Estimated retained bytes of the result cache / undo journal (the
+  /// gauge values and the memory-account charges share these).
+  [[nodiscard]] std::size_t cache_bytes() const noexcept;
+  [[nodiscard]] std::size_t journal_bytes() const noexcept;
+
+  /// Delta-charge the global session_cache/undo_journal memory accounts to
+  /// this session's current footprint. Called after every mutation of the
+  /// cache or journal; the destructor releases the remainder.
+  void update_memory_accounts() noexcept;
+
   // Design state: either owned outright (value ctor / after a COW copy) or
   // read from an immutable base shared across sessions. own_* wins when set.
   std::shared_ptr<const net::Design> base_design_;
@@ -314,6 +331,8 @@ class Session {
 
   std::deque<UndoEntry> journal_;
   std::vector<CacheEntry> cache_;  ///< LRU: back = most recent
+  std::size_t mem_cache_charged_ = 0;    ///< bytes this session holds in the account
+  std::size_t mem_journal_charged_ = 0;  ///< bytes this session holds in the account
 
   obs::Registry reg_;
   obs::Counter& edits_;

@@ -83,6 +83,15 @@ struct Result {
   [[nodiscard]] double worst_slack() const noexcept;
 };
 
+/// Capacity-based heap bytes a Result owns. Feeds the "sta" memory account
+/// (size-accounting hook) and the session cache's per-slot byte gauge.
+[[nodiscard]] inline std::size_t memory_bytes(const Result& r) noexcept {
+  return r.pins.capacity() * sizeof(PinTiming) +
+         r.nets.capacity() * sizeof(NetTiming) +
+         r.endpoints.capacity() * sizeof(Endpoint) +
+         r.clock_arrivals.capacity() * sizeof(Interval);
+}
+
 /// Run STA. Throws std::runtime_error on combinational loops and
 /// std::invalid_argument on inconsistent inputs.
 [[nodiscard]] Result run(const net::Design& design, const para::Parasitics& para,

@@ -183,7 +183,7 @@ TEST(Cli, TraceAndStatsJsonOutputs) {
     ASSERT_TRUE(f.good());
     stats << f.rdbuf();
   }
-  EXPECT_NE(stats.str().find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(stats.str().find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(stats.str().find("\"design\":\"bus64\""), std::string::npos);
   EXPECT_NE(stats.str().find("\"victims_estimated\""), std::string::npos);
   EXPECT_NE(stats.str().find("\"glitch_peak_v\""), std::string::npos);

@@ -161,7 +161,8 @@ TEST(KernelBuffers, CsrMirrorsContextAdjacency) {
       EXPECT_EQ(kb.agg_cap[kb.agg_offsets[vi] + j], row[j].coupling);
     }
   }
-  EXPECT_EQ(kb.load_cap, ctx.load_cap);
+  ASSERT_EQ(kb.load_cap.size(), ctx.load_cap.size());
+  EXPECT_TRUE(std::equal(kb.load_cap.begin(), kb.load_cap.end(), ctx.load_cap.begin()));
 
   // Level slabs cover every scheduled instance, level-major.
   std::size_t scheduled = 0;

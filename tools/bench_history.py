@@ -95,9 +95,10 @@ def key_metrics(record: dict) -> dict:
         if is_num(resources.get(k)) and resources[k] > 0:
             out[k] = resources[k]
     # Executor utilization signals (stats-JSON v3): per-region wall and
-    # imbalance, overall idle fraction — all lower-is-better.
+    # imbalance, overall idle fraction — and the v5 per-account heap peaks
+    # (mem_<account>_peak_bytes) — all lower-is-better.
     for k, v in perf_diff.extract_metrics(record).items():
-        if k.startswith(perf_diff.EXECUTOR_PREFIX):
+        if k.startswith((perf_diff.EXECUTOR_PREFIX, perf_diff.MEMORY_PREFIX)):
             out[k] = v
     bench = record.get("bench", {})
     if is_num(bench.get("peak_rss_bytes")) and bench["peak_rss_bytes"] > 0:

@@ -24,6 +24,7 @@
 #include "noise/report_writer.hpp"
 #include "noise/telemetry.hpp"
 #include "obs/log.hpp"
+#include "obs/memtrack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/resource.hpp"
@@ -68,6 +69,7 @@ struct Args {
   bool delay_impact = false;
   bool have_mode = false;
   bool stats = false;
+  bool mem_report = false;  ///< --mem-report: per-account memory table
   bool progress = false;  ///< --progress: stderr meter / serve event lines
   int verbose = 0;  ///< --verbose count: 1 = info, 2+ = debug
   bool help = false;
@@ -90,6 +92,9 @@ const char kUsage[] =
     "  --simd <p>          hot-loop kernel path: auto (default) | scalar | vector;\n"
     "                      results are bit-identical either way\n"
     "  --stats             print per-phase telemetry after the report\n"
+    "  --mem-report        print the per-subsystem memory accounting table\n"
+    "                      (current/peak bytes and alloc/free counts per\n"
+    "                      account) after the report\n"
     "  --stats-json <file> write the machine-readable run report (metrics JSON);\n"
     "                      under serve/shell: the per-session metrics at exit\n"
     "  --trace-out <file>  write a Chrome trace-event JSON (chrome://tracing,\n"
@@ -247,6 +252,8 @@ std::optional<Args> parse_args(std::span<const std::string> argv, std::ostream& 
       a.noise_opt.simd = *m;
     } else if (arg == "--stats") {
       a.stats = true;
+    } else if (arg == "--mem-report") {
+      a.mem_report = true;
     } else if (arg == "--progress") {
       a.progress = true;
     } else if (arg == "--html-report") {
@@ -533,6 +540,12 @@ int run_session(const Args& a, std::istream& in, std::ostream& out) {
   std::optional<para::Parasitics> parasitics;
   sta::Options sta_opt;
   load_inputs(a, library, design, parasitics, sta_opt);
+  // Charged before the moves below: moving only transfers ownership, the
+  // byte counts stay valid for the lifetime of the session.
+  const obs::ScopedMemCharge design_charge(obs::MemAccountId::kDesign,
+                                           design->memory_bytes());
+  const obs::ScopedMemCharge para_charge(obs::MemAccountId::kParasitics,
+                                         parasitics->memory_bytes());
 
   session::SessionConfig cfg;
   cfg.noise = a.noise_opt;
@@ -601,6 +614,10 @@ int run_daemon(const Args& a, std::ostream& out) {
   std::optional<para::Parasitics> parasitics;
   sta::Options sta_opt;
   load_inputs(a, library, design, parasitics, sta_opt);
+  const obs::ScopedMemCharge design_charge(obs::MemAccountId::kDesign,
+                                           design->memory_bytes());
+  const obs::ScopedMemCharge para_charge(obs::MemAccountId::kParasitics,
+                                         parasitics->memory_bytes());
 
   net::DaemonConfig cfg;
   cfg.listen = net::parse_endpoint(a.listen);
@@ -720,14 +737,20 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
     std::optional<para::Parasitics> parasitics;
     sta::Options sta_opt;
     load_inputs(a, library, design, parasitics, sta_opt);
+    const obs::ScopedMemCharge design_charge(obs::MemAccountId::kDesign,
+                                             design->memory_bytes());
+    const obs::ScopedMemCharge para_charge(obs::MemAccountId::kParasitics,
+                                           parasitics->memory_bytes());
 
     const sta::Result timing = sta::run(*design, *parasitics, sta_opt);
+    const obs::ScopedMemCharge sta_charge(obs::MemAccountId::kSta,
+                                          sta::memory_bytes(timing));
     start_profiler(a, "main");
     // --sample-ms under analyze: record the run's memory trajectory into a
     // bounded ring (read-only sampling; results are bit-identical with it
     // on or off). Feeds the stats "timeseries" section and the dashboard's
     // #live panel.
-    obs::TimeSeriesRing live_ring({"rss_mb", "peak_rss_mb"},
+    obs::TimeSeriesRing live_ring({"rss_mb", "peak_rss_mb", "tracked_mb"},
                                   static_cast<std::size_t>(a.sample_cap));
     std::optional<obs::Sampler> live_sampler;
     if (a.sample_ms > 0) {
@@ -735,9 +758,13 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
           live_ring,
           [] {
             const obs::ResourceSample r = obs::sample_resources();
+            const double tracked =
+                static_cast<double>(obs::MemTracker::total_current());
+            obs::Tracer::counter("tracked_bytes", tracked);
             return std::vector<double>{
                 static_cast<double>(r.rss_bytes) / (1024.0 * 1024.0),
-                static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0)};
+                static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0),
+                tracked / (1024.0 * 1024.0)};
           },
           a.sample_ms);
       live_sampler->start();
@@ -746,6 +773,8 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
     if (a.progress) meter.emplace(err);
     const noise::Result result = noise::analyze(*design, *parasitics, timing,
                                                 a.noise_opt, meter ? &*meter : nullptr);
+    const obs::ScopedMemCharge result_charge(obs::MemAccountId::kResult,
+                                             noise::memory_bytes(result));
     if (meter) meter->finish();
     if (live_sampler) live_sampler->stop();
     // Stop sampling before report rendering so the profile covers exactly
@@ -820,6 +849,7 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
 
     if (a.command == "explain") {
       out << explain_text;
+      if (a.mem_report) obs::write_memory_table(out);
       return 0;
     }
 
@@ -845,6 +875,7 @@ int run_cli(std::span<const std::string> args, std::istream& in, std::ostream& o
           << " violations)\n";
     }
     if (a.stats) noise::write_stats(out, result.telemetry);
+    if (a.mem_report) obs::write_memory_table(out);
     return result.violations.empty() ? 0 : 2;
   } catch (const std::exception& e) {
     if (!a.trace_path.empty()) obs::Tracer::disable();

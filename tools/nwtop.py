@@ -122,6 +122,25 @@ def series_column(ts: dict, name: str) -> list[float]:
             if idx < len(s.get("v", []))]
 
 
+def fmt_bytes(v: float) -> str:
+    """Human-readable bytes for the memory column group."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(v) < 1024.0 or unit == "GB":
+            return f"{v:.1f} {unit}" if unit != "B" else f"{v:.0f} B"
+        v /= 1024.0
+    return f"{v:.1f} GB"
+
+
+def top_accounts(memory: dict, n: int = 3) -> list[tuple[str, dict]]:
+    """The n largest accounts by current bytes (ties broken by peak)."""
+    accounts = memory.get("accounts", {})
+    ranked = sorted(
+        accounts.items(),
+        key=lambda kv: (kv[1].get("current_bytes", 0), kv[1].get("peak_bytes", 0)),
+        reverse=True)
+    return ranked[:n]
+
+
 def last_sample_gauges(ts: dict) -> dict:
     """The newest ring sample as {series_name: value} — fills the live
     gauges (inflight, rss, window quantiles) the cumulative daemon section
@@ -133,7 +152,7 @@ def last_sample_gauges(ts: dict) -> dict:
 
 
 def render_frame(hello: dict, daemon: dict, ts: dict, latency: dict,
-                 note: str = "") -> str:
+                 memory: dict | None = None, note: str = "") -> str:
     lines = []
     design = hello.get("design", "?")
     transport = hello.get("transport", "?")
@@ -148,6 +167,23 @@ def render_frame(hello: dict, daemon: dict, ts: dict, latency: dict,
                  f"   p50 {daemon.get('analyze_p50_ms', 0.0):.2f}"
                  f"   p95 {daemon.get('analyze_p95_ms', 0.0):.2f}")
     lines.append(f"    rss           {daemon.get('rss_mb', 0.0):8.1f} MB")
+    if memory:
+        lines.append("")
+        lines.append("  memory")
+        lines.append(f"    tracked       "
+                     f"{fmt_bytes(memory.get('total_current_bytes', 0)):>10}"
+                     f"   peak {fmt_bytes(memory.get('total_peak_bytes', 0))}")
+        # Accounts with a matching ring series get a trend sparkline; the
+        # cache/journal series predate per-account naming, hence the map.
+        ring_series = {"session_cache": "session_cache_bytes",
+                       "undo_journal": "journal_bytes"}
+        for name, acct in top_accounts(memory):
+            col = series_column(ts, ring_series.get(name, f"{name}_bytes"))
+            trend = sparkline(col, width=12) if col else ""
+            lines.append(f"    {name:<13} "
+                         f"{fmt_bytes(acct.get('current_bytes', 0)):>10}"
+                         f"   peak {fmt_bytes(acct.get('peak_bytes', 0)):<10}"
+                         f" {trend}")
     lines.append("")
     lines.append("  totals")
     lines.append(f"    accepted {daemon.get('accepted', 0):.0f}"
@@ -163,6 +199,9 @@ def render_frame(hello: dict, daemon: dict, ts: dict, latency: dict,
         lines.append(f"    shed/tick     {sparkline(deltas(series_column(ts, 'shed')))}")
         lines.append(f"    handled/tick  {sparkline(deltas(series_column(ts, 'handled')))}")
         lines.append(f"    rss MB        {sparkline(series_column(ts, 'rss_mb'))}")
+        tracked = series_column(ts, 'tracked_mb')
+        if tracked:
+            lines.append(f"    tracked MB    {sparkline(tracked)}")
     if latency:
         lines.append("")
         lines.append("  slowest commands (all connections)")
@@ -187,6 +226,7 @@ def run_once(conn: Conn, samples: int) -> None:
     daemon = {**last_sample_gauges(ts), **stats.get("daemon", {})}
     frame = render_frame(
         hello, daemon, ts, stats.get("latency", {}),
+        memory=stats.get("memory", {}),
         note=time.strftime("%H:%M:%S"),
     )
     print(frame)
@@ -215,6 +255,7 @@ def run_live(conn: Conn, args) -> None:
             frame = render_frame(
                 hello, daemon, stats.get("timeseries", {}),
                 stats.get("latency", {}),
+                memory=stats.get("memory", {}),
                 note=f"every {period} ms — seq {ev.get('seq', 0):.0f} — ^C quits",
             )
             sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")

@@ -48,6 +48,7 @@ PHASE_KEYS = (
 KERNEL_PREFIX = "kernel_"
 EXECUTOR_PREFIX = "executor/"
 DAEMON_PREFIX = "daemon_"
+MEMORY_PREFIX = "mem_"
 QUANTILES = ("p50", "p95", "p99")
 
 
@@ -92,6 +93,15 @@ def extract_metrics(record: dict) -> dict:
         for k in ("shed", "queue_rejected", "analyze_ewma_ms"):
             if is_num(d.get(k)) and d[k] > 0:
                 out[f"{DAEMON_PREFIX}{k}"] = d[k]
+    mem = record.get("memory", {})
+    if isinstance(mem, dict):
+        # Schema v5: per-account heap peaks gate CI like time regressions.
+        for name, acct in sorted(mem.get("accounts", {}).items()):
+            peak = acct.get("peak_bytes") if isinstance(acct, dict) else None
+            if is_num(peak) and peak > 0:
+                out[f"{MEMORY_PREFIX}{name}_peak_bytes"] = peak
+        if is_num(mem.get("total_peak_bytes")) and mem["total_peak_bytes"] > 0:
+            out[f"{MEMORY_PREFIX}total_peak_bytes"] = mem["total_peak_bytes"]
     ex = record.get("executor", {})
     if isinstance(ex, dict) and ex.get("enabled"):
         busy = sum(w.get("busy_s", 0.0) for w in ex.get("workers", []))
@@ -131,7 +141,11 @@ def diff_rows(before: dict, after: dict, threshold: float = 0.02) -> list:
     """Rows (name, before, after, ratio, verdict) over the shared metrics.
 
     verdict: "regression" / "improved" beyond the threshold, "~" inside it.
-    Metrics present on only one side are skipped (nothing to compare).
+    A metric present in the baseline but absent from the new record used to
+    be silently dropped — a renamed or vanished metric looked like a pass.
+    Those now render as "removed" rows (after/ratio None); they never trip
+    --fail-threshold but are visible in the table and movers summary.
+    Metrics present only in the new record still have nothing to compare.
     """
     rows = []
     for name in sorted(set(before) & set(after)):
@@ -146,6 +160,10 @@ def diff_rows(before: dict, after: dict, threshold: float = 0.02) -> list:
         else:
             verdict = "~"
         rows.append((name, b, a, ratio, verdict))
+    for name in sorted(set(before) - set(after)):
+        b = before[name]
+        if is_num(b) and b > 0:
+            rows.append((name, b, None, None, "removed"))
     return rows
 
 
@@ -160,6 +178,8 @@ def top_movers(rows: list) -> dict:
     """
     movers = {}
     for name, b, a, ratio, _ in rows:
+        if ratio is None:  # "removed" rows have no magnitude to rank
+            continue
         # Tolerate "<design>/"-qualified names (bench_history baselines).
         unqualified = name.split("/")[-1]
         if EXECUTOR_PREFIX in name:
@@ -168,6 +188,8 @@ def top_movers(rows: list) -> dict:
             cat = "phase"
         elif unqualified.startswith(DAEMON_PREFIX):
             cat = "daemon"
+        elif unqualified.startswith(MEMORY_PREFIX):
+            cat = "memory"
         else:
             cat = "other"
         delta = abs(ratio - 1)
@@ -186,11 +208,18 @@ def render_markdown(rows: list, label_before: str, label_after: str) -> str:
         "|---|---:|---:|---:|---|",
     ]
     for name, b, a, ratio, verdict in rows:
-        lines.append(f"| `{name}` | {fmt(b)} | {fmt(a)} | "
-                     f"{(ratio - 1) * 100:+.1f}% | {verdict} |")
+        if ratio is None:
+            lines.append(f"| `{name}` | {fmt(b)} | - | - | {verdict} |")
+        else:
+            lines.append(f"| `{name}` | {fmt(b)} | {fmt(a)} | "
+                         f"{(ratio - 1) * 100:+.1f}% | {verdict} |")
     movers = top_movers(rows)
+    removed = [name for name, _, _, ratio, _ in rows if ratio is None]
     lines.append("")
-    for cat in ("phase", "executor", "daemon", "other"):
+    if removed:
+        lines.append(f"- removed metrics (in {label_before} only): "
+                     + ", ".join(f"`{n}`" for n in removed))
+    for cat in ("phase", "executor", "daemon", "memory", "other"):
         if cat in movers:
             name, b, a, ratio = movers[cat]
             lines.append(f"- top {cat} mover: `{name}` "
@@ -255,7 +284,8 @@ def main() -> int:
         print(table, end="")
 
     if args.fail_threshold is not None:
-        bad = [(n, r) for n, _, _, r, _ in rows if r > 1 + args.fail_threshold]
+        bad = [(n, r) for n, _, _, r, _ in rows
+               if r is not None and r > 1 + args.fail_threshold]
         if bad:
             worst = max(bad, key=lambda nr: nr[1])
             print(f"perf_diff: FAIL: {len(bad)} metric(s) regressed beyond "

@@ -11,11 +11,14 @@ Usage:
 
 Checks the Chrome trace-event JSON (parses, per-thread spans well-nested,
 required keys present, counter events well-formed) and the stats JSON
-(schema v4 meta, required metrics, histogram bucket counts + quantile
-summaries consistent, "resources" and "executor" sections present and
-internally consistent, "timeseries" ring invariants when sampling ran).
+(schema v5 meta, required metrics, histogram bucket counts + quantile
+summaries consistent, "resources", "executor" and "memory" sections
+present and internally consistent, "timeseries" ring invariants when
+sampling ran). The v5 "memory" section must satisfy the per-account
+invariants (peak >= current >= 0) everywhere; --stats and --daemon-stats
+additionally require at least 6 accounts with nonzero peaks.
 --daemon-trace additionally requires the sampler's counter tracks
-(queue depth, active connections, in-flight analyses).
+(queue depth, active connections, in-flight analyses, tracked bytes).
 Server-mode artifacts additionally need the request track: request spans
 on the "server" thread enclosing analyzer phase spans, per-command latency
 histograms, and the slow log. Bench run records need the "bench" section
@@ -30,7 +33,7 @@ import argparse
 import json
 import sys
 
-STATS_SCHEMA_VERSION = 4  # obs::kStatsSchemaVersion
+STATS_SCHEMA_VERSION = 5  # obs::kStatsSchemaVersion
 
 REQUIRED_COUNTERS = ["victims_estimated", "aggressor_pairs", "executor_tasks"]
 REQUIRED_GAUGES = ["propagation_levels", "endpoints_checked", "violations"]
@@ -118,6 +121,51 @@ def check_executor(doc, context):
                 fail(f"{context}: attribution net entry missing '{key}'")
 
 
+def check_memory(doc, context, min_nonzero=0):
+    """The schema-v5 "memory" section: per-subsystem heap accounts from the
+    tracking allocator. Every account must satisfy peak >= current >= 0;
+    alloc/free counts are non-negative but allocs >= frees is NOT an
+    invariant (sampled accounts like trace_buffers use adjust_to). When
+    min_nonzero is given, at least that many accounts must have a nonzero
+    peak (an analysis ran, so the big owners must all have been charged)."""
+    mem = doc.get("memory")
+    if not isinstance(mem, dict):
+        fail(f"{context}: no memory section (schema v5)")
+    for key in ("enabled", "accounts", "total_current_bytes",
+                "total_peak_bytes"):
+        if key not in mem:
+            fail(f"{context}: memory section missing '{key}'")
+    accounts = mem["accounts"]
+    if not isinstance(accounts, dict) or not accounts:
+        fail(f"{context}: memory accounts empty or wrong shape")
+    total_current = 0
+    total_peak = 0
+    nonzero = 0
+    for name, a in accounts.items():
+        for key in ("current_bytes", "peak_bytes", "allocs", "frees"):
+            if not isinstance(a.get(key), int) or a[key] < 0:
+                fail(f"{context}: memory account '{name}.{key}' not a "
+                     f"non-negative integer: {a.get(key)!r}")
+        if a["peak_bytes"] < a["current_bytes"]:
+            fail(f"{context}: memory account '{name}': peak "
+                 f"{a['peak_bytes']} < current {a['current_bytes']}")
+        total_current += a["current_bytes"]
+        total_peak += a["peak_bytes"]
+        if a["peak_bytes"] > 0:
+            nonzero += 1
+    if mem["total_current_bytes"] != total_current:
+        fail(f"{context}: memory total_current_bytes "
+             f"{mem['total_current_bytes']} != summed {total_current}")
+    if mem["total_peak_bytes"] != total_peak:
+        fail(f"{context}: memory total_peak_bytes "
+             f"{mem['total_peak_bytes']} != summed {total_peak}")
+    if mem["enabled"] and nonzero < min_nonzero:
+        fail(f"{context}: only {nonzero} memory accounts have nonzero peaks "
+             f"(expected >= {min_nonzero}) — are the subsystem owners "
+             f"charging their accounts?")
+    return mem
+
+
 def iter_histograms(doc):
     """Every histogram object in any section (timing mixes kinds)."""
     for section in ("histograms", "timing", "resources"):
@@ -144,7 +192,8 @@ def check_counter_events(events, required=False):
         if not counters:
             fail("daemon trace: no counter ('C') events — was the sampler "
                  "off (--sample-ms 0)?")
-        for name in ("queue_depth", "active_connections", "analyses_inflight"):
+        for name in ("queue_depth", "active_connections", "analyses_inflight",
+                     "tracked_bytes"):
             if name not in names:
                 fail(f"daemon trace: no '{name}' counter track")
     return counters
@@ -260,6 +309,11 @@ def validate_stats(path, server=False):
         check_histogram(name, h)
     check_executor(doc, "server stats" if server else "stats")
     check_timeseries(doc, "server stats" if server else "stats")  # if sampled
+    # A full CLI analysis charges design, parasitics, sta, analysis_context,
+    # kernel_buffers and result; a server session may not have analyzed yet,
+    # so only the structural invariants apply there.
+    check_memory(doc, "server stats" if server else "stats",
+                 min_nonzero=0 if server else 6)
 
     resources = doc["resources"]
     if not any(isinstance(v, (int, float)) and v > 0 for v in resources.values()):
@@ -319,6 +373,9 @@ def validate_bench_record(path):
     for name, h in iter_histograms(doc):
         check_histogram(name, h)
     check_executor(doc, "bench record")
+    # Bench harnesses call the analyzer directly (no CLI owner charges), but
+    # the pipeline itself always charges analysis_context + kernel_buffers.
+    check_memory(doc, "bench record", min_nonzero=1)
     print(f"validate_obs: bench record OK (sha {bench['git_sha'][:12]}, "
           f"{bench['build_type']}, peak RSS {bench['peak_rss_bytes']} B)")
 
@@ -453,6 +510,7 @@ def validate_daemon_stats(path):
         fail("daemon stats: no daemon_prewarm_ms in timing (seed analysis "
              "wall time)")
     ts = check_timeseries(doc, "daemon stats", required=True)
+    check_memory(doc, "daemon stats", min_nonzero=6)
     latencies = [k for k in doc["timing"] if k.startswith("request_ms_")]
     if not latencies:
         fail("daemon stats: no aggregated request_ms_* latency histograms "
@@ -463,7 +521,7 @@ def validate_daemon_stats(path):
 
 
 HTML_SECTION_IDS = ["meta", "summary", "timelines", "pareto", "slack",
-                    "executor", "flame", "live", "phases"]
+                    "executor", "flame", "live", "memory", "phases"]
 HTML_BANNED = ["http://", "https://", "<script", "<link", "url(", "src="]
 
 
